@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``test_fig5_*`` benchmark regenerates one figure of the paper's
+evaluation on the scaled (`ScenarioConfig.small`) scenario and writes
+the series it produced to ``benchmarks/output/``.  Absolute numbers are
+not expected to match the paper (our substrate is a custom simulator at
+reduced scale); the *shapes* — who wins, roughly by what factor, where
+trends bend — are asserted in EXPERIMENTS.md terms.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def base_config() -> ScenarioConfig:
+    """The scaled scenario every figure benchmark runs on."""
+    return ScenarioConfig.small()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Directory where benchmarks drop their figure text output."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_figure(output_dir: Path, name: str, text: str) -> None:
+    """Persist one figure's formatted series and echo it to stdout."""
+    (output_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)

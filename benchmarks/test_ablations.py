@@ -1,0 +1,109 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation removes one pillar of the proposed scheme and measures
+what it bought:
+
+* ``incentive-no-enrichment`` — no relay tag-addition: no bonus
+  destinations, no tag incentives.
+* ``incentive-no-reputation`` — nobody rates: every award falls back to
+  the default reputation multiplier, so malicious nodes are never
+  penalised.
+* Baseline routers (epidemic / direct / two-hop / spray-and-wait /
+  PRoPHET) bracket the data-centric schemes on the MDR/traffic plane.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_figure
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_comparison
+from repro.metrics.reports import format_table
+
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def ablation_config():
+    return ScenarioConfig.small(selfish_fraction=0.2, malicious_fraction=0.1)
+
+
+def test_enrichment_ablation(benchmark, ablation_config, output_dir):
+    results = benchmark.pedantic(
+        run_comparison,
+        args=(ablation_config, ["incentive", "incentive-no-enrichment"]),
+        kwargs=dict(seed=SEED),
+        rounds=1, iterations=1,
+    )
+    full = results["incentive"]
+    bare = results["incentive-no-enrichment"]
+    rows = [
+        [scheme, r.mdr, r.traffic,
+         r.metrics.enrichment_tags, r.metrics.bonus_deliveries()]
+        for scheme, r in results.items()
+    ]
+    save_figure(output_dir, "ablation_enrichment", format_table(
+        ["scheme", "mdr", "traffic", "tags added", "bonus deliveries"],
+        rows, title="Ablation: content enrichment",
+    ))
+    # Enrichment is what creates tags and bonus destinations.
+    assert full.metrics.enrichment_tags > 0
+    assert bare.metrics.enrichment_tags == 0
+    assert full.metrics.bonus_deliveries() >= bare.metrics.bonus_deliveries()
+
+
+def test_reputation_ablation(benchmark, ablation_config, output_dir):
+    results = benchmark.pedantic(
+        run_comparison,
+        args=(ablation_config, ["incentive", "incentive-no-reputation"]),
+        kwargs=dict(seed=SEED),
+        rounds=1, iterations=1,
+    )
+    with_drm = results["incentive"]
+    without = results["incentive-no-reputation"]
+
+    def malicious_average(result):
+        reputation = result.router.reputation
+        observers = sorted(result.honest_ids | result.selfish_ids)
+        scores = [
+            reputation.average_score_of(node, observers)
+            for node in sorted(result.malicious_ids)
+        ]
+        return sum(scores) / len(scores)
+
+    rows = [
+        [scheme, r.mdr, malicious_average(r)]
+        for scheme, r in results.items()
+    ]
+    save_figure(output_dir, "ablation_reputation", format_table(
+        ["scheme", "mdr", "avg malicious rating"],
+        rows, title="Ablation: distributed reputation model",
+    ))
+    # Without ratings, malicious nodes keep the default reputation.
+    default = ablation_config.incentive.default_rating
+    assert malicious_average(without) == pytest.approx(default)
+    assert malicious_average(with_drm) < default
+
+
+def test_baseline_router_bracket(benchmark, ablation_config, output_dir):
+    schemes = ["epidemic", "chitchat", "incentive", "two-hop",
+               "spray-and-wait", "prophet", "direct"]
+    results = benchmark.pedantic(
+        run_comparison,
+        args=(ablation_config, schemes),
+        kwargs=dict(seed=SEED),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [scheme, results[scheme].mdr, results[scheme].traffic]
+        for scheme in schemes
+    ]
+    save_figure(output_dir, "ablation_baselines", format_table(
+        ["scheme", "mdr", "traffic"], rows,
+        title="Baseline routers on the same scenario",
+    ))
+    # Epidemic flooding is the MDR/traffic ceiling; direct the floor.
+    assert results["epidemic"].traffic == max(
+        r.traffic for r in results.values()
+    )
+    assert results["epidemic"].mdr >= results["direct"].mdr
+    assert results["direct"].traffic <= results["chitchat"].traffic

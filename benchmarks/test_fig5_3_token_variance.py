@@ -1,0 +1,33 @@
+"""Benchmark E3 — Figure 5.3: initial tokens' variance.
+
+Paper shape: MDR of the incentive scheme rises with the initial token
+endowment (endowments stop exhausting) and falls with the selfish
+fraction; with generous endowments the scheme approaches ChitChat.
+"""
+
+from benchmarks.conftest import save_figure
+from repro.experiments.figures import fig5_3_initial_tokens
+
+TOKEN_GRID = (10.0, 30.0, 60.0, 120.0, 240.0)
+SELFISH_LEVELS = (0.2, 0.4)
+SEEDS = (1, 2)
+
+
+def test_fig5_3(benchmark, base_config, output_dir):
+    figure = benchmark.pedantic(
+        fig5_3_initial_tokens,
+        kwargs=dict(
+            base=base_config, token_grid=TOKEN_GRID,
+            selfish_levels=SELFISH_LEVELS, seeds=SEEDS,
+        ),
+        rounds=1, iterations=1,
+    )
+    save_figure(output_dir, "fig5_3", figure.format())
+
+    low_selfish = figure.series_values("incentive selfish=20%")
+    high_selfish = figure.series_values("incentive selfish=40%")
+    # More tokens -> more MDR (clear gap between the grid's extremes).
+    assert low_selfish[-1] > low_selfish[0]
+    assert high_selfish[-1] > high_selfish[0]
+    # More selfish nodes -> lower MDR at every token level.
+    assert all(h <= l + 0.05 for h, l in zip(high_selfish, low_selfish))

@@ -1,0 +1,33 @@
+"""Benchmark E5 — Figure 5.5: MDR vs number of users.
+
+Paper shape: MDR grows with user density for both schemes (more
+carriers, more paths), and the gap between ChitChat and the incentive
+scheme shrinks as users multiply (the paper's gap nearly vanishes at
+1500 users).  The grid 30/60/90 is the paper's 500/1000/1500 at the
+scaled area.
+"""
+
+from benchmarks.conftest import save_figure
+from repro.experiments.figures import fig5_5_mdr_vs_users
+
+USER_GRID = (30, 60, 90)
+SEEDS = (1, 2)
+
+
+def test_fig5_5(benchmark, base_config, output_dir):
+    figure = benchmark.pedantic(
+        fig5_5_mdr_vs_users,
+        kwargs=dict(base=base_config, user_grid=USER_GRID, seeds=SEEDS),
+        rounds=1, iterations=1,
+    )
+    save_figure(output_dir, "fig5_5", figure.format())
+
+    chitchat = figure.series_values("chitchat")
+    incentive = figure.series_values("incentive")
+    # MDR grows with density for both schemes.
+    assert chitchat[-1] >= chitchat[0]
+    assert incentive[-1] >= incentive[0]
+    # The ChitChat-vs-incentive gap narrows as users multiply.
+    gap_sparse = chitchat[0] - incentive[0]
+    gap_dense = chitchat[-1] - incentive[-1]
+    assert gap_dense <= gap_sparse + 0.02

@@ -1,0 +1,34 @@
+"""Benchmark E7 — Table 5.1: simulation parameters.
+
+Verifies the default paper-scale configuration reproduces the paper's
+parameter table verbatim, and times a single paper-parameterised run
+component (contact-trace generation at full 500-node scale is exercised
+in the microbenchmarks; here we only render and check the table).
+"""
+
+from benchmarks.conftest import save_figure
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import table5_1_parameters
+
+
+def test_table5_1(benchmark, output_dir):
+    text = benchmark.pedantic(
+        table5_1_parameters, rounds=3, iterations=1,
+    )
+    save_figure(output_dir, "table5_1", text)
+
+    config = ScenarioConfig.paper_scale()
+    assert config.n_nodes == 500
+    assert config.keyword_pool == 200
+    assert config.interests_per_node == 20
+    assert config.link_speed == 250_000.0
+    assert config.transmission_radius == 100.0
+    assert config.buffer_capacity == 250_000_000
+    assert round(config.area_km2, 2) == 5.0
+    assert config.duration == 86_400.0
+    assert config.incentive.relay_threshold == 0.8
+    assert config.incentive.initial_tokens == 200.0
+
+    for fragment in ("500", "200", "250 kBps", "100 meters", "250 MB",
+                     "5.00 sq.km.", "24.0 hours", "0.8", "200 per node"):
+        assert fragment in text, fragment

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Battlefield scenario: role hierarchies and priority dissemination.
+
+The paper's battlefield deployment: a few sergeants (rank 1) and many
+soldiers (rank 2).  The incentive formula divides by the sending user's
+rank, so sergeants' messages carry larger promises; the source-set
+priority orders transfers and buffer custody, so HIGH-priority traffic
+survives selfish pressure better than LOW — the Figure 5.6 effect,
+reported here per priority class.
+
+Usage::
+
+    python examples/battlefield.py [--selfish 0.4] [--seed 3]
+"""
+
+import argparse
+
+from repro.experiments import ScenarioConfig, run_comparison
+from repro.messages.message import Priority
+from repro.metrics.reports import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--selfish", type=float, default=0.4)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    config = ScenarioConfig.small(
+        selfish_fraction=args.selfish,
+        role_levels=("sergeant", "soldier"),
+        role_fractions=(0.1, 0.9),
+    )
+    print(
+        f"Battlefield: {config.n_nodes} users "
+        f"(~{config.n_nodes // 10} sergeants, rank 1), "
+        f"{args.selfish:.0%} selfish, workload 50/30/20 "
+        f"high/medium/low priority.\n"
+    )
+
+    results = run_comparison(
+        config, ["chitchat", "incentive"], seed=args.seed,
+    )
+
+    rows = []
+    for priority in Priority:
+        row = [f"{priority.name} (P_s={int(priority)})"]
+        for scheme in ("chitchat", "incentive"):
+            by_priority = results[scheme].metrics.mdr_by_priority()
+            row.append(by_priority[priority])
+        rows.append(row)
+    print(format_table(
+        ["priority class", "chitchat MDR", "incentive MDR"],
+        rows,
+        title="Priority-segmented MDR (Figure 5.6)",
+    ))
+
+    incentive = results["incentive"].metrics.mdr_by_priority()
+    print(
+        f"\nUnder the incentive scheme HIGH beats LOW by "
+        f"{incentive[Priority.HIGH] - incentive[Priority.LOW]:+.3f} MDR — "
+        f"bigger promises put high-priority messages at the front of "
+        f"every transfer queue and keep them in every buffer."
+    )
+
+    # Sergeants' economics: their messages carry larger promises, so
+    # the nodes that deliver them earn more.
+    router = results["incentive"].router
+    ledger = router.ledger
+    volumes = ledger.volume_by_reason()
+    print(f"\nToken volume by reason: "
+          f"{ {k: round(v, 1) for k, v in volumes.items()} }")
+    print(f"Deliveries blocked by empty wallets: "
+          f"{int(results['incentive'].summary()['blocked_no_tokens'])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Disaster-response scenario: content enrichment in action.
+
+The paper's motivating story: responders photograph a flood scene; the
+cloud annotator only recognises part of what is in the image, and
+relaying responders who know more (a collapsed bridge, a blocked road)
+add keyword annotations in transit, so the message reaches *more* of
+the teams that need it — and the enriching relays earn extra tokens for
+the tags the destinations care about.
+
+This example drives the operator functions of Paper I Section 4
+(Annotate / Subscribe / Enrich) directly through the public
+:class:`repro.Operators` facade, then lets the simulation run and
+reports who learned what and who got paid.
+
+Usage::
+
+    python examples/disaster_response.py
+"""
+
+from repro import (
+    EnrichmentPolicy,
+    Engine,
+    IncentiveChitChatRouter,
+    IncentiveParams,
+    KeywordUniverse,
+    Node,
+    Operators,
+    RandomStreams,
+    RatingModel,
+    World,
+)
+from repro.messages.message import Priority
+from repro.mobility.trace import Contact, ContactTrace
+
+TEAMS = {
+    0: ("scout", []),                                   # the photographer
+    1: ("medic-relay", []),                             # knows the area
+    2: ("bridge-crew", ["collapsed-bridge"]),
+    3: ("supply-convoy", ["road-blocked"]),
+    4: ("rescue-team", ["flood"]),
+}
+
+
+def main() -> None:
+    universe = KeywordUniverse(60)
+    params = IncentiveParams(initial_tokens=50.0)
+    router = IncentiveChitChatRouter(
+        params=params,
+        rating_model=RatingModel(params, noise=0.0, confidence_low=1.0),
+        enrichment=EnrichmentPolicy(universe, honest_probability=1.0),
+    )
+    nodes = [
+        Node(node_id, interests, buffer_capacity=50_000_000)
+        for node_id, (_, interests) in sorted(TEAMS.items())
+    ]
+    world = World(Engine(), nodes, router, link_speed=250_000.0,
+                  streams=RandomStreams(11))
+    operators = Operators(router)
+
+    # The scout photographs the scene.  Ground truth: the image shows a
+    # flood, a collapsed bridge and a blocked road — but the automatic
+    # annotator only tagged "flood".
+    message = operators.annotate(
+        0,
+        content=("flood", "collapsed-bridge", "road-blocked"),
+        labels=("flood",),
+        size=1_200_000,
+        quality=0.9,
+        priority=Priority.HIGH,
+    )
+    print("Scout creates a HIGH-priority image message.")
+    print(f"  ground truth: {sorted(message.content)}")
+    print(f"  initial tags: {sorted(message.keywords)}\n")
+
+    # Contact plan.  ChitChat only hands a message to a relay whose
+    # interest strength exceeds the sender's, so the medic relay first
+    # meets the rescue team and *acquires* a transient interest in
+    # "flood" (the RTSR growth algorithm).  It then receives the message
+    # from the scout, enriches it, and later meets the bridge crew and
+    # the supply convoy — destinations that only exist because of the
+    # added tags.
+    world.load_contact_trace(ContactTrace([
+        Contact(10.0, 200.0, 1, 4),      # medic acquires "flood" interest
+        Contact(250.0, 370.0, 0, 4),     # scout -> rescue team (flood)
+        Contact(450.0, 570.0, 0, 1),     # scout -> medic relay
+        Contact(650.0, 770.0, 1, 2),     # relay -> bridge crew
+        Contact(850.0, 970.0, 1, 3),     # relay -> supply convoy
+    ]))
+    world.run(1200.0)
+
+    copy = world.node(1).buffer.get(message.uuid)
+    print("After the medic relay carried the message:")
+    if copy is not None:
+        added = [a.keyword for a in copy.added_tags()]
+        print(f"  tags added in transit by node 1: {sorted(added)}")
+
+    print("\nDeliveries:")
+    for node_id, (name, interests) in sorted(TEAMS.items()):
+        node = world.node(node_id)
+        if message.uuid in node.delivered:
+            at = node.delivered[message.uuid]
+            print(f"  {name:<14} received the message at t={at:.0f}s "
+                  f"(interests: {interests})")
+
+    print("\nToken balances (endowment 50):")
+    for node_id, (name, _) in sorted(TEAMS.items()):
+        if router.ledger.has_account(node_id):
+            earned = router.ledger.earnings(node_id)
+            sign = "+" if earned >= 0 else ""
+            print(f"  {name:<14} {router.ledger.balance(node_id):6.1f} "
+                  f"({sign}{earned:.1f})")
+
+    bonus = world.metrics.bonus_deliveries()
+    print(f"\nEnrichment created {bonus} deliveries that the original "
+          f"tags could never have reached — the paper's content-"
+          f"enrichment payoff.")
+
+
+if __name__ == "__main__":
+    main()

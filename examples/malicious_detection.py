@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Malicious-node detection with the Distributed Reputation Model.
+
+Reproduces the Figure 5.4 experiment at example scale: a fraction of
+nodes inject irrelevant tags (chasing tag incentives) and generate
+low-quality messages.  Recipients rate what they receive against the
+ground truth, ratings gossip across contacts, and the average rating of
+malicious nodes among honest observers falls over time — faster when
+there are more malicious nodes to bump into.
+
+Usage::
+
+    python examples/malicious_detection.py
+"""
+
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.metrics.reports import format_table
+
+
+def spark(value: float, ceiling: float = 5.0, width: int = 30) -> str:
+    """A crude text bar for terminal output."""
+    filled = int(round(value / ceiling * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    base = ScenarioConfig.small()
+    print(
+        "Distributed Reputation Model: average rating of malicious nodes\n"
+        "as seen by non-malicious nodes (rating scale 0-5, unknown "
+        f"nodes default to {base.incentive.default_rating}).\n"
+    )
+
+    for malicious in (0.2, 0.4):
+        config = base.replace(malicious_fraction=malicious)
+        result = run_scenario(
+            config, "incentive", seed=2,
+            sample_ratings=True,
+            rating_sample_interval=config.duration / 10.0,
+        )
+        print(f"--- {malicious:.0%} malicious nodes "
+              f"({len(result.malicious_ids)} of {config.n_nodes}) ---")
+        for time, ratings in result.metrics.rating_samples:
+            if not ratings:
+                continue
+            average = sum(ratings.values()) / len(ratings)
+            print(f"  t={time:6.0f}s  {average:4.2f}  {spark(average)}")
+
+        reputation = result.router.reputation
+        observers = sorted(result.honest_ids | result.selfish_ids)
+        rows = []
+        for group, members in (
+            ("malicious", sorted(result.malicious_ids)[:5]),
+            ("honest", sorted(result.honest_ids)[:5]),
+        ):
+            for node in members:
+                rows.append([
+                    group, node,
+                    reputation.average_score_of(node, observers),
+                ])
+        print()
+        print(format_table(
+            ["group", "node", "avg rating among honest observers"], rows,
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

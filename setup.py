@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works in offline
+environments that lack the ``wheel`` package; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

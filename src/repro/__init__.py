@@ -1,0 +1,131 @@
+"""repro — reputation and credit based incentives for data-centric DTNs.
+
+A from-scratch Python reproduction of *"Reputation and Credit Based
+Incentive Mechanism for Data-Centric Message Delivery in Delay Tolerant
+Networks"* (Jethawa & Madria; ICDCS 2017 / MST thesis 2018): the
+ChitChat data-centric routing substrate, the credit + reputation
+incentive mechanism with content enrichment, the distributed reputation
+model, a discrete-event DTN simulator replacing ONE, and the complete
+evaluation harness for the paper's figures.
+
+Quickstart::
+
+    from repro.experiments import ScenarioConfig, run_scenario
+
+    config = ScenarioConfig.small()
+    result = run_scenario(config, scheme="incentive", seed=1)
+    print(result.metrics.message_delivery_ratio())
+"""
+
+from repro.agents import BehaviorProfile, RoleHierarchy, assign_behaviors
+from repro.agents.attacks import WhitewashAttack
+from repro.core import (
+    EnrichmentPolicy,
+    IncentiveChitChatRouter,
+    IncentiveParams,
+    Operators,
+    RatingModel,
+    ReputationBook,
+    ReputationSystem,
+    TokenLedger,
+)
+from repro.core.bayesian_reputation import BayesianReputationSystem
+from repro.messages import (
+    Annotation,
+    KeywordUniverse,
+    Message,
+    MessageGenerator,
+    MessageProfile,
+    Priority,
+)
+from repro.metrics import MetricsCollector
+from repro.mobility import (
+    Contact,
+    ContactTrace,
+    ManhattanGrid,
+    RandomWalk,
+    RandomWaypoint,
+    Stationary,
+    detect_contacts,
+    load_one_trace,
+    save_one_trace,
+)
+from repro.network import EnergyModel, Link, MessageBuffer, Node
+from repro.network.world import World
+from repro.routing import (
+    ChitChatRouter,
+    DirectContactRouter,
+    EpidemicRouter,
+    ImmuneEpidemicRouter,
+    NectarRouter,
+    PriorityEpidemicRouter,
+    ProphetRouter,
+    RelicsRouter,
+    SprayAndWaitRouter,
+    TitForTatRouter,
+    TwoHopRewardRouter,
+    TwoHopRouter,
+)
+from repro.sim import Engine, RandomStreams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # simulation engine
+    "Engine",
+    "RandomStreams",
+    # mobility & contacts
+    "RandomWaypoint",
+    "RandomWalk",
+    "Stationary",
+    "ManhattanGrid",
+    "Contact",
+    "ContactTrace",
+    "detect_contacts",
+    "load_one_trace",
+    "save_one_trace",
+    # messages
+    "Message",
+    "Annotation",
+    "Priority",
+    "KeywordUniverse",
+    "MessageGenerator",
+    "MessageProfile",
+    # network substrate
+    "Node",
+    "Link",
+    "MessageBuffer",
+    "EnergyModel",
+    "World",
+    # routing
+    "ChitChatRouter",
+    "EpidemicRouter",
+    "PriorityEpidemicRouter",
+    "ImmuneEpidemicRouter",
+    "DirectContactRouter",
+    "TwoHopRouter",
+    "SprayAndWaitRouter",
+    "ProphetRouter",
+    "NectarRouter",
+    "TitForTatRouter",
+    "RelicsRouter",
+    "TwoHopRewardRouter",
+    # the paper's contribution
+    "IncentiveParams",
+    "IncentiveChitChatRouter",
+    "TokenLedger",
+    "ReputationBook",
+    "ReputationSystem",
+    "RatingModel",
+    "EnrichmentPolicy",
+    "Operators",
+    "BayesianReputationSystem",
+    # behaviours & attacks
+    "BehaviorProfile",
+    "assign_behaviors",
+    "RoleHierarchy",
+    "WhitewashAttack",
+    # metrics
+    "MetricsCollector",
+]

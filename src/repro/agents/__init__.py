@@ -1,0 +1,7 @@
+"""Node behaviour profiles (honest / selfish / malicious) and role
+hierarchies."""
+
+from repro.agents.behaviors import BehaviorProfile, assign_behaviors
+from repro.agents.roles import RoleHierarchy
+
+__all__ = ["BehaviorProfile", "assign_behaviors", "RoleHierarchy"]

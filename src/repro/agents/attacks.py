@@ -1,0 +1,99 @@
+"""Attack models against the reputation system.
+
+Two classic attacks the thesis's related work discusses:
+
+* **Whitewashing** (Paper I ref [27], Ayday & Fekri): a node whose
+  reputation has been ruined cancels its account and rejoins under a
+  fresh identity, wiping every observer's opinion.  Whether that pays
+  off depends entirely on what a *fresh* identity is worth — i.e. the
+  DRM's ``default_rating`` — which :class:`WhitewashAttack` lets an
+  experiment measure.
+* **Collusive praise**: malicious raters give fellow attackers perfect
+  ratings (instead of random noise), trying to prop up each other's
+  reputation; the defence is the DRM's alpha-weighting of own
+  observations over hearsay.  Collusion is a flag on
+  :class:`~repro.core.protocol.IncentiveChitChatRouter`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["WhitewashAttack"]
+
+
+class WhitewashAttack:
+    """Periodic identity-laundering by a set of attacker nodes.
+
+    Every ``check_interval`` seconds, each attacker inspects its average
+    reputation among the observer population; if it has fallen below
+    ``wash_threshold``, the attacker "re-registers": every book's
+    opinion of it is erased, so it is judged as an unknown node again.
+
+    Args:
+        engine: The simulation engine to schedule checks on.
+        reputation: Any reputation system exposing ``average_score_of``
+            and ``forget_subject`` (both the averaging DRM and the
+            Bayesian variant qualify).
+        attackers: Node ids performing the attack.
+        observers: The population whose opinions are inspected/erased.
+        wash_threshold: Reputation below which the attacker washes.
+        check_interval: Seconds between checks.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        reputation,
+        attackers: Iterable[int],
+        observers: Iterable[int],
+        *,
+        wash_threshold: float = 2.0,
+        check_interval: float = 600.0,
+    ):
+        if check_interval <= 0:
+            raise ConfigurationError(
+                f"check_interval must be > 0, got {check_interval!r}"
+            )
+        if wash_threshold < 0:
+            raise ConfigurationError(
+                f"wash_threshold must be >= 0, got {wash_threshold!r}"
+            )
+        self._engine = engine
+        self._reputation = reputation
+        self._attackers = sorted(set(attackers))
+        self._observers = sorted(set(observers))
+        self.wash_threshold = float(wash_threshold)
+        #: ``(time, attacker)`` log of successful washes.
+        self.washes: List[Tuple[float, int]] = []
+        self._process = PeriodicProcess(
+            engine, check_interval, self._check,
+            start_at=engine.now + check_interval, label="whitewash-attack",
+        )
+
+    @property
+    def wash_count(self) -> int:
+        """Total identity washes performed."""
+        return len(self.washes)
+
+    def start(self) -> None:
+        """Arm the periodic reputation checks."""
+        self._process.start()
+
+    def stop(self) -> None:
+        """Disarm the attack."""
+        self._process.stop()
+
+    def _check(self, now: float) -> None:
+        for attacker in self._attackers:
+            score = self._reputation.average_score_of(
+                attacker, self._observers
+            )
+            if score < self.wash_threshold:
+                erased = self._reputation.forget_subject(attacker)
+                if erased:
+                    self.washes.append((now, attacker))

@@ -1,0 +1,115 @@
+"""Node behaviour profiles.
+
+The evaluation distinguishes three populations:
+
+* **Honest** nodes cooperate fully.
+* **Selfish** nodes keep their communication medium off for most
+  encounters — the paper's experiment A has them participate "one out
+  of ten times", which is why MDR never reaches zero even at 100 %
+  selfish nodes.
+* **Malicious** nodes generate low-quality messages and add irrelevant
+  tags to in-transit messages, chasing tag incentives; the DRM exists
+  to identify them (Fig. 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BehaviorProfile", "assign_behaviors"]
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """One node's disposition.
+
+    Attributes:
+        selfish: Whether the node's radio is mostly off.
+        malicious: Whether the node games the incentive mechanism.
+        participation_probability: Chance a selfish node participates in
+            a given encounter (paper: 0.1).
+        low_quality_probability: Chance a malicious node's generated
+            message is low quality.
+    """
+
+    selfish: bool = False
+    malicious: bool = False
+    participation_probability: float = 0.1
+    low_quality_probability: float = 0.8
+
+    def __post_init__(self) -> None:
+        for name in ("participation_probability", "low_quality_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+    # The world duck-types against these two hooks.
+    def contact_enabled(self, rng: np.random.Generator) -> bool:
+        """Whether the node joins this encounter (radio on)."""
+        if not self.selfish:
+            return True
+        return bool(rng.random() < self.participation_probability)
+
+    def creates_low_quality(self, rng: np.random.Generator) -> bool:
+        """Whether a generated message should be low quality."""
+        if not self.malicious:
+            return False
+        return bool(rng.random() < self.low_quality_probability)
+
+
+HONEST = BehaviorProfile()
+
+
+def assign_behaviors(
+    node_ids: Sequence[int],
+    rng: np.random.Generator,
+    *,
+    selfish_fraction: float = 0.0,
+    malicious_fraction: float = 0.0,
+    participation_probability: float = 0.1,
+    low_quality_probability: float = 0.8,
+) -> Dict[int, BehaviorProfile]:
+    """Randomly assign selfish / malicious profiles to a population.
+
+    The selfish and malicious sets are drawn independently from disjoint
+    pools (selfish first), matching the paper's experiments which vary
+    one fraction at a time.
+
+    Returns:
+        ``node_id -> BehaviorProfile`` for every node.
+    """
+    for name, value in (
+        ("selfish_fraction", selfish_fraction),
+        ("malicious_fraction", malicious_fraction),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1]")
+    if selfish_fraction + malicious_fraction > 1.0 + 1e-9:
+        raise ConfigurationError(
+            "selfish and malicious fractions must sum to at most 1"
+        )
+    ids: List[int] = list(node_ids)
+    n = len(ids)
+    n_selfish = round(n * selfish_fraction)
+    n_malicious = round(n * malicious_fraction)
+    if n_selfish + n_malicious > n:
+        n_malicious = n - n_selfish
+    shuffled = list(ids)
+    rng.shuffle(shuffled)
+    selfish_ids = set(shuffled[:n_selfish])
+    malicious_ids = set(shuffled[n_selfish:n_selfish + n_malicious])
+
+    profiles: Dict[int, BehaviorProfile] = {}
+    for node_id in ids:
+        profiles[node_id] = BehaviorProfile(
+            selfish=node_id in selfish_ids,
+            malicious=node_id in malicious_ids,
+            participation_probability=participation_probability,
+            low_quality_probability=low_quality_probability,
+        )
+    return profiles

@@ -1,0 +1,238 @@
+"""Command-line interface.
+
+Usage::
+
+    repro-dtn table          # print Table 5.1
+    repro-dtn figure 5.1     # regenerate one figure (scaled grid)
+    repro-dtn figure all     # regenerate every figure
+    repro-dtn run --scheme incentive --selfish 0.2 --seed 1
+
+Pass ``--paper-scale`` to use the full Table 5.1 scenario (500 nodes,
+24 simulated hours — expect minutes of wall-clock per run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import (
+    fig5_1_mdr_vs_selfish,
+    fig5_2_traffic_reduction,
+    fig5_3_initial_tokens,
+    fig5_4_malicious_ratings,
+    fig5_5_mdr_vs_users,
+    fig5_6_priority_mdr,
+    table5_1_parameters,
+)
+from repro.experiments.runner import SCHEMES, run_scenario
+from repro.metrics.reports import format_table
+
+__all__ = ["main"]
+
+_FIGURES = {
+    "5.1": fig5_1_mdr_vs_selfish,
+    "5.2": fig5_2_traffic_reduction,
+    "5.3": fig5_3_initial_tokens,
+    "5.4": fig5_4_malicious_ratings,
+    "5.5": fig5_5_mdr_vs_users,
+    "5.6": fig5_6_priority_mdr,
+}
+
+
+def _base_config(args: argparse.Namespace) -> ScenarioConfig:
+    if args.paper_scale:
+        return ScenarioConfig.paper_scale()
+    return ScenarioConfig.small()
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    # Table 5.1 is the paper's parameter table; always print the
+    # paper-scale values (the scaled bench config is a harness detail).
+    print(table5_1_parameters(ScenarioConfig.paper_scale()))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    names = list(_FIGURES) if args.figure == "all" else [args.figure]
+    unknown = [n for n in names if n not in _FIGURES]
+    if unknown:
+        print(
+            f"unknown figure(s) {unknown}; choose from "
+            f"{sorted(_FIGURES)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    seeds = tuple(range(1, args.seeds + 1))
+    base = _base_config(args)
+    for name in names:
+        result = _FIGURES[name](base, seeds=seeds)
+        print(result.format())
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _base_config(args).replace(
+        selfish_fraction=args.selfish,
+        malicious_fraction=args.malicious,
+    )
+    result = run_scenario(config, args.scheme, args.seed)
+    rows = sorted(result.summary().items())
+    print(
+        format_table(
+            ["metric", "value"],
+            [[key, value] for key, value in rows],
+            title=f"scheme={args.scheme} seed={args.seed}",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import build_contact_trace
+    from repro.mobility.one_trace import save_one_trace
+
+    config = _base_config(args).replace(mobility=args.mobility)
+    if args.nodes is not None:
+        config = config.replace(n_nodes=args.nodes)
+    if args.duration is not None:
+        config = config.replace(duration=args.duration)
+    trace = build_contact_trace(config, seed=args.seed)
+    if args.format == "one":
+        save_one_trace(trace, args.out)
+    else:
+        trace.save(args.out)
+    print(
+        f"wrote {len(trace)} contacts ({trace.total_contact_time():.0f} s "
+        f"of contact time over {config.duration:.0f} s, "
+        f"{config.n_nodes} nodes, {config.mobility}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_comparison
+    from repro.metrics.analysis import summarize, welch_t_test
+
+    config = _base_config(args).replace(
+        selfish_fraction=args.selfish,
+        malicious_fraction=args.malicious,
+    )
+    seeds = list(range(1, args.seeds + 1))
+    series = {scheme: {"mdr": [], "traffic": []} for scheme in args.schemes}
+    for seed in seeds:
+        results = run_comparison(config, args.schemes, seed=seed)
+        for scheme, result in results.items():
+            series[scheme]["mdr"].append(result.mdr)
+            series[scheme]["traffic"].append(float(result.traffic))
+
+    rows = []
+    for scheme in args.schemes:
+        mdr = summarize(series[scheme]["mdr"])
+        traffic = summarize(series[scheme]["traffic"])
+        rows.append([
+            scheme,
+            f"{mdr.mean:.4f} +/- {mdr.half_width:.4f}",
+            f"{traffic.mean:.0f} +/- {traffic.half_width:.0f}",
+        ])
+    print(format_table(
+        ["scheme", "MDR (95% CI)", "traffic (95% CI)"],
+        rows,
+        title=f"{len(seeds)} seeds, selfish={args.selfish:.0%}, "
+              f"malicious={args.malicious:.0%}",
+    ))
+
+    reference = args.schemes[0]
+    if len(seeds) >= 2:
+        for scheme in args.schemes[1:]:
+            _t, p_value = welch_t_test(
+                series[reference]["mdr"], series[scheme]["mdr"],
+            )
+            verdict = "significant" if p_value < 0.05 else "not significant"
+            print(f"MDR {reference} vs {scheme}: Welch p={p_value:.4f} "
+                  f"({verdict} at 5%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dtn",
+        description="Reproduce the DTN incentive-mechanism paper's "
+                    "experiments.",
+    )
+    parser.add_argument(
+        "--paper-scale", action="store_true",
+        help="use the full Table 5.1 scenario (slow)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table = commands.add_parser("table", help="print Table 5.1")
+    table.set_defaults(func=_cmd_table)
+
+    figure = commands.add_parser("figure", help="regenerate a figure")
+    figure.add_argument("figure", help="figure id (e.g. 5.1) or 'all'")
+    figure.add_argument(
+        "--seeds", type=int, default=2,
+        help="number of seeds to average (default 2)",
+    )
+    figure.set_defaults(func=_cmd_figure)
+
+    run = commands.add_parser("run", help="run one scenario")
+    run.add_argument(
+        "--scheme", choices=SCHEMES, default="incentive",
+        help="routing/incentive scheme",
+    )
+    run.add_argument("--selfish", type=float, default=0.0)
+    run.add_argument("--malicious", type=float, default=0.0)
+    run.add_argument("--seed", type=int, default=1)
+    run.set_defaults(func=_cmd_run)
+
+    compare = commands.add_parser(
+        "compare",
+        help="run several schemes on identical contacts, with statistics",
+    )
+    compare.add_argument(
+        "schemes", nargs="+", choices=SCHEMES,
+        help="schemes to compare (first is the reference)",
+    )
+    compare.add_argument("--selfish", type=float, default=0.0)
+    compare.add_argument("--malicious", type=float, default=0.0)
+    compare.add_argument(
+        "--seeds", type=int, default=3,
+        help="number of seeds to average (default 3)",
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    trace = commands.add_parser(
+        "trace", help="generate and save a contact trace",
+    )
+    trace.add_argument("out", help="output file path")
+    trace.add_argument(
+        "--format", choices=("jsonl", "one"), default="jsonl",
+        help="jsonl (native) or one (ONE-simulator CONN report)",
+    )
+    trace.add_argument(
+        "--mobility",
+        choices=("random-waypoint", "random-walk", "manhattan"),
+        default="random-waypoint",
+    )
+    trace.add_argument("--nodes", type=int, default=None)
+    trace.add_argument("--duration", type=float, default=None)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

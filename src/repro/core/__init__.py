@@ -1,0 +1,38 @@
+"""The paper's contribution: credit + reputation incentive mechanism,
+distributed reputation model, content enrichment, and the incentive-aware
+ChitChat protocol that combines them."""
+
+from repro.core.bayesian_reputation import BayesianReputationSystem
+from repro.core.enrichment import EnrichmentPolicy
+from repro.core.itrm import ItrmResult, RatingGraph, iterative_trust
+from repro.core.incentive import (
+    IncentiveParams,
+    hardware_incentive,
+    software_incentive,
+    tag_incentive,
+    total_promise,
+)
+from repro.core.ledger import TokenLedger, Transaction
+from repro.core.operators import Operators
+from repro.core.protocol import IncentiveChitChatRouter
+from repro.core.reputation import RatingModel, ReputationBook, ReputationSystem
+
+__all__ = [
+    "TokenLedger",
+    "Transaction",
+    "IncentiveParams",
+    "software_incentive",
+    "hardware_incentive",
+    "tag_incentive",
+    "total_promise",
+    "ReputationBook",
+    "ReputationSystem",
+    "RatingModel",
+    "EnrichmentPolicy",
+    "IncentiveChitChatRouter",
+    "Operators",
+    "BayesianReputationSystem",
+    "RatingGraph",
+    "ItrmResult",
+    "iterative_trust",
+]

@@ -1,0 +1,261 @@
+"""REPSYS-style Bayesian reputation (Magaia et al., 2017) as a drop-in
+alternative to the thesis's averaging DRM.
+
+The thesis's related-work section describes REPSYS at length: a
+distributed reputation system where each node maintains a Beta(alpha,
+beta) belief about every other node, built from first-hand evidence with
+exponential *fading*, and merges second-hand reports only when they pass
+a *deviation test* — which is what makes it robust against false praise
+and false accusation.
+
+This module implements that model with the same duck-typed API as
+:class:`repro.core.reputation.ReputationSystem` (``book``, ``exchange``,
+``average_score_of``; books expose ``rate_message`` / ``merge_opinion``
+/ ``score`` / ``award_multiplier``), so it plugs straight into
+:class:`repro.core.protocol.IncentiveChitChatRouter` via the
+``reputation=`` argument — the ``incentive-bayesian`` scheme in the
+experiment runner.
+
+Evidence conversion: a message rating ``r`` on the 0..r_m scale counts
+as ``r / r_m`` of a success and ``1 - r / r_m`` of a failure, the
+standard fractional Beta update.  The exposed ``score`` is the Beta mean
+scaled back to the rating scale, so Fig 5.4-style series remain
+comparable across reputation models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.core.incentive import IncentiveParams
+from repro.errors import ConfigurationError
+
+__all__ = ["BetaBelief", "BayesianReputationBook", "BayesianReputationSystem"]
+
+
+@dataclass
+class BetaBelief:
+    """A Beta(alpha, beta) belief about one subject.
+
+    The uniform prior Beta(1, 1) encodes total ignorance; its mean 0.5
+    maps to the middle of the rating scale.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+
+    @property
+    def mean(self) -> float:
+        """Expected trustworthiness in [0, 1]."""
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def evidence(self) -> float:
+        """Total evidence mass beyond the prior."""
+        return self.alpha + self.beta - 2.0
+
+    def observe(self, success_fraction: float) -> None:
+        """Fold one interaction in (``success_fraction`` in [0, 1])."""
+        self.alpha += success_fraction
+        self.beta += 1.0 - success_fraction
+
+    def fade(self, factor: float) -> None:
+        """Exponential forgetting toward the uniform prior."""
+        self.alpha = 1.0 + (self.alpha - 1.0) * factor
+        self.beta = 1.0 + (self.beta - 1.0) * factor
+
+
+class BayesianReputationBook:
+    """One node's Beta beliefs about every other node."""
+
+    def __init__(self, owner: int, params: IncentiveParams, *,
+                 fading: float, deviation_threshold: float,
+                 merge_weight: float):
+        self.owner = int(owner)
+        self._params = params
+        self._fading = fading
+        self._deviation_threshold = deviation_threshold
+        self._merge_weight = merge_weight
+        self._beliefs: Dict[int, BetaBelief] = {}
+        self._rejected_reports = 0
+
+    @property
+    def rejected_reports(self) -> int:
+        """Second-hand reports discarded by the deviation test."""
+        return self._rejected_reports
+
+    def known_subjects(self) -> Iterable[int]:
+        """Subjects with any evidence beyond the prior."""
+        return tuple(
+            subject for subject, belief in self._beliefs.items()
+            if belief.evidence > 0.0
+        )
+
+    def has_opinion(self, subject: int) -> bool:
+        """Whether any evidence about ``subject`` exists."""
+        belief = self._beliefs.get(subject)
+        return belief is not None and belief.evidence > 0.0
+
+    def belief(self, subject: int) -> BetaBelief:
+        """The belief record for ``subject`` (created at the prior)."""
+        existing = self._beliefs.get(subject)
+        if existing is None:
+            existing = BetaBelief()
+            self._beliefs[subject] = existing
+        return existing
+
+    def score(self, subject: int) -> float:
+        """Beta mean scaled to the 0..r_m rating scale."""
+        return self.belief(subject).mean * self._params.max_rating
+
+    def rate_message(self, subject: int, message_rating: float) -> float:
+        """First-hand evidence from one received message."""
+        r_m = self._params.max_rating
+        if not 0.0 <= message_rating <= r_m + 1e-9:
+            raise ConfigurationError(
+                f"message rating must be in [0, {r_m}], got {message_rating!r}"
+            )
+        belief = self.belief(subject)
+        belief.fade(self._fading)
+        belief.observe(min(message_rating / r_m, 1.0))
+        return self.score(subject)
+
+    def merge_opinion(self, subject: int, heard_score: float) -> float:
+        """Second-hand report, admitted only through the deviation test.
+
+        A report is *rejected* (false praise / accusation defence) when
+        the owner already holds enough own evidence and the report
+        deviates too far from it.  Accepted reports count as a fraction
+        (``merge_weight``) of a first-hand observation.
+        """
+        if subject == self.owner:
+            return self.score(subject)
+        r_m = self._params.max_rating
+        if not 0.0 <= heard_score <= r_m + 1e-9:
+            raise ConfigurationError(
+                f"heard score must be in [0, {r_m}], got {heard_score!r}"
+            )
+        heard_mean = heard_score / r_m
+        belief = self.belief(subject)
+        if belief.evidence >= 1.0:
+            if abs(heard_mean - belief.mean) > self._deviation_threshold:
+                self._rejected_reports += 1
+                return self.score(subject)
+        belief.alpha += self._merge_weight * heard_mean
+        belief.beta += self._merge_weight * (1.0 - heard_mean)
+        return self.score(subject)
+
+    def award_multiplier(self, deliverer: int,
+                         path_ratings: Iterable[float]) -> float:
+        """Same award blend as the averaging DRM, over Beta scores."""
+        alpha = self._params.alpha
+        r_m = self._params.max_rating
+        own_norm = self.score(deliverer) / r_m
+        ratings = list(path_ratings)
+        if ratings:
+            path_norm = (sum(ratings) / len(ratings)) / r_m
+        else:
+            path_norm = own_norm
+        multiplier = (1.0 - alpha) * path_norm + alpha * own_norm
+        return min(max(multiplier, 0.0), 1.0)
+
+
+class BayesianReputationSystem:
+    """All nodes' Bayesian books plus the gossip exchange.
+
+    Args:
+        params: Shared mechanism tunables (rating scale, alpha).
+        fading: Multiplier applied to existing evidence before each new
+            first-hand observation (REPSYS's forgetting), in (0, 1].
+        deviation_threshold: Maximum |report - own belief| (on the [0,1]
+            mean scale) for a second-hand report to be accepted.
+        merge_weight: Evidence mass granted to an accepted report,
+            relative to a first-hand observation.
+    """
+
+    def __init__(
+        self,
+        params: IncentiveParams,
+        *,
+        fading: float = 0.98,
+        deviation_threshold: float = 0.35,
+        merge_weight: float = 0.5,
+    ):
+        if not 0.0 < fading <= 1.0:
+            raise ConfigurationError(f"fading must be in (0, 1], got {fading!r}")
+        if not 0.0 <= deviation_threshold <= 1.0:
+            raise ConfigurationError(
+                f"deviation_threshold must be in [0, 1], got "
+                f"{deviation_threshold!r}"
+            )
+        if merge_weight < 0:
+            raise ConfigurationError(
+                f"merge_weight must be >= 0, got {merge_weight!r}"
+            )
+        self._params = params
+        self._fading = float(fading)
+        self._deviation_threshold = float(deviation_threshold)
+        self._merge_weight = float(merge_weight)
+        self._books: Dict[int, BayesianReputationBook] = {}
+
+    def book(self, node_id: int) -> BayesianReputationBook:
+        """The book owned by ``node_id`` (created lazily)."""
+        book = self._books.get(node_id)
+        if book is None:
+            book = BayesianReputationBook(
+                node_id, self._params,
+                fading=self._fading,
+                deviation_threshold=self._deviation_threshold,
+                merge_weight=self._merge_weight,
+            )
+            self._books[node_id] = book
+        return book
+
+    def exchange(self, a: int, b: int) -> None:
+        """Contact-time gossip with deviation-tested admission."""
+        book_a = self.book(a)
+        book_b = self.book(b)
+        reports_from_b = {
+            subject: book_b.score(subject)
+            for subject in book_b.known_subjects()
+        }
+        reports_from_a = {
+            subject: book_a.score(subject)
+            for subject in book_a.known_subjects()
+        }
+        for subject, score in reports_from_b.items():
+            if subject not in (a, b):
+                book_a.merge_opinion(subject, score)
+        for subject, score in reports_from_a.items():
+            if subject not in (a, b):
+                book_b.merge_opinion(subject, score)
+
+    def forget_subject(self, subject: int) -> int:
+        """Erase all beliefs about ``subject`` (whitewashing support)."""
+        count = 0
+        for book in self._books.values():
+            if subject in book._beliefs:
+                del book._beliefs[subject]
+                count += 1
+        return count
+
+    def average_score_of(self, subject: int,
+                         observers: Iterable[int]) -> float:
+        """Mean score among observers holding evidence (Fig 5.4 series)."""
+        scores = [
+            self._books[o].score(subject)
+            for o in observers
+            if o in self._books and self._books[o].has_opinion(subject)
+        ]
+        if not scores:
+            # No evidence anywhere: the prior mean on the rating scale.
+            return 0.5 * self._params.max_rating
+        return sum(scores) / len(scores)
+
+    def classify_misbehaving(
+        self, observer: int, subject: int, *, threshold: float = 0.4
+    ) -> bool:
+        """REPSYS's Bayesian classification: misbehaving if the belief
+        mean falls below ``threshold`` (on the [0, 1] scale)."""
+        return self.book(observer).belief(subject).mean < threshold

@@ -1,0 +1,85 @@
+"""Content enrichment — relays adding keyword annotations in transit.
+
+An honest relay that "knows more about the content" adds keywords drawn
+from the message's ground-truth content that nobody annotated yet (the
+soldier recognising a face the cloud API missed).  A malicious relay
+adds keywords *not* describing the content, hoping destinations with
+matching interests will pay tag incentives for them — the attack the
+DRM exists to punish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.messages.keywords import KeywordUniverse
+from repro.messages.message import Message
+
+__all__ = ["EnrichmentPolicy"]
+
+
+@dataclass
+class EnrichmentPolicy:
+    """Decides which tags a relay adds to an in-transit message.
+
+    Attributes:
+        universe: Keyword pool (source of irrelevant tags).
+        honest_probability: Chance an honest relay enriches a message it
+            relays (users only sometimes have something to add).
+        malicious_probability: Chance a malicious relay injects
+            irrelevant tags into a message it relays.
+        max_tags: Maximum tags added per enrichment act.
+    """
+
+    universe: KeywordUniverse
+    honest_probability: float = 0.3
+    malicious_probability: float = 0.8
+    max_tags: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("honest_probability", "malicious_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if self.max_tags < 1:
+            raise ConfigurationError("max_tags must be >= 1")
+
+    def honest_tags(
+        self, message: Message, rng: np.random.Generator
+    ) -> List[str]:
+        """Truthful tags an honest relay would add (possibly none)."""
+        if rng.random() >= self.honest_probability:
+            return []
+        unannotated = sorted(message.content - message.keywords)
+        if not unannotated:
+            return []
+        count = min(int(rng.integers(1, self.max_tags + 1)), len(unannotated))
+        picked = rng.choice(len(unannotated), size=count, replace=False)
+        return [unannotated[i] for i in sorted(picked)]
+
+    def malicious_tags(
+        self, message: Message, rng: np.random.Generator
+    ) -> List[str]:
+        """Irrelevant tags a malicious relay injects (possibly none)."""
+        if rng.random() >= self.malicious_probability:
+            return []
+        count = int(rng.integers(1, self.max_tags + 1))
+        exclude = sorted(message.content | message.keywords)
+        candidates = [k for k in self.universe.keywords if k not in set(exclude)]
+        if not candidates:
+            return []
+        count = min(count, len(candidates))
+        picked = rng.choice(len(candidates), size=count, replace=False)
+        return [candidates[i] for i in sorted(picked)]
+
+    def tags_for(
+        self, message: Message, malicious: bool, rng: np.random.Generator
+    ) -> List[str]:
+        """Tags the relay adds, honest or malicious per its behaviour."""
+        if malicious:
+            return self.malicious_tags(message, rng)
+        return self.honest_tags(message, rng)

@@ -1,0 +1,240 @@
+"""The incentive token ledger.
+
+Every node is assigned the same initial token endowment (Table 5.1: 200
+tokens).  Tokens only ever move between accounts — nothing mints or
+burns them mid-run — so the total supply is invariant, which a property
+test enforces.  A node that cannot pay is simply refused: that refusal
+is the paper's congestion-control lever ("a device with no incentive to
+offer cannot act as a destination").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    InsufficientTokensError,
+    LedgerError,
+    UnknownAccountError,
+)
+
+__all__ = ["Transaction", "TokenLedger"]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One settled token transfer.
+
+    Attributes:
+        time: Simulation time of settlement.
+        payer: Paying node id.
+        payee: Receiving node id.
+        amount: Tokens moved (> 0).
+        reason: Audit tag, e.g. ``"delivery-award"`` or ``"relay-prepay"``.
+    """
+
+    time: float
+    payer: int
+    payee: int
+    amount: float
+    reason: str
+
+
+class TokenLedger:
+    """Append-only token accounting for all nodes.
+
+    Example:
+        >>> ledger = TokenLedger()
+        >>> ledger.open_account(1, 200.0)
+        >>> ledger.open_account(2, 200.0)
+        >>> _ = ledger.transfer(1, 2, 50.0, time=0.0, reason="award")
+        >>> ledger.balance(1), ledger.balance(2)
+        (150.0, 250.0)
+    """
+
+    def __init__(self) -> None:
+        self._balances: Dict[int, float] = {}
+        self._initial: Dict[int, float] = {}
+        self._transactions: List[Transaction] = []
+        self._holds: Dict[int, Tuple[int, float, str]] = {}
+        self._next_hold = 1
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+    def open_account(self, node_id: int, initial_tokens: float) -> None:
+        """Create an account holding ``initial_tokens``.
+
+        Raises:
+            ConfigurationError: If the account exists or the endowment is
+                negative.
+        """
+        if node_id in self._balances:
+            raise ConfigurationError(f"account {node_id} already exists")
+        if initial_tokens < 0:
+            raise ConfigurationError(
+                f"initial tokens must be >= 0, got {initial_tokens!r}"
+            )
+        self._balances[node_id] = float(initial_tokens)
+        self._initial[node_id] = float(initial_tokens)
+
+    def has_account(self, node_id: int) -> bool:
+        """Whether an account exists for ``node_id``."""
+        return node_id in self._balances
+
+    def balance(self, node_id: int) -> float:
+        """Current balance of ``node_id``.
+
+        Raises:
+            UnknownAccountError: If no such account exists.
+        """
+        try:
+            return self._balances[node_id]
+        except KeyError:
+            raise UnknownAccountError(f"no account for node {node_id}") from None
+
+    def initial_balance(self, node_id: int) -> float:
+        """The endowment ``node_id`` started with."""
+        try:
+            return self._initial[node_id]
+        except KeyError:
+            raise UnknownAccountError(f"no account for node {node_id}") from None
+
+    def can_pay(self, node_id: int, amount: float) -> bool:
+        """Whether ``node_id`` holds at least ``amount`` tokens."""
+        return self.balance(node_id) >= amount
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        payer: int,
+        payee: int,
+        amount: float,
+        *,
+        time: float,
+        reason: str = "",
+    ) -> Transaction:
+        """Move ``amount`` tokens from ``payer`` to ``payee``.
+
+        Zero-amount transfers are recorded (they document a settled
+        promise of zero); negative amounts are rejected.
+
+        Raises:
+            InsufficientTokensError: If the payer cannot cover ``amount``.
+            ConfigurationError: For negative amounts or payer == payee.
+            UnknownAccountError: If either account is missing.
+        """
+        if amount < 0:
+            raise ConfigurationError(f"amount must be >= 0, got {amount!r}")
+        if payer == payee:
+            raise ConfigurationError(
+                f"payer and payee must differ, both were {payer}"
+            )
+        payer_balance = self.balance(payer)
+        self.balance(payee)  # validate the payee account exists
+        if payer_balance < amount:
+            raise InsufficientTokensError(str(payer), amount, payer_balance)
+        self._balances[payer] = payer_balance - amount
+        self._balances[payee] += amount
+        transaction = Transaction(
+            time=float(time), payer=payer, payee=payee,
+            amount=float(amount), reason=reason,
+        )
+        self._transactions.append(transaction)
+        return transaction
+
+    # ------------------------------------------------------------------
+    # Escrow
+    # ------------------------------------------------------------------
+    def escrow(
+        self, payer: int, amount: float, *, time: float, reason: str = ""
+    ) -> int:
+        """Debit ``payer`` and hold the tokens in escrow.
+
+        The incentive protocol settles payments *before* a transfer;
+        escrow keeps the tokens out of circulation until the transfer
+        either completes (:meth:`capture`) or aborts (:meth:`release`),
+        so a refund can never fail because the payee already spent it.
+
+        Returns:
+            A hold id for :meth:`capture` / :meth:`release`.
+
+        Raises:
+            InsufficientTokensError: If the payer cannot cover ``amount``.
+        """
+        if amount < 0:
+            raise ConfigurationError(f"amount must be >= 0, got {amount!r}")
+        balance = self.balance(payer)
+        if balance < amount:
+            raise InsufficientTokensError(str(payer), amount, balance)
+        self._balances[payer] = balance - amount
+        hold_id = self._next_hold
+        self._next_hold += 1
+        self._holds[hold_id] = (payer, float(amount), reason)
+        return hold_id
+
+    def capture(self, hold_id: int, payee: int, *, time: float) -> Transaction:
+        """Pay escrowed tokens out to ``payee`` (the transfer landed)."""
+        payer, amount, reason = self._pop_hold(hold_id)
+        self.balance(payee)  # validate the payee account exists
+        self._balances[payee] += amount
+        transaction = Transaction(
+            time=float(time), payer=payer, payee=payee,
+            amount=amount, reason=reason,
+        )
+        self._transactions.append(transaction)
+        return transaction
+
+    def release(self, hold_id: int, *, time: float) -> None:
+        """Return escrowed tokens to the payer (the transfer aborted)."""
+        payer, amount, _reason = self._pop_hold(hold_id)
+        self._balances[payer] += amount
+
+    def _pop_hold(self, hold_id: int) -> Tuple[int, float, str]:
+        try:
+            return self._holds.pop(hold_id)
+        except KeyError:
+            raise LedgerError(
+                f"escrow hold {hold_id} does not exist or was already settled"
+            ) from None
+
+    def escrowed_total(self) -> float:
+        """Tokens currently held in escrow."""
+        return sum(amount for _, amount, _ in self._holds.values())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def transactions(self) -> Tuple[Transaction, ...]:
+        """All settled transfers in order."""
+        return tuple(self._transactions)
+
+    def total_supply(self) -> float:
+        """Sum of all balances plus escrow (equals the endowment sum)."""
+        return sum(self._balances.values()) + self.escrowed_total()
+
+    def total_endowment(self) -> float:
+        """Sum of all initial endowments."""
+        return sum(self._initial.values())
+
+    def balances(self) -> Dict[int, float]:
+        """A snapshot of every balance."""
+        return dict(self._balances)
+
+    def earnings(self, node_id: int) -> float:
+        """Net tokens gained (or lost, negative) since the endowment."""
+        return self.balance(node_id) - self.initial_balance(node_id)
+
+    def volume_by_reason(self) -> Dict[str, float]:
+        """Total tokens moved per audit reason."""
+        volume: Dict[str, float] = {}
+        for transaction in self._transactions:
+            volume[transaction.reason] = (
+                volume.get(transaction.reason, 0.0) + transaction.amount
+            )
+        return volume

@@ -1,0 +1,482 @@
+"""The full incentive + reputation protocol on top of ChitChat.
+
+``IncentiveChitChatRouter`` is the paper's proposed scheme: ChitChat
+routing decisions gated and rewarded by the credit mechanism, content
+enrichment by relays, and the Distributed Reputation Model feeding the
+award calculation.  The data flow between two connected devices follows
+Paper I Section 3.3's closing walk-through:
+
+1. On contact, the RTSR+DR module runs: weights decay/exchange/grow and
+   the two nodes gossip their reputation books.
+2. The sender partitions its buffered messages into those for which the
+   peer is a *destination* and those for which it is a *relay*.
+3. For destinations, the award ``I_v`` (reputation-scaled promise plus
+   tag incentives) is settled **before** the transfer; a destination
+   that cannot pay does not receive — the congestion-control lever.
+4. For relays: when the peer's average tag weight exceeds the relay
+   threshold (Table 5.1: 0.8), the peer pre-pays a fraction of the
+   promise; otherwise the message travels free, carrying the promise.
+5. On reception, a relay may enrich the message (honest: truthful tags;
+   malicious: irrelevant ones) and rates it, the rating travelling with
+   the copy for the destination's award formula.
+
+Payments are held in escrow while the transfer is in flight: captured
+by the payee when the transfer lands, released back to the payer when
+the contact breaks first.  The paper does not discuss mid-transfer
+disconnections; without escrow, tokens would leak to senders that
+delivered nothing (DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.enrichment import EnrichmentPolicy
+from repro.core.incentive import (
+    IncentiveParams,
+    hardware_incentive,
+    software_incentive,
+    tag_incentive,
+    total_promise,
+)
+from repro.core.ledger import TokenLedger
+from repro.core.reputation import RatingModel, ReputationSystem
+from repro.errors import ConfigurationError
+from repro.messages.message import Message
+from repro.network.link import Link, Transfer
+from repro.network.node import Node
+from repro.routing.chitchat import ChitChatRouter
+
+__all__ = ["IncentiveChitChatRouter"]
+
+
+class IncentiveChitChatRouter(ChitChatRouter):
+    """ChitChat + credit incentives + enrichment + the DRM.
+
+    Args:
+        params: Incentive mechanism tunables.
+        enrichment: Tag-addition policy; ``None`` disables enrichment
+            (ablation configurations use this).
+        rating_model: The stochastic human-rater stand-in.
+        ledger: Token ledger; a fresh one is created when omitted.
+        reputation: Reputation system; fresh when omitted.
+        best_relay_only: Forward each message only to the strongest
+            currently-connected relay (operator *DecideBestRelay*).
+        relay_rating_probability: Chance a relay rates a received
+            message and attaches the rating to the copy.
+        destination_rating_probability: Chance a destination rates the
+            message's source and annotators after reception.
+        collusion: When True, malicious raters give *perfect* ratings to
+            fellow malicious nodes (collusive praise) instead of random
+            noise — the attack model studied by the ablation benches.
+        **chitchat_kwargs: Passed through to :class:`ChitChatRouter`.
+    """
+
+    name = "incentive-chitchat"
+
+    def __init__(
+        self,
+        *,
+        params: Optional[IncentiveParams] = None,
+        enrichment: Optional[EnrichmentPolicy] = None,
+        rating_model: Optional[RatingModel] = None,
+        ledger: Optional[TokenLedger] = None,
+        reputation: Optional[ReputationSystem] = None,
+        best_relay_only: bool = True,
+        relay_rating_probability: float = 0.5,
+        destination_rating_probability: float = 1.0,
+        collusion: bool = False,
+        **chitchat_kwargs,
+    ):
+        super().__init__(**chitchat_kwargs)
+        self.params = params if params is not None else IncentiveParams()
+        self.enrichment = enrichment
+        self.rating_model = (
+            rating_model if rating_model is not None
+            else RatingModel(self.params)
+        )
+        self.ledger = ledger if ledger is not None else TokenLedger()
+        self.reputation = (
+            reputation if reputation is not None
+            else ReputationSystem(self.params)
+        )
+        self.best_relay_only = bool(best_relay_only)
+        for name, value in (
+            ("relay_rating_probability", relay_rating_probability),
+            ("destination_rating_probability", destination_rating_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        self.relay_rating_probability = float(relay_rating_probability)
+        self.destination_rating_probability = float(destination_rating_probability)
+        self.collusion = bool(collusion)
+
+        # Promise a holder expects to collect at a destination:
+        # (holder_id, uuid) -> tokens.
+        self._promises: Dict[Tuple[int, str], float] = {}
+        # Promise riding on an in-flight transfer: id(transfer) -> tokens.
+        self._transfer_promises: Dict[int, float] = {}
+        # Escrowed payments per in-flight transfer:
+        # id(transfer) -> (hold_id, payee, amount).
+        self._pending_payments: Dict[int, Tuple[int, int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+    def ensure_account(self, node_id: int) -> None:
+        """Open the node's token account lazily with the endowment."""
+        if not self.ledger.has_account(node_id):
+            self.ledger.open_account(node_id, self.params.initial_tokens)
+
+    def balance(self, node_id: int) -> float:
+        """Current token balance of ``node_id``."""
+        self.ensure_account(node_id)
+        return self.ledger.balance(node_id)
+
+    def _rng(self) -> np.random.Generator:
+        return self.world.streams.get("incentive")
+
+    def promise_held(self, node_id: int, uuid: str) -> float:
+        """The promise ``node_id`` carries for message ``uuid``."""
+        return self._promises.get((node_id, uuid), 0.0)
+
+    # ------------------------------------------------------------------
+    # Incentive computation (operator *ComputeIncentive*)
+    # ------------------------------------------------------------------
+    def compute_promise(
+        self,
+        sender: Node,
+        receiver: Node,
+        message: Message,
+        link: Link,
+        *,
+        deliverer_is_relay: bool,
+    ) -> float:
+        """``I = min(I_s + I_h, I_m)`` for forwarding over ``link``.
+
+        ``deliverer_is_relay`` selects the hardware compensation case:
+        a relay is also paid for the power it spent receiving the copy.
+        """
+        buffered = sender.buffer.messages() or [message]
+        max_size = max(max(m.size for m in buffered), message.size)
+        max_quality = max(max(m.quality for m in buffered), message.quality)
+        if max_quality <= 0.0:
+            max_quality = 1.0
+
+        receiver_sum = self.interest_sum(receiver.node_id, message)
+        best_sum = receiver_sum
+        for other_link in self.world.active_links(sender.node_id):
+            peer_id = other_link.peer_of(sender.node_id)
+            best_sum = max(best_sum, self.interest_sum(peer_id, message))
+        interest_ratio = receiver_sum / best_sum if best_sum > 0 else 0.0
+
+        i_s = software_incentive(
+            self.params,
+            sender_role=sender.role,
+            receiver_role=receiver.role,
+            priority=message.priority,
+            interest_ratio=interest_ratio,
+            size=message.size,
+            max_size=max_size,
+            quality=message.quality,
+            max_quality=max_quality,
+        )
+        energy = self.world.energy
+        i_h = hardware_incentive(
+            self.params,
+            transmit_power=energy.transmit_power,
+            received_power=energy.received_power(link.distance),
+            transfer_time=link.transfer_time(message),
+            is_relay=deliverer_is_relay,
+        )
+        return total_promise(self.params, i_s, i_h)
+
+    def compute_award(
+        self, deliverer: Node, destination: Node, message: Message, link: Link
+    ) -> float:
+        """``I_v`` — what ``destination`` owes ``deliverer`` on delivery.
+
+        The base is the promise the deliverer carries (computed fresh
+        when it is the source), plus tag incentives for the deliverer's
+        added tags matching the destination's direct interests, scaled
+        by the DRM multiplier.
+        """
+        promise = self._promises.get((deliverer.node_id, message.uuid))
+        if promise is None:
+            promise = self.compute_promise(
+                deliverer, destination, message, link,
+                deliverer_is_relay=message.source != deliverer.node_id,
+            )
+        added_by_deliverer = {
+            a.keyword for a in message.annotations_by(deliverer.node_id)
+            if deliverer.node_id != message.source
+        }
+        paid_tags = len(added_by_deliverer & destination.interests)
+        i_t = tag_incentive(self.params, paid_tags)
+        multiplier = self.reputation.book(destination.node_id).award_multiplier(
+            deliverer.node_id, message.path_ratings.values()
+        )
+        return multiplier * (promise + i_t)
+
+    # ------------------------------------------------------------------
+    # Exchange (overrides ChitChat's free-for-all)
+    # ------------------------------------------------------------------
+    def select_messages(self, sender_id, receiver_id):
+        """ChitChat's selection, re-ordered by priority then quality.
+
+        The paper's experiment F: "our approach prioritizes messages
+        based on the quality as well as the assigned priority" — under
+        short contacts the ordering decides which messages make it
+        across, so the incentive scheme pushes HIGH priority (and higher
+        quality) messages to the front of the transfer queue.
+        """
+        selected = super().select_messages(sender_id, receiver_id)
+        return sorted(
+            selected,
+            key=lambda pair: (
+                pair[1] != "destination",      # destinations first
+                int(pair[0].priority),         # HIGH(1) before LOW(3)
+                -pair[0].quality,
+            ),
+        )
+
+    def _exchange(self, link: Link) -> None:
+        # RTSR+DR module: reputations travel with the interest exchange.
+        self.reputation.exchange(link.a, link.b)
+        for sender_id in link.pair:
+            receiver_id = link.peer_of(sender_id)
+            for message, role in self.select_messages(sender_id, receiver_id):
+                self._offer(link, sender_id, receiver_id, message, role)
+
+    def _offer(
+        self,
+        link: Link,
+        sender_id: int,
+        receiver_id: int,
+        message: Message,
+        role: str,
+    ) -> None:
+        sender = self.world.node(sender_id)
+        receiver = self.world.node(receiver_id)
+        self.ensure_account(sender_id)
+        self.ensure_account(receiver_id)
+        if not self.world.can_send(link, sender_id, message):
+            return
+        if role == "destination":
+            self._offer_to_destination(link, sender, receiver, message)
+        else:
+            self._offer_to_relay(link, sender, receiver, message)
+
+    def _offer_to_destination(
+        self, link: Link, sender: Node, receiver: Node, message: Message
+    ) -> None:
+        """Settle the award, then transfer (Section 3.3 data flow)."""
+        award = self.compute_award(sender, receiver, message, link)
+        if not self.ledger.can_pay(receiver.node_id, award):
+            self.world.metrics.on_blocked_no_tokens()
+            return
+        transfer = self.world.send_message(link, sender.node_id, message)
+        if transfer is None:  # pragma: no cover - guarded by can_send
+            return
+        if award > 0:
+            hold = self.ledger.escrow(
+                receiver.node_id, award,
+                time=self.world.now, reason="delivery-award",
+            )
+            self._pending_payments[id(transfer)] = (
+                hold, sender.node_id, award,
+            )
+
+    def _offer_to_relay(
+        self, link: Link, sender: Node, receiver: Node, message: Message
+    ) -> None:
+        """Forward to a relay, pre-paying above the relay threshold."""
+        if self.best_relay_only and not self._is_best_relay(
+            sender.node_id, receiver.node_id, message
+        ):
+            return
+        promise = self.compute_promise(
+            sender, receiver, message, link, deliverer_is_relay=True
+        )
+        average_weight = self.table(receiver.node_id).average_for(
+            message.keywords
+        )
+        prepay = 0.0
+        if average_weight > self.params.relay_threshold:
+            prepay = self.params.relay_prepay_fraction * promise
+            if not self.ledger.can_pay(receiver.node_id, prepay):
+                self.world.metrics.on_blocked_no_tokens()
+                return
+        transfer = self.world.send_message(link, sender.node_id, message)
+        if transfer is None:  # pragma: no cover - guarded by can_send
+            return
+        self._transfer_promises[id(transfer)] = promise
+        if prepay > 0:
+            hold = self.ledger.escrow(
+                receiver.node_id, prepay,
+                time=self.world.now, reason="relay-prepay",
+            )
+            self._pending_payments[id(transfer)] = (
+                hold, sender.node_id, prepay,
+            )
+
+    def _is_best_relay(
+        self, sender_id: int, candidate_id: int, message: Message
+    ) -> bool:
+        """Operator *DecideBestRelay*: is the candidate the strongest
+        currently-connected relay for this message?"""
+        candidate_sum = self.interest_sum(candidate_id, message)
+        for link in self.world.active_links(sender_id):
+            peer_id = link.peer_of(sender_id)
+            if peer_id == candidate_id:
+                continue
+            peer = self.world.node(peer_id)
+            if peer.has_seen(message.uuid):
+                continue
+            if self.interest_sum(peer_id, message) > candidate_sum:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Reception
+    # ------------------------------------------------------------------
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        pending = self._pending_payments.pop(id(transfer), None)
+        if pending is not None:
+            hold, payee, amount = pending
+            self.ledger.capture(hold, payee, time=self.world.now)
+            self.world.metrics.on_payment(amount)
+        promise = self._transfer_promises.pop(id(transfer), 0.0)
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        self.ensure_account(receiver.node_id)
+        role = self.classify(receiver.node_id, message)
+        rng = self._rng()
+
+        if role == "destination":
+            self.world.deliver(receiver, message)
+            if rng.random() < self.destination_rating_probability:
+                self._rate_as_recipient(receiver, message, rng)
+            if self.destinations_also_relay:
+                if self.world.accept_relay(receiver, message) and promise > 0:
+                    self._promises[(receiver.node_id, message.uuid)] = promise
+        else:
+            if not self.world.accept_relay(receiver, message):
+                return
+            # A zero promise is not stored: compute_award then derives a
+            # fresh promise when this node later delivers (a destination
+            # re-serving other destinations must still charge them).
+            if promise > 0:
+                self._promises[(receiver.node_id, message.uuid)] = promise
+            self._enrich(receiver, message, rng)
+            if rng.random() < self.relay_rating_probability:
+                rating = self._rate_as_recipient(receiver, message, rng)
+                if rating is not None:
+                    message.attach_rating(receiver.node_id, rating)
+        self._forward_onward(receiver.node_id, message)
+
+    def _enrich(
+        self, relay: Node, message: Message, rng: np.random.Generator
+    ) -> None:
+        """Operator *Enrich*: the relay may add tags to its copy."""
+        if self.enrichment is None:
+            return
+        malicious = bool(
+            relay.behavior is not None
+            and getattr(relay.behavior, "malicious", False)
+        )
+        for keyword in self.enrichment.tags_for(message, malicious, rng):
+            if message.annotate(keyword, relay.node_id, self.world.now):
+                self.world.metrics.on_enrichment(
+                    relevant=message.is_relevant(keyword)
+                )
+
+    def _is_malicious(self, node_id: int) -> bool:
+        behavior = self.world.node(node_id).behavior
+        return bool(behavior is not None
+                    and getattr(behavior, "malicious", False))
+
+    def _rate_as_recipient(
+        self, recipient: Node, message: Message, rng: np.random.Generator
+    ) -> Optional[float]:
+        """Operators *RateMessage* / *RateNode* on reception.
+
+        Returns:
+            The overall message rating (to ride along with the copy), or
+            ``None`` when the recipient skipped rating.
+        """
+        book = self.reputation.book(recipient.node_id)
+        malicious_rater = bool(
+            recipient.behavior is not None
+            and getattr(recipient.behavior, "malicious", False)
+        )
+        if malicious_rater:
+            if self.collusion and self._is_malicious(message.source):
+                # Collusive praise: attackers vouch for each other.
+                rating = self.params.max_rating
+            else:
+                # A malicious rater pollutes the DRM with random ratings.
+                rating = float(rng.uniform(0.0, self.params.max_rating))
+            if message.source != recipient.node_id:
+                book.rate_message(message.source, rating)
+            if self.collusion:
+                for annotator in {
+                    a.added_by for a in message.added_tags()
+                    if a.added_by != recipient.node_id
+                }:
+                    if self._is_malicious(annotator):
+                        book.rate_message(annotator, self.params.max_rating)
+            return rating
+        if message.source != recipient.node_id:
+            source_rating = self.rating_model.rate_source(message, rng)
+            book.rate_message(message.source, source_rating)
+        else:
+            source_rating = None
+        annotators = {
+            a.added_by for a in message.added_tags()
+            if a.added_by != recipient.node_id
+        }
+        for annotator in sorted(annotators):
+            rating = self.rating_model.rate_intermediate(
+                message, annotator, rng
+            )
+            book.rate_message(annotator, rating)
+        return source_rating
+
+    def _forward_onward(self, holder_id: int, message: Message) -> None:
+        """Incentive-aware re-offer on the holder's other active links."""
+        holder = self.world.node(holder_id)
+        if message.uuid not in holder.buffer:
+            return
+        for link in self.world.active_links(holder_id):
+            peer_id = link.peer_of(holder_id)
+            peer = self.world.node(peer_id)
+            if peer.has_seen(message.uuid):
+                continue
+            role = self.classify(peer_id, message)
+            if role == "destination":
+                self._offer(link, holder_id, peer_id, message, role)
+            elif self.wants_as_relay(holder_id, peer_id, message):
+                self._offer(link, holder_id, peer_id, message, "relay")
+
+    # ------------------------------------------------------------------
+    # Custody loss: promises die with the copy they rode on
+    # ------------------------------------------------------------------
+    def on_message_expired(self, node_id: int, message: Message) -> None:
+        self._promises.pop((node_id, message.uuid), None)
+
+    def on_message_dropped(self, node_id: int, message: Message) -> None:
+        self._promises.pop((node_id, message.uuid), None)
+
+    # ------------------------------------------------------------------
+    # Aborts: refund settled payments for transfers that never landed
+    # ------------------------------------------------------------------
+    def on_transfer_aborted(self, transfer: Transfer, link: Link) -> None:
+        self._transfer_promises.pop(id(transfer), None)
+        pending = self._pending_payments.pop(id(transfer), None)
+        if pending is not None:
+            hold, _payee, _amount = pending
+            self.ledger.release(hold, time=self.world.now)

@@ -1,0 +1,338 @@
+"""The Distributed Reputation Model (DRM) — Paper I Section 3.3.
+
+Recipients rate received messages; the *source* of a message is rated
+for quality and tag truthfulness, while *intermediate* annotators are
+rated only for the tags they added::
+
+    source:        R_i = 1/2 * (R_t * C / C_m) + 1/2 * R_q
+    intermediate:  R_i = R_t * C / C_m
+
+A node's rating at an observer is the running average of the message
+ratings the observer assigned to that node's contributions (case 1), and
+opinions heard from other nodes are merged with an own-opinion weight
+``alpha > 0.5`` (case 2)::
+
+    r_{v,u} = (1 - alpha) * r_{v,z} + alpha * r_{v,u}
+
+The reputation-scaled award a destination ``u`` pays deliverer ``v`` is::
+
+    I_v = ((1 - alpha) * avg(r_{m_v,x}) / r_m + alpha * r_{v,u} / r_m)
+          * (I + I_t)
+
+(both terms normalised by ``r_m`` so the multiplier lies in [0, 1] — see
+DESIGN.md section 4).
+
+Human judgement is replaced by a stochastic :class:`RatingModel` that
+observes the ground-truth content keywords, exactly the signal a person
+inspecting the image would produce (DESIGN.md substitutions table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.core.incentive import IncentiveParams
+from repro.errors import ConfigurationError
+from repro.messages.message import Annotation, Message
+
+__all__ = [
+    "source_message_rating",
+    "intermediate_message_rating",
+    "ReputationBook",
+    "ReputationSystem",
+    "RatingModel",
+]
+
+
+def source_message_rating(
+    tag_rating: float, confidence: float, max_confidence: float,
+    quality_rating: float,
+) -> float:
+    """``R_i`` for the message source: half tags, half quality."""
+    if max_confidence <= 0:
+        raise ConfigurationError("max_confidence must be > 0")
+    if not 0.0 <= confidence <= max_confidence:
+        raise ConfigurationError(
+            f"confidence must be in [0, {max_confidence}], got {confidence!r}"
+        )
+    return 0.5 * (tag_rating * confidence / max_confidence) + 0.5 * quality_rating
+
+
+def intermediate_message_rating(
+    tag_rating: float, confidence: float, max_confidence: float
+) -> float:
+    """``R_i`` for an enriching relay: tags only."""
+    if max_confidence <= 0:
+        raise ConfigurationError("max_confidence must be > 0")
+    if not 0.0 <= confidence <= max_confidence:
+        raise ConfigurationError(
+            f"confidence must be in [0, {max_confidence}], got {confidence!r}"
+        )
+    return tag_rating * confidence / max_confidence
+
+
+class ReputationBook:
+    """One node's view of every other node's reputation.
+
+    Own message ratings are kept as a running average (case 1); remote
+    opinions fold in via the alpha-weighted merge (case 2).
+    """
+
+    def __init__(self, owner: int, params: IncentiveParams):
+        self.owner = int(owner)
+        self._params = params
+        # Running average of *own* message ratings per subject.
+        self._own_sum: Dict[int, float] = {}
+        self._own_count: Dict[int, int] = {}
+        # Current combined score (own average merged with hearsay).
+        self._scores: Dict[int, float] = {}
+
+    def known_subjects(self) -> Iterable[int]:
+        """Node ids this book holds an opinion about."""
+        return tuple(self._scores)
+
+    def has_opinion(self, subject: int) -> bool:
+        """Whether any rating (own or heard) exists for ``subject``."""
+        return subject in self._scores
+
+    def score(self, subject: int) -> float:
+        """Current rating of ``subject`` (default when unknown)."""
+        return self._scores.get(subject, self._params.default_rating)
+
+    def own_average(self, subject: int) -> Optional[float]:
+        """Average of own message ratings for ``subject`` (None if none)."""
+        count = self._own_count.get(subject, 0)
+        if count == 0:
+            return None
+        return self._own_sum[subject] / count
+
+    def rate_message(self, subject: int, message_rating: float) -> float:
+        """Case 1: fold one own message rating into ``subject``'s score.
+
+        Returns:
+            The updated score ``r_{subject, owner}``.
+        """
+        if not 0.0 <= message_rating <= self._params.max_rating + 1e-9:
+            raise ConfigurationError(
+                f"message rating must be in [0, {self._params.max_rating}], "
+                f"got {message_rating!r}"
+            )
+        self._own_sum[subject] = (
+            self._own_sum.get(subject, 0.0) + message_rating
+        )
+        self._own_count[subject] = self._own_count.get(subject, 0) + 1
+        # Case 1 defines the node rating as the average of own message
+        # ratings; hearsay is layered on top whenever it arrives.
+        self._scores[subject] = self._own_sum[subject] / self._own_count[subject]
+        return self._scores[subject]
+
+    def merge_opinion(self, subject: int, heard_score: float) -> float:
+        """Case 2: merge a score heard from another node.
+
+        With no prior opinion the heard score is adopted outright
+        (there is nothing to weight it against).
+        """
+        if subject == self.owner:
+            return self.score(subject)
+        if not 0.0 <= heard_score <= self._params.max_rating + 1e-9:
+            raise ConfigurationError(
+                f"heard score must be in [0, {self._params.max_rating}], "
+                f"got {heard_score!r}"
+            )
+        alpha = self._params.alpha
+        if subject in self._scores:
+            self._scores[subject] = (
+                (1.0 - alpha) * heard_score + alpha * self._scores[subject]
+            )
+        else:
+            self._scores[subject] = heard_score
+        return self._scores[subject]
+
+    def award_multiplier(
+        self, deliverer: int, path_ratings: Iterable[float]
+    ) -> float:
+        """The reputation multiplier applied to ``(I + I_t)``.
+
+        ``(1 - alpha) * avg(path ratings)/r_m + alpha * r_{v,u}/r_m``;
+        when the copy carries no path ratings, the observer's own score
+        stands in for the missing term (DESIGN.md section 4).
+        """
+        alpha = self._params.alpha
+        r_m = self._params.max_rating
+        own_norm = self.score(deliverer) / r_m
+        ratings = list(path_ratings)
+        if ratings:
+            path_norm = (sum(ratings) / len(ratings)) / r_m
+        else:
+            path_norm = own_norm
+        multiplier = (1.0 - alpha) * path_norm + alpha * own_norm
+        return min(max(multiplier, 0.0), 1.0)
+
+
+class ReputationSystem:
+    """All nodes' reputation books plus the gossip exchange."""
+
+    def __init__(self, params: IncentiveParams):
+        self._params = params
+        self._books: Dict[int, ReputationBook] = {}
+
+    def book(self, node_id: int) -> ReputationBook:
+        """The book owned by ``node_id`` (created lazily)."""
+        book = self._books.get(node_id)
+        if book is None:
+            book = ReputationBook(node_id, self._params)
+            self._books[node_id] = book
+        return book
+
+    def exchange(self, a: int, b: int) -> None:
+        """Contact-time gossip: each side merges the other's opinions.
+
+        Opinions about the interlocutors themselves are skipped — a node
+        neither rates itself nor lets the peer vouch for itself
+        (self-praise would be the obvious whitewashing channel).
+        """
+        book_a = self.book(a)
+        book_b = self.book(b)
+        # Snapshot first so the exchange is symmetric.
+        opinions_a = {s: book_a.score(s) for s in book_a.known_subjects()}
+        opinions_b = {s: book_b.score(s) for s in book_b.known_subjects()}
+        for subject, score in opinions_b.items():
+            if subject not in (a, b):
+                book_a.merge_opinion(subject, score)
+        for subject, score in opinions_a.items():
+            if subject not in (a, b):
+                book_b.merge_opinion(subject, score)
+
+    def forget_subject(self, subject: int) -> int:
+        """Erase every node's opinion about ``subject``.
+
+        Models a *whitewashing* attack (related work [27] in Paper I): a
+        node with a ruined reputation abandons its identity and rejoins
+        under a fresh one, so all books start from scratch for it.
+
+        Returns:
+            The number of books that held an opinion.
+        """
+        count = 0
+        for book in self._books.values():
+            if subject in book._scores:
+                del book._scores[subject]
+                book._own_sum.pop(subject, None)
+                book._own_count.pop(subject, None)
+                count += 1
+        return count
+
+    def average_score_of(
+        self, subject: int, observers: Iterable[int]
+    ) -> float:
+        """Mean score of ``subject`` across ``observers`` with opinions.
+
+        Observers without an opinion are excluded; if none has one, the
+        default rating is returned.  This is the Fig. 5.4 series:
+        "average rating of malicious nodes in non-malicious nodes".
+        """
+        scores = [
+            self._books[o].score(subject)
+            for o in observers
+            if o in self._books and self._books[o].has_opinion(subject)
+        ]
+        if not scores:
+            return self._params.default_rating
+        return sum(scores) / len(scores)
+
+
+@dataclass
+class RatingModel:
+    """Stochastic stand-in for the human rater (DESIGN.md substitution).
+
+    An honest rater scores tag truthfulness as the fraction of a
+    contributor's tags that match the ground-truth content, and message
+    quality as the message's quality attribute, both scaled to the
+    rating ceiling with zero-mean noise.  Confidence is drawn uniformly
+    from ``[confidence_low, 1] * C_m``.
+
+    Attributes:
+        params: Mechanism tunables (rating ceiling).
+        noise: Standard deviation of the rating noise, in rating units.
+        confidence_low: Lower bound of the confidence draw, in [0, 1].
+    """
+
+    params: IncentiveParams
+    noise: float = 0.25
+    confidence_low: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.noise < 0:
+            raise ConfigurationError("noise must be >= 0")
+        if not 0.0 <= self.confidence_low <= 1.0:
+            raise ConfigurationError("confidence_low must be in [0, 1]")
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, 0.0), self.params.max_rating)
+
+    def _noisy(self, value: float, rng: np.random.Generator) -> float:
+        if self.noise == 0.0:
+            return self._clamp(value)
+        return self._clamp(value + rng.normal(0.0, self.noise))
+
+    def tag_rating(
+        self,
+        message: Message,
+        annotations: Iterable[Annotation],
+        rng: np.random.Generator,
+    ) -> float:
+        """``R_t`` for one contributor's annotations on ``message``."""
+        tags = list(annotations)
+        if not tags:
+            # Nothing to judge: neutral truthfulness.
+            return self._noisy(self.params.max_rating / 2.0, rng)
+        relevant = sum(1 for a in tags if message.is_relevant(a.keyword))
+        fraction = relevant / len(tags)
+        return self._noisy(fraction * self.params.max_rating, rng)
+
+    def quality_rating(
+        self, message: Message, rng: np.random.Generator
+    ) -> float:
+        """``R_q`` — perceived message quality."""
+        return self._noisy(message.quality * self.params.max_rating, rng)
+
+    def confidence(self, rng: np.random.Generator) -> float:
+        """``C`` — the rater's confidence in its tag judgement."""
+        return float(
+            rng.uniform(self.confidence_low, 1.0) * self.params.max_rating
+        )
+
+    @property
+    def max_confidence(self) -> float:
+        """``C_m`` — the confidence ceiling (same scale as ratings)."""
+        return self.params.max_rating
+
+    def rate_source(
+        self, message: Message, rng: np.random.Generator
+    ) -> float:
+        """Full ``R_i`` for the message source."""
+        source_tags = message.annotations_by(message.source)
+        return self._clamp(
+            source_message_rating(
+                self.tag_rating(message, source_tags, rng),
+                self.confidence(rng),
+                self.max_confidence,
+                self.quality_rating(message, rng),
+            )
+        )
+
+    def rate_intermediate(
+        self, message: Message, annotator: int, rng: np.random.Generator
+    ) -> float:
+        """Full ``R_i`` for an enriching relay's added tags."""
+        tags = message.annotations_by(annotator)
+        return self._clamp(
+            intermediate_message_rating(
+                self.tag_rating(message, tags, rng),
+                self.confidence(rng),
+                self.max_confidence,
+            )
+        )

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "LedgerError",
+    "InsufficientTokensError",
+    "UnknownAccountError",
+    "BufferError_",
+    "MessageError",
+    "RoutingError",
+    "MobilityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario or component was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or onto a finished engine."""
+
+
+class LedgerError(ReproError):
+    """Base class for token-ledger failures."""
+
+
+class InsufficientTokensError(LedgerError):
+    """An account attempted to pay more tokens than it holds."""
+
+    def __init__(self, account: str, requested: float, available: float):
+        self.account = account
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"account {account!r} holds {available:.3f} tokens, "
+            f"cannot pay {requested:.3f}"
+        )
+
+
+class UnknownAccountError(LedgerError):
+    """An operation referenced an account that was never opened."""
+
+
+class BufferError_(ReproError):
+    """A message buffer was used incorrectly (not capacity exhaustion)."""
+
+
+class MessageError(ReproError):
+    """A message was constructed or mutated incorrectly."""
+
+
+class RoutingError(ReproError):
+    """A routing component was driven incorrectly."""
+
+
+class MobilityError(ReproError):
+    """A mobility model or contact detector was misconfigured."""

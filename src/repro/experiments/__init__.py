@@ -1,0 +1,40 @@
+"""Experiment harness: scenario configuration, runners, and one
+generator per paper figure/table."""
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import (
+    RunResult,
+    build_contact_trace,
+    run_averaged,
+    run_comparison,
+    run_scenario,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    fig5_1_mdr_vs_selfish,
+    fig5_2_traffic_reduction,
+    fig5_3_initial_tokens,
+    fig5_4_malicious_ratings,
+    fig5_5_mdr_vs_users,
+    fig5_6_priority_mdr,
+    table5_1_parameters,
+)
+from repro.experiments.sweeps import sweep
+
+__all__ = [
+    "ScenarioConfig",
+    "RunResult",
+    "build_contact_trace",
+    "run_scenario",
+    "run_comparison",
+    "run_averaged",
+    "sweep",
+    "FigureResult",
+    "fig5_1_mdr_vs_selfish",
+    "fig5_2_traffic_reduction",
+    "fig5_3_initial_tokens",
+    "fig5_4_malicious_ratings",
+    "fig5_5_mdr_vs_users",
+    "fig5_6_priority_mdr",
+    "table5_1_parameters",
+]

@@ -1,0 +1,404 @@
+"""Scenario runners.
+
+``run_scenario`` builds a full simulation (mobility -> contact trace ->
+world -> router) from a :class:`ScenarioConfig` and executes it.
+``run_comparison`` runs several schemes over the *same* contact trace
+and workload plan — the paper's methodology for "ours vs ChitChat"
+comparisons — and ``run_averaged`` repeats over seeds, as the paper
+averages five simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.agents.behaviors import assign_behaviors
+from repro.agents.roles import RoleHierarchy
+from repro.core.bayesian_reputation import BayesianReputationSystem
+from repro.core.enrichment import EnrichmentPolicy
+from repro.core.protocol import IncentiveChitChatRouter
+from repro.core.reputation import RatingModel
+from repro.errors import ConfigurationError
+from repro.experiments.config import ScenarioConfig
+from repro.messages.generator import MessageGenerator
+from repro.messages.keywords import KeywordUniverse
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.contact import detect_contacts
+from repro.mobility.manhattan import ManhattanGrid
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.trace import ContactTrace
+from repro.network.buffer import DropPolicy
+from repro.network.node import Node
+from repro.network.world import World
+from repro.routing.base import Router
+from repro.routing.chitchat import ChitChatRouter
+from repro.routing.direct import DirectContactRouter
+from repro.routing.epidemic import EpidemicRouter
+from repro.routing.epidemic_variants import (
+    ImmuneEpidemicRouter,
+    PriorityEpidemicRouter,
+)
+from repro.routing.nectar import NectarRouter
+from repro.routing.prophet import ProphetRouter
+from repro.routing.relics import RelicsRouter
+from repro.routing.spray_and_wait import SprayAndWaitRouter
+from repro.routing.tft import TitForTatRouter
+from repro.routing.two_hop import TwoHopRouter
+from repro.routing.two_hop_reward import TwoHopRewardRouter
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "SCHEMES",
+    "RunResult",
+    "build_contact_trace",
+    "make_router",
+    "run_scenario",
+    "run_comparison",
+    "run_averaged",
+]
+
+#: Scheme names accepted by :func:`run_scenario`.
+SCHEMES: Tuple[str, ...] = (
+    "incentive",
+    "incentive-no-enrichment",
+    "incentive-no-reputation",
+    "incentive-bayesian",
+    "incentive-collusion",
+    "chitchat",
+    "epidemic",
+    "epidemic-priority",
+    "epidemic-immune",
+    "direct",
+    "two-hop",
+    "spray-and-wait",
+    "prophet",
+    "nectar",
+    "tit-for-tat",
+    "relics",
+    "two-hop-reward",
+)
+
+
+@dataclass
+class RunResult:
+    """Everything a figure generator needs from one run."""
+
+    scheme: str
+    seed: int
+    config: ScenarioConfig
+    metrics: MetricsCollector
+    router: Router
+    malicious_ids: Set[int] = field(default_factory=set)
+    selfish_ids: Set[int] = field(default_factory=set)
+    honest_ids: Set[int] = field(default_factory=set)
+
+    @property
+    def mdr(self) -> float:
+        """Message delivery ratio of this run."""
+        return self.metrics.message_delivery_ratio()
+
+    @property
+    def traffic(self) -> int:
+        """Completed transfers (the paper's traffic measure)."""
+        return self.metrics.transfers_completed
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics plus token statistics where applicable."""
+        data = self.metrics.summary()
+        ledger = getattr(self.router, "ledger", None)
+        if ledger is not None and ledger.total_endowment() > 0:
+            balances = ledger.balances()
+            data["token_supply"] = ledger.total_supply()
+            data["exhausted_accounts"] = float(
+                sum(1 for b in balances.values() if b < 1e-9)
+            )
+        return data
+
+
+def build_contact_trace(config: ScenarioConfig, seed: int) -> ContactTrace:
+    """Generate the scenario's contact trace under its mobility model."""
+    streams = RandomStreams(seed)
+    rng = streams.get("mobility")
+    if config.mobility == "random-waypoint":
+        model = RandomWaypoint(
+            config.n_nodes,
+            config.area,
+            rng,
+            speed_min=config.speed_range[0],
+            speed_max=config.speed_range[1],
+            pause_min=config.pause_range[0],
+            pause_max=config.pause_range[1],
+        )
+    elif config.mobility == "random-walk":
+        model = RandomWalk(
+            config.n_nodes,
+            config.area,
+            rng,
+            speed_min=config.speed_range[0],
+            speed_max=config.speed_range[1],
+        )
+    elif config.mobility == "manhattan":
+        model = ManhattanGrid(
+            config.n_nodes,
+            config.area,
+            rng,
+            block_size=config.manhattan_block,
+            speed_min=config.speed_range[0],
+            speed_max=config.speed_range[1],
+        )
+    else:  # pragma: no cover - guarded by ScenarioConfig validation
+        raise ConfigurationError(f"unknown mobility {config.mobility!r}")
+    return detect_contacts(
+        model,
+        radius=config.transmission_radius,
+        duration=config.duration,
+        scan_interval=config.scan_interval,
+    )
+
+
+def make_router(
+    scheme: str, config: ScenarioConfig, universe: KeywordUniverse
+) -> Router:
+    """Instantiate the router for ``scheme``.
+
+    Raises:
+        ConfigurationError: For unknown scheme names.
+    """
+    chitchat_kwargs = dict(
+        beta=config.chitchat_beta,
+        growth_scale=config.chitchat_growth_scale,
+    )
+    if scheme == "chitchat":
+        return ChitChatRouter(**chitchat_kwargs)
+    if scheme.startswith("incentive"):
+        enrichment = None
+        if config.enrichment_enabled and scheme != "incentive-no-enrichment":
+            enrichment = EnrichmentPolicy(
+                universe,
+                honest_probability=config.honest_enrich_probability,
+                malicious_probability=config.malicious_enrich_probability,
+            )
+        rating_model = RatingModel(config.incentive)
+        kwargs = dict(
+            params=config.incentive,
+            enrichment=enrichment,
+            rating_model=rating_model,
+            best_relay_only=config.best_relay_only,
+            **chitchat_kwargs,
+        )
+        if scheme == "incentive-no-reputation":
+            # Ablation: nobody ever rates, so every award uses the
+            # default reputation — pure credit mechanism.
+            kwargs.update(
+                relay_rating_probability=0.0,
+                destination_rating_probability=0.0,
+            )
+        elif scheme == "incentive-bayesian":
+            # REPSYS-style Beta reputation instead of the averaging DRM.
+            kwargs["reputation"] = BayesianReputationSystem(config.incentive)
+        elif scheme == "incentive-collusion":
+            # Malicious raters praise each other (attack study).
+            kwargs["collusion"] = True
+        elif scheme != "incentive" and scheme != "incentive-no-enrichment":
+            raise ConfigurationError(
+                f"unknown scheme {scheme!r}; choose one of {SCHEMES}"
+            )
+        return IncentiveChitChatRouter(**kwargs)
+    if scheme == "epidemic":
+        return EpidemicRouter()
+    if scheme == "epidemic-priority":
+        return PriorityEpidemicRouter()
+    if scheme == "epidemic-immune":
+        return ImmuneEpidemicRouter()
+    if scheme == "direct":
+        return DirectContactRouter()
+    if scheme == "two-hop":
+        return TwoHopRouter()
+    if scheme == "spray-and-wait":
+        return SprayAndWaitRouter()
+    if scheme == "prophet":
+        return ProphetRouter()
+    if scheme == "nectar":
+        return NectarRouter()
+    if scheme == "tit-for-tat":
+        return TitForTatRouter()
+    if scheme == "relics":
+        return RelicsRouter()
+    if scheme == "two-hop-reward":
+        return TwoHopRewardRouter(
+            initial_tokens=config.incentive.initial_tokens,
+            reward=config.incentive.max_incentive,
+        )
+    raise ConfigurationError(
+        f"unknown scheme {scheme!r}; choose one of {SCHEMES}"
+    )
+
+
+def _build_population(
+    config: ScenarioConfig,
+    streams: RandomStreams,
+    universe: KeywordUniverse,
+    *,
+    drop_policy: DropPolicy = DropPolicy.DROP_OLDEST,
+) -> Tuple[List[Node], Dict[int, object]]:
+    behaviors = assign_behaviors(
+        range(config.n_nodes),
+        streams.get("behavior-assignment"),
+        selfish_fraction=config.selfish_fraction,
+        malicious_fraction=config.malicious_fraction,
+        participation_probability=config.participation_probability,
+        low_quality_probability=config.low_quality_probability,
+    )
+    hierarchy = RoleHierarchy(config.role_levels, config.role_fractions)
+    ranks = hierarchy.assign(range(config.n_nodes), streams.get("roles"))
+    nodes = [
+        Node(
+            node_id,
+            universe.sample_interests(
+                streams.get("interests"), config.interests_per_node
+            ),
+            role=ranks[node_id],
+            buffer_capacity=config.buffer_capacity,
+            drop_policy=drop_policy,
+            behavior=behaviors[node_id],
+        )
+        for node_id in range(config.n_nodes)
+    ]
+    return nodes, behaviors
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    scheme: str = "incentive",
+    seed: int = 0,
+    *,
+    trace: Optional[ContactTrace] = None,
+    sample_ratings: bool = False,
+    rating_sample_interval: float = 600.0,
+) -> RunResult:
+    """Build and execute one simulation run.
+
+    Args:
+        config: The scenario.
+        scheme: One of :data:`SCHEMES`.
+        seed: Master seed; population, workload and behaviour draws all
+            derive from it.
+        trace: Reuse a pre-built contact trace (for same-contacts
+            comparisons); built from ``(config, seed)`` when omitted.
+        sample_ratings: Periodically record the average rating of
+            malicious nodes among honest observers (Fig. 5.4 series).
+        rating_sample_interval: Sampling period in seconds.
+
+    Returns:
+        The :class:`RunResult` with metrics and the router (whose ledger
+        and reputation system remain inspectable).
+    """
+    streams = RandomStreams(seed)
+    universe = KeywordUniverse(config.keyword_pool)
+    # Under the incentive scheme, custody of a high-priority message is
+    # worth more tokens, so rational nodes evict low-priority messages
+    # first; the baselines keep ONE's default drop-oldest buffers.
+    drop_policy = (
+        DropPolicy.DROP_LOWEST_PRIORITY if scheme.startswith("incentive")
+        else DropPolicy.DROP_OLDEST
+    )
+    nodes, behaviors = _build_population(
+        config, streams, universe, drop_policy=drop_policy
+    )
+    router = make_router(scheme, config, universe)
+    engine = Engine()
+    world = World(
+        engine,
+        nodes,
+        router,
+        link_speed=config.link_speed,
+        streams=streams,
+        ttl=config.ttl,
+        nominal_distance=config.transmission_radius,
+        battery_capacity=config.battery_capacity,
+        resume_partial_transfers=config.resume_partial_transfers,
+    )
+    generator = MessageGenerator(
+        universe,
+        streams.get("workload"),
+        profiles=config.profiles,
+        content_keywords=config.content_keywords,
+        annotated_fraction=config.annotated_fraction,
+    )
+    world.use_generator(generator)
+    plan = generator.schedule(
+        list(range(config.n_nodes)),
+        duration=config.duration,
+        interval=config.message_interval,
+    )
+    world.schedule_workload(plan)
+    if trace is None:
+        trace = build_contact_trace(config, seed)
+    world.load_contact_trace(trace)
+
+    malicious_ids = {i for i, b in behaviors.items() if b.malicious}
+    selfish_ids = {i for i, b in behaviors.items() if b.selfish}
+    honest_ids = set(range(config.n_nodes)) - malicious_ids - selfish_ids
+
+    if sample_ratings and isinstance(router, IncentiveChitChatRouter):
+        observers = sorted(set(range(config.n_nodes)) - malicious_ids)
+
+        def _sample(now: float) -> None:
+            ratings = {
+                subject: router.reputation.average_score_of(subject, observers)
+                for subject in sorted(malicious_ids)
+            }
+            world.metrics.sample_ratings(now, ratings)
+
+        sampler = PeriodicProcess(
+            engine, rating_sample_interval, _sample,
+            start_at=0.0, label="rating-sampler",
+        )
+        sampler.start()
+
+    metrics = world.run(config.duration)
+    return RunResult(
+        scheme=scheme,
+        seed=seed,
+        config=config,
+        metrics=metrics,
+        router=router,
+        malicious_ids=malicious_ids,
+        selfish_ids=selfish_ids,
+        honest_ids=honest_ids,
+    )
+
+
+def run_comparison(
+    config: ScenarioConfig,
+    schemes: Sequence[str],
+    seed: int = 0,
+    **kwargs,
+) -> Dict[str, RunResult]:
+    """Run several schemes over the same contact trace and seed."""
+    trace = build_contact_trace(config, seed)
+    return {
+        scheme: run_scenario(config, scheme, seed, trace=trace, **kwargs)
+        for scheme in schemes
+    }
+
+
+def run_averaged(
+    config: ScenarioConfig,
+    scheme: str,
+    seeds: Sequence[int],
+    **kwargs,
+) -> Dict[str, float]:
+    """Mean of the headline metrics over repeated seeded runs."""
+    if not seeds:
+        raise ConfigurationError("seeds must be non-empty")
+    totals: Dict[str, float] = {}
+    for seed in seeds:
+        result = run_scenario(config, scheme, seed, **kwargs)
+        for key, value in result.summary().items():
+            totals[key] = totals.get(key, 0.0) + value
+    return {key: value / len(seeds) for key, value in totals.items()}

@@ -1,0 +1,58 @@
+"""Generic parameter sweeps over scenarios."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import RunResult, run_scenario
+
+__all__ = ["sweep"]
+
+
+def sweep(
+    base: ScenarioConfig,
+    vary: Callable[[ScenarioConfig, object], ScenarioConfig],
+    values: Iterable[object],
+    *,
+    schemes: Sequence[str] = ("incentive", "chitchat"),
+    seeds: Sequence[int] = (0,),
+    **run_kwargs,
+) -> List[Dict[str, object]]:
+    """Run a grid of ``values x schemes x seeds`` scenarios.
+
+    Args:
+        base: Base scenario configuration.
+        vary: Function applying one sweep value to the base config, e.g.
+            ``lambda cfg, v: cfg.replace(selfish_fraction=v)``.
+        values: Sweep grid.
+        schemes: Schemes to run at every grid point.
+        seeds: Seeds to average over at every grid point.
+        **run_kwargs: Forwarded to :func:`run_scenario`.
+
+    Returns:
+        One record per ``(value, scheme)`` with the seed-averaged MDR
+        and traffic, plus the individual :class:`RunResult` objects.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ConfigurationError("seeds must be non-empty")
+    records: List[Dict[str, object]] = []
+    for value in values:
+        config = vary(base, value)
+        for scheme in schemes:
+            results: List[RunResult] = [
+                run_scenario(config, scheme, seed, **run_kwargs)
+                for seed in seeds
+            ]
+            records.append(
+                {
+                    "value": value,
+                    "scheme": scheme,
+                    "mdr": sum(r.mdr for r in results) / len(results),
+                    "traffic": sum(r.traffic for r in results) / len(results),
+                    "results": results,
+                }
+            )
+    return records

@@ -1,0 +1,14 @@
+"""Message layer: format, keyword universe, and workload generation."""
+
+from repro.messages.keywords import KeywordUniverse
+from repro.messages.message import Annotation, Message, Priority
+from repro.messages.generator import MessageGenerator, MessageProfile
+
+__all__ = [
+    "Annotation",
+    "Message",
+    "Priority",
+    "KeywordUniverse",
+    "MessageGenerator",
+    "MessageProfile",
+]

@@ -1,0 +1,209 @@
+"""Workload generation: who creates which messages, when.
+
+The evaluation scenarios create messages at a steady network-wide rate
+with a configurable mix of quality/priority classes (Paper I, experiment
+F uses 50 % high-quality/large/high-priority, 30 % medium, 20 % low).
+Each message gets ground-truth content keywords from the universe and
+source annotations that truthfully describe that content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.messages.keywords import KeywordUniverse
+from repro.messages.message import Message, Priority
+
+__all__ = ["MessageProfile", "MessageGenerator", "DEFAULT_PROFILES"]
+
+
+@dataclass(frozen=True)
+class MessageProfile:
+    """A message class in the workload mix.
+
+    Attributes:
+        name: Class label (e.g. ``"high"``).
+        fraction: Share of messages drawn from this class; all profiles'
+            fractions must sum to 1.
+        priority: Source-set priority for the class.
+        quality_range: ``(low, high)`` uniform quality range in [0, 1].
+        size_range: ``(low, high)`` uniform size range in bytes.
+    """
+
+    name: str
+    fraction: float
+    priority: Priority
+    quality_range: Tuple[float, float]
+    size_range: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"profile {self.name!r}: fraction must be in [0, 1]"
+            )
+        low_q, high_q = self.quality_range
+        if not (0.0 <= low_q <= high_q <= 1.0):
+            raise ConfigurationError(
+                f"profile {self.name!r}: invalid quality range"
+            )
+        low_s, high_s = self.size_range
+        if not (0 < low_s <= high_s):
+            raise ConfigurationError(
+                f"profile {self.name!r}: invalid size range"
+            )
+
+
+#: Paper experiment F mix: higher-priority messages are also larger and
+#: of higher quality (the paper states high-priority generators produce
+#: "high quality larger size" messages).  Sizes centre on the 1 MB
+#: Table 5.1 default.
+DEFAULT_PROFILES: Tuple[MessageProfile, ...] = (
+    MessageProfile("high", 0.5, Priority.HIGH, (0.75, 1.0),
+                   (1_000_000, 1_500_000)),
+    MessageProfile("medium", 0.3, Priority.MEDIUM, (0.4, 0.75),
+                   (600_000, 1_000_000)),
+    MessageProfile("low", 0.2, Priority.LOW, (0.05, 0.4),
+                   (200_000, 600_000)),
+)
+
+
+class MessageGenerator:
+    """Creates the message workload for a scenario.
+
+    Args:
+        universe: Keyword pool shared by interests and annotations.
+        rng: Source of randomness.
+        profiles: Workload mix (fractions must sum to 1).
+        content_keywords: ``(min, max)`` number of ground-truth content
+            keywords per message.
+        annotated_fraction: Fraction of the content keywords the source
+            actually annotates (sources rarely tag everything they see,
+            which leaves room for relays to enrich).
+    """
+
+    def __init__(
+        self,
+        universe: KeywordUniverse,
+        rng: np.random.Generator,
+        *,
+        profiles: Sequence[MessageProfile] = DEFAULT_PROFILES,
+        content_keywords: Tuple[int, int] = (4, 8),
+        annotated_fraction: float = 0.6,
+    ):
+        if not profiles:
+            raise ConfigurationError("at least one message profile is required")
+        total = sum(p.fraction for p in profiles)
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"profile fractions must sum to 1, got {total!r}"
+            )
+        low, high = content_keywords
+        if not (1 <= low <= high <= len(universe)):
+            raise ConfigurationError(
+                f"invalid content keyword range {content_keywords!r}"
+            )
+        if not 0.0 < annotated_fraction <= 1.0:
+            raise ConfigurationError(
+                f"annotated_fraction must be in (0, 1], got {annotated_fraction!r}"
+            )
+        self._universe = universe
+        self._rng = rng
+        self._profiles = tuple(profiles)
+        self._fractions = np.array([p.fraction for p in profiles])
+        self._content_range = (int(low), int(high))
+        self._annotated_fraction = float(annotated_fraction)
+
+    @property
+    def profiles(self) -> Tuple[MessageProfile, ...]:
+        """The workload mix."""
+        return self._profiles
+
+    def draw_profile(self) -> MessageProfile:
+        """Draw a message class according to the mix fractions."""
+        index = self._rng.choice(len(self._profiles), p=self._fractions)
+        return self._profiles[index]
+
+    def create_message(
+        self,
+        source: int,
+        created_at: float,
+        *,
+        profile: "MessageProfile | None" = None,
+        low_quality: bool = False,
+    ) -> Message:
+        """Create one message from ``source`` at ``created_at``.
+
+        Args:
+            source: Originating node id.
+            created_at: Simulation time of creation.
+            profile: Force a specific class; drawn from the mix when None.
+            low_quality: Malicious-source override — clamp quality into
+                the bottom of the scale regardless of class.
+        """
+        chosen = profile if profile is not None else self.draw_profile()
+        low_q, high_q = chosen.quality_range
+        quality = float(self._rng.uniform(low_q, high_q))
+        if low_quality:
+            quality = float(self._rng.uniform(0.0, 0.2))
+        low_s, high_s = chosen.size_range
+        size = int(self._rng.integers(low_s, high_s + 1))
+
+        count = int(self._rng.integers(self._content_range[0],
+                                       self._content_range[1] + 1))
+        content = self._universe.sample_content(self._rng, count)
+        n_annotated = max(1, round(len(content) * self._annotated_fraction))
+        content_list = sorted(content)
+        picked = self._rng.choice(len(content_list), size=n_annotated,
+                                  replace=False)
+        keywords = tuple(content_list[i] for i in sorted(picked))
+
+        latitude = float(self._rng.uniform(-90.0, 90.0))
+        longitude = float(self._rng.uniform(-180.0, 180.0))
+        return Message(
+            source=source,
+            created_at=created_at,
+            size=size,
+            quality=quality,
+            priority=chosen.priority,
+            content=content,
+            keywords=keywords,
+            location=(latitude, longitude),
+        )
+
+    def schedule(
+        self,
+        node_ids: Sequence[int],
+        *,
+        duration: float,
+        interval: float,
+    ) -> List[Tuple[float, int]]:
+        """Plan message creations over ``duration`` seconds.
+
+        Every ``interval`` seconds one uniformly chosen node creates a
+        message (jittered inside the slot so creations do not align with
+        contact scans).
+
+        Returns:
+            A list of ``(time, source_node)`` pairs sorted by time.
+        """
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration!r}")
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be > 0, got {interval!r}")
+        if not node_ids:
+            raise ConfigurationError("node_ids must be non-empty")
+        plan: List[Tuple[float, int]] = []
+        slot_start = 0.0
+        ids = list(node_ids)
+        while slot_start < duration:
+            slot = min(interval, duration - slot_start)
+            time = slot_start + float(self._rng.uniform(0.0, slot))
+            source = ids[int(self._rng.integers(0, len(ids)))]
+            plan.append((time, source))
+            slot_start += interval
+        plan.sort(key=lambda item: item[0])
+        return plan

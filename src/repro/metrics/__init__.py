@@ -1,0 +1,27 @@
+"""Metrics collection and report formatting."""
+
+from repro.metrics.analysis import (
+    SeriesSummary,
+    delivery_latencies,
+    gini,
+    latency_percentiles,
+    mdr_over_time,
+    summarize,
+    welch_t_test,
+)
+from repro.metrics.collector import DeliveryRecord, MetricsCollector
+from repro.metrics.reports import format_series, format_table
+
+__all__ = [
+    "MetricsCollector",
+    "DeliveryRecord",
+    "format_table",
+    "format_series",
+    "SeriesSummary",
+    "summarize",
+    "welch_t_test",
+    "delivery_latencies",
+    "latency_percentiles",
+    "mdr_over_time",
+    "gini",
+]

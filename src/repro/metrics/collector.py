@@ -1,0 +1,223 @@
+"""Metric collection for simulation runs.
+
+The collector records the raw events every experiment in the paper
+aggregates from:
+
+* **MDR** — delivered ``(message, destination)`` pairs over intended
+  pairs, where the intended destinations of a message are the nodes
+  holding a direct interest in its tags *at creation time*.  Deliveries
+  to destinations that only exist because relays enriched the message
+  are counted separately (``bonus_deliveries``) so enrichment cannot
+  inflate MDR above one.
+* **Traffic** — completed transfers and bytes moved (Fig. 5.2 compares
+  this between schemes).
+* **Priority-segmented MDR** (Fig. 5.6), token payment volume
+  (Fig. 5.3), and sampled time series such as the average rating of
+  malicious nodes (Fig. 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.messages.message import Message, Priority
+
+__all__ = ["DeliveryRecord", "MetricsCollector"]
+
+
+@dataclass
+class DeliveryRecord:
+    """Static facts about one created message plus its delivery state."""
+
+    uuid: str
+    source: int
+    created_at: float
+    priority: Priority
+    quality: float
+    size: int
+    intended: FrozenSet[int]
+    delivered_to: Dict[int, float] = field(default_factory=dict)
+    bonus_delivered_to: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def intended_count(self) -> int:
+        """Number of destinations counted in the MDR denominator."""
+        return len(self.intended)
+
+    @property
+    def delivered_count(self) -> int:
+        """Deliveries to originally intended destinations."""
+        return len(self.delivered_to)
+
+
+class MetricsCollector:
+    """Accumulates events during a run and computes summary metrics."""
+
+    def __init__(self) -> None:
+        self._messages: Dict[str, DeliveryRecord] = {}
+        self.transfers_started = 0
+        self.transfers_completed = 0
+        self.transfers_aborted = 0
+        self.transfers_suppressed = 0
+        self.bytes_transferred = 0
+        self.relay_receptions = 0
+        self.buffer_evictions = 0
+        self.expirations = 0
+        self.token_payments = 0
+        self.tokens_moved = 0.0
+        self.blocked_no_tokens = 0
+        self.enrichment_tags = 0
+        self.enrichment_relevant = 0
+        #: ``(time, {node_id: rating})`` samples (Fig. 5.4 style series).
+        self.rating_samples: List[Tuple[float, Dict[int, float]]] = []
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by the world / protocol)
+    # ------------------------------------------------------------------
+    def on_message_created(
+        self, message: Message, intended: Set[int]
+    ) -> None:
+        """Register a freshly originated message and its destinations."""
+        self._messages[message.uuid] = DeliveryRecord(
+            uuid=message.uuid,
+            source=message.source,
+            created_at=message.created_at,
+            priority=message.priority,
+            quality=message.quality,
+            size=message.size,
+            intended=frozenset(intended),
+        )
+
+    def on_transfer_started(self, message: Message) -> None:
+        self.transfers_started += 1
+
+    def on_transfer_completed(self, message: Message) -> None:
+        self.transfers_completed += 1
+        self.bytes_transferred += message.size
+
+    def on_transfer_aborted(self, message: Message) -> None:
+        self.transfers_aborted += 1
+
+    def on_transfer_suppressed(self) -> None:
+        self.transfers_suppressed += 1
+
+    def on_delivered(self, message: Message, destination: int, now: float) -> None:
+        """Record a (first) delivery of ``message`` to ``destination``."""
+        record = self._messages.get(message.uuid)
+        if record is None:
+            return
+        if destination in record.intended:
+            record.delivered_to.setdefault(destination, now)
+        else:
+            record.bonus_delivered_to.setdefault(destination, now)
+
+    def on_relayed(self, message: Message, relay: int) -> None:
+        self.relay_receptions += 1
+
+    def on_buffer_evicted(self, count: int = 1) -> None:
+        self.buffer_evictions += count
+
+    def on_expired(self, count: int = 1) -> None:
+        self.expirations += count
+
+    def on_payment(self, amount: float) -> None:
+        self.token_payments += 1
+        self.tokens_moved += amount
+
+    def on_blocked_no_tokens(self) -> None:
+        self.blocked_no_tokens += 1
+
+    def on_enrichment(self, relevant: bool) -> None:
+        self.enrichment_tags += 1
+        if relevant:
+            self.enrichment_relevant += 1
+
+    def sample_ratings(self, now: float, ratings: Dict[int, float]) -> None:
+        """Store a time sample of per-node ratings (Fig. 5.4 series)."""
+        self.rating_samples.append((now, dict(ratings)))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def messages(self) -> Tuple[DeliveryRecord, ...]:
+        """All registered message records."""
+        return tuple(self._messages.values())
+
+    def record_for(self, uuid: str) -> Optional[DeliveryRecord]:
+        """The record for one message, or None."""
+        return self._messages.get(uuid)
+
+    def intended_pairs(self) -> int:
+        """MDR denominator: sum of intended destination counts."""
+        return sum(r.intended_count for r in self._messages.values())
+
+    def delivered_pairs(self) -> int:
+        """MDR numerator: deliveries to intended destinations."""
+        return sum(r.delivered_count for r in self._messages.values())
+
+    def bonus_deliveries(self) -> int:
+        """Deliveries to enrichment-created destinations."""
+        return sum(len(r.bonus_delivered_to) for r in self._messages.values())
+
+    def message_delivery_ratio(self) -> float:
+        """The paper's MDR (0.0 when no pairs were intended)."""
+        denominator = self.intended_pairs()
+        if denominator == 0:
+            return 0.0
+        return self.delivered_pairs() / denominator
+
+    def mdr_by_priority(self) -> Dict[Priority, float]:
+        """MDR split by source-set priority class (Fig. 5.6)."""
+        delivered: Dict[Priority, int] = {p: 0 for p in Priority}
+        intended: Dict[Priority, int] = {p: 0 for p in Priority}
+        for record in self._messages.values():
+            intended[record.priority] += record.intended_count
+            delivered[record.priority] += record.delivered_count
+        return {
+            priority: (delivered[priority] / intended[priority]
+                       if intended[priority] else 0.0)
+            for priority in Priority
+        }
+
+    def delivered_quality_mean(self) -> float:
+        """Mean quality of messages with at least one delivery."""
+        qualities = [
+            r.quality for r in self._messages.values() if r.delivered_count
+        ]
+        if not qualities:
+            return 0.0
+        return sum(qualities) / len(qualities)
+
+    def average_delay(self) -> float:
+        """Mean creation-to-delivery delay over delivered pairs."""
+        total = 0.0
+        count = 0
+        for record in self._messages.values():
+            for delivered_at in record.delivered_to.values():
+                total += delivered_at - record.created_at
+                count += 1
+        return total / count if count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of the headline metrics."""
+        return {
+            "messages_created": float(len(self._messages)),
+            "intended_pairs": float(self.intended_pairs()),
+            "delivered_pairs": float(self.delivered_pairs()),
+            "mdr": self.message_delivery_ratio(),
+            "bonus_deliveries": float(self.bonus_deliveries()),
+            "transfers_completed": float(self.transfers_completed),
+            "transfers_aborted": float(self.transfers_aborted),
+            "bytes_transferred": float(self.bytes_transferred),
+            "relay_receptions": float(self.relay_receptions),
+            "buffer_evictions": float(self.buffer_evictions),
+            "expirations": float(self.expirations),
+            "token_payments": float(self.token_payments),
+            "tokens_moved": self.tokens_moved,
+            "blocked_no_tokens": float(self.blocked_no_tokens),
+            "enrichment_tags": float(self.enrichment_tags),
+            "enrichment_relevant": float(self.enrichment_relevant),
+            "average_delay": self.average_delay(),
+        }

@@ -1,0 +1,127 @@
+"""Plain-text report formatting for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and copy-paste friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+__all__ = ["format_table", "format_series", "ascii_chart"]
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Example:
+        >>> print(format_table(["x", "y"], [[1, 2.0]]))
+        x | y
+        --+-------
+        1 | 2.0000
+    """
+    rendered: List[List[str]] = [[_render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Sequence[Tuple[Cell, Cell]],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as an aligned two-column table."""
+    return format_table(
+        [x_label, y_label], [list(p) for p in points], title=name
+    )
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 50,
+    y_min: float = 0.0,
+    y_max: Union[float, None] = None,
+    title: str = "",
+) -> str:
+    """Render series as horizontal terminal bars, one row per x value.
+
+    Multiple series are interleaved per x value with a one-letter marker
+    ('a', 'b', ...) keyed in a legend — enough to eyeball the paper's
+    figure shapes without a plotting stack.
+
+    Args:
+        series: Series name -> ``(x, y)`` points.
+        width: Bar width in characters (>= 1).
+        y_min: Value mapped to an empty bar.
+        y_max: Value mapped to a full bar (defaults to the data maximum).
+        title: Optional heading line.
+
+    Raises:
+        ValueError: On an empty series dict or nonpositive width.
+    """
+    if not series:
+        raise ValueError("ascii_chart requires at least one series")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    top = y_max
+    if top is None:
+        top = max(
+            (y for points in series.values() for _, y in points),
+            default=y_min,
+        )
+    span = max(top - y_min, 1e-12)
+    names = sorted(series)
+    markers = {name: chr(ord("a") + i) for i, name in enumerate(names)}
+    x_values = sorted({x for points in series.values() for x, _ in points})
+    label_width = max((len(f"{x:g}") for x in x_values), default=1)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name in names:
+        lines.append(f"  [{markers[name]}] {name}")
+    for x in x_values:
+        for name in names:
+            lookup = dict(series[name])
+            if x not in lookup:
+                continue
+            y = lookup[x]
+            filled = int(round((y - y_min) / span * width))
+            filled = min(max(filled, 0), width)
+            bar = "#" * filled + "." * (width - filled)
+            lines.append(
+                f"{x:>{label_width}g} {markers[name]} |{bar}| {y:.4f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Mobility model interface.
+
+A mobility model owns the positions of ``n`` nodes inside a rectangular
+area and advances them in time.  Implementations are vectorised with
+numpy: ``positions`` is an ``(n, 2)`` float array in metres, and
+``advance(dt)`` moves every node at once.  This is what makes a
+500-node / 24-hour scenario (the paper's Table 5.1) tractable in Python.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MobilityError
+
+__all__ = ["MobilityModel"]
+
+
+class MobilityModel(abc.ABC):
+    """Abstract base for vectorised mobility models.
+
+    Args:
+        n_nodes: Number of nodes (> 0).
+        area: ``(width, height)`` of the simulation area in metres.
+        rng: Random generator used for all stochastic choices.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: Tuple[float, float],
+        rng: np.random.Generator,
+    ):
+        if n_nodes <= 0:
+            raise MobilityError(f"n_nodes must be > 0, got {n_nodes}")
+        width, height = area
+        if width <= 0 or height <= 0:
+            raise MobilityError(f"area sides must be > 0, got {area!r}")
+        self._n = int(n_nodes)
+        self._area = (float(width), float(height))
+        self._rng = rng
+        self._positions = np.empty((self._n, 2), dtype=np.float64)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes managed by this model."""
+        return self._n
+
+    @property
+    def area(self) -> Tuple[float, float]:
+        """``(width, height)`` of the area in metres."""
+        return self._area
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current ``(n, 2)`` position array (a read-only view)."""
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    @abc.abstractmethod
+    def advance(self, dt: float) -> None:
+        """Advance every node by ``dt`` seconds."""
+
+    def _check_dt(self, dt: float) -> float:
+        if dt < 0:
+            raise MobilityError(f"dt must be >= 0, got {dt!r}")
+        return float(dt)
+
+    def _clip_to_area(self) -> None:
+        """Clamp all positions into the area rectangle (safety net)."""
+        np.clip(self._positions[:, 0], 0.0, self._area[0], out=self._positions[:, 0])
+        np.clip(self._positions[:, 1], 0.0, self._area[1], out=self._positions[:, 1])

@@ -1,0 +1,168 @@
+"""Range-based contact detection.
+
+Samples node positions from a mobility model every ``scan_interval``
+seconds and converts "within transmission radius" intervals into a
+:class:`~repro.mobility.trace.ContactTrace`.  Pair search uses a uniform
+grid hash with cell size equal to the radius, so each node is compared
+only against nodes in its 3x3 cell neighbourhood — the standard trick
+that makes 500-node scans cheap.
+
+The paper's Table 5.1 uses a 100 m transmission radius inside a 5 km²
+area, which this detector reproduces directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from repro.errors import MobilityError
+from repro.mobility.base import MobilityModel
+from repro.mobility.trace import Contact, ContactTrace
+
+__all__ = ["ContactDetector", "detect_contacts", "pairs_in_range"]
+
+
+def pairs_in_range(positions: np.ndarray, radius: float) -> Set[Tuple[int, int]]:
+    """Return all node pairs within ``radius`` of each other.
+
+    Args:
+        positions: ``(n, 2)`` array of positions in metres.
+        radius: Transmission radius in metres (> 0).
+
+    Returns:
+        A set of canonical ``(a, b)`` pairs with ``a < b``.
+    """
+    if radius <= 0:
+        raise MobilityError(f"radius must be > 0, got {radius!r}")
+    n = positions.shape[0]
+    if n < 2:
+        return set()
+
+    cell_x = np.floor(positions[:, 0] / radius).astype(np.int64)
+    cell_y = np.floor(positions[:, 1] / radius).astype(np.int64)
+    buckets: Dict[Tuple[int, int], list] = {}
+    for node in range(n):
+        buckets.setdefault((cell_x[node], cell_y[node]), []).append(node)
+
+    radius_sq = radius * radius
+    pairs: Set[Tuple[int, int]] = set()
+    for (cx, cy), members in buckets.items():
+        # Candidates: this cell plus the 4 "forward" neighbours; scanning
+        # half the neighbourhood visits each cell pair exactly once.
+        for dx, dy in ((0, 0), (1, 0), (0, 1), (1, 1), (1, -1)):
+            other = buckets.get((cx + dx, cy + dy))
+            if other is None:
+                continue
+            if dx == 0 and dy == 0:
+                for i, node_a in enumerate(members):
+                    for node_b in members[i + 1:]:
+                        delta = positions[node_a] - positions[node_b]
+                        if delta[0] * delta[0] + delta[1] * delta[1] <= radius_sq:
+                            pairs.add(
+                                (node_a, node_b) if node_a < node_b
+                                else (node_b, node_a)
+                            )
+            else:
+                for node_a in members:
+                    for node_b in other:
+                        delta = positions[node_a] - positions[node_b]
+                        if delta[0] * delta[0] + delta[1] * delta[1] <= radius_sq:
+                            pairs.add(
+                                (node_a, node_b) if node_a < node_b
+                                else (node_b, node_a)
+                            )
+    return pairs
+
+
+class ContactDetector:
+    """Incremental contact detector over a mobility model.
+
+    Call :meth:`scan` at successive times; the detector tracks which
+    pairs are currently in range and emits closed :class:`Contact`
+    intervals as pairs leave range.  :meth:`finish` closes contacts that
+    are still open at the end of the simulation.
+    """
+
+    def __init__(self, radius: float):
+        if radius <= 0:
+            raise MobilityError(f"radius must be > 0, got {radius!r}")
+        self._radius = float(radius)
+        self._open: Dict[Tuple[int, int], float] = {}
+        self._closed: list = []
+        self._last_time: float = float("-inf")
+
+    @property
+    def radius(self) -> float:
+        """Transmission radius in metres."""
+        return self._radius
+
+    @property
+    def open_pairs(self) -> Set[Tuple[int, int]]:
+        """Pairs currently in range."""
+        return set(self._open)
+
+    def scan(self, time: float, positions: np.ndarray) -> None:
+        """Record which pairs are in range at ``time``.
+
+        Args:
+            time: Sample time; must be strictly increasing across calls.
+            positions: ``(n, 2)`` position array at that time.
+        """
+        if time <= self._last_time:
+            raise MobilityError(
+                f"scan times must increase: {time!r} after {self._last_time!r}"
+            )
+        self._last_time = time
+        current = pairs_in_range(positions, self._radius)
+        for pair in list(self._open):
+            if pair not in current:
+                start = self._open.pop(pair)
+                self._closed.append(Contact(start, time, pair[0], pair[1]))
+        for pair in current:
+            if pair not in self._open:
+                self._open[pair] = time
+
+    def finish(self, end_time: float) -> ContactTrace:
+        """Close any still-open contacts at ``end_time`` and return the trace."""
+        for pair, start in sorted(self._open.items()):
+            if end_time > start:
+                self._closed.append(Contact(start, end_time, pair[0], pair[1]))
+        self._open.clear()
+        return ContactTrace(self._closed)
+
+
+def detect_contacts(
+    model: MobilityModel,
+    *,
+    radius: float,
+    duration: float,
+    scan_interval: float = 10.0,
+) -> ContactTrace:
+    """Run ``model`` for ``duration`` seconds and return its contact trace.
+
+    Args:
+        model: Mobility model to advance (mutated in place).
+        radius: Transmission radius in metres.
+        duration: Total simulated time in seconds.
+        scan_interval: Position sampling period in seconds.  Contacts
+            shorter than this can be missed — the same discretisation the
+            ONE simulator applies with its update interval.
+
+    Returns:
+        The detected :class:`ContactTrace`.
+    """
+    if duration <= 0:
+        raise MobilityError(f"duration must be > 0, got {duration!r}")
+    if scan_interval <= 0:
+        raise MobilityError(f"scan_interval must be > 0, got {scan_interval!r}")
+    detector = ContactDetector(radius)
+    time = 0.0
+    detector.scan(time, model.positions)
+    while time < duration:
+        step = min(scan_interval, duration - time)
+        model.advance(step)
+        time += step
+        detector.scan(time, model.positions)
+    return detector.finish(duration)

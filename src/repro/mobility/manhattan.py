@@ -1,0 +1,143 @@
+"""Manhattan-grid mobility.
+
+Nodes move along the streets of a regular city grid: pick a direction
+along the current street, walk to the next intersection, then turn or
+continue with configurable probabilities.  This is the classic urban
+counterpart to Random Waypoint (ONE ships a map-based equivalent) and
+is useful to check that the paper's conclusions are not artefacts of
+open-field mobility.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MobilityError
+from repro.mobility.base import MobilityModel
+
+__all__ = ["ManhattanGrid"]
+
+#: Unit vectors for the four street directions (E, N, W, S).
+_DIRECTIONS = np.array(
+    [[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0]]
+)
+
+
+class ManhattanGrid(MobilityModel):
+    """Street-grid mobility with per-intersection turning.
+
+    Args:
+        n_nodes: Number of nodes.
+        area: ``(width, height)`` in metres.
+        rng: Source of randomness.
+        block_size: Street spacing in metres (> 0).
+        speed_min: Minimum walking speed, m/s (> 0).
+        speed_max: Maximum walking speed (>= speed_min).
+        turn_probability: Chance of turning left or right (split evenly)
+            at an intersection; otherwise the node continues straight
+            (or U-turns at the area boundary).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: Tuple[float, float],
+        rng: np.random.Generator,
+        *,
+        block_size: float = 100.0,
+        speed_min: float = 0.5,
+        speed_max: float = 1.5,
+        turn_probability: float = 0.5,
+    ):
+        super().__init__(n_nodes, area, rng)
+        if block_size <= 0:
+            raise MobilityError(f"block_size must be > 0, got {block_size!r}")
+        if block_size > min(area):
+            raise MobilityError(
+                f"block_size {block_size!r} exceeds the area {area!r}"
+            )
+        if speed_min <= 0 or speed_max < speed_min:
+            raise MobilityError(
+                f"invalid speed range [{speed_min!r}, {speed_max!r}]"
+            )
+        if not 0.0 <= turn_probability <= 1.0:
+            raise MobilityError(
+                f"turn_probability must be in [0, 1], got {turn_probability!r}"
+            )
+        self.block_size = float(block_size)
+        self._speed_range = (float(speed_min), float(speed_max))
+        self.turn_probability = float(turn_probability)
+
+        # Snap the population onto street intersections.
+        cols = max(int(self._area[0] // self.block_size), 1)
+        rows = max(int(self._area[1] // self.block_size), 1)
+        self._positions[:, 0] = (
+            rng.integers(0, cols + 1, size=self._n) * self.block_size
+        )
+        self._positions[:, 1] = (
+            rng.integers(0, rows + 1, size=self._n) * self.block_size
+        )
+        self._clip_to_area()
+        self._direction = rng.integers(0, 4, size=self._n)
+        self._speeds = rng.uniform(speed_min, speed_max, size=self._n)
+
+    def _at_intersection(self, node: int) -> bool:
+        """Whether the node stands on a grid line along its travel axis."""
+        axis = 0 if self._direction[node] in (0, 2) else 1
+        offset = self._positions[node, axis] % self.block_size
+        return offset < 1e-6 or self.block_size - offset < 1e-6
+
+    def _distance_to_next_intersection(self, node: int) -> float:
+        """Distance to the next grid line ahead (a full block when the
+        node stands exactly on a line)."""
+        axis = 0 if self._direction[node] in (0, 2) else 1
+        position = self._positions[node, axis]
+        offset = position % self.block_size
+        if offset < 1e-6 or self.block_size - offset < 1e-6:
+            return self.block_size
+        if self._direction[node] in (0, 1):  # heading positive
+            return self.block_size - offset
+        return offset
+
+    def _heading_out_of_bounds(self, node: int) -> bool:
+        direction = _DIRECTIONS[self._direction[node]]
+        step = self._positions[node] + direction * self.block_size
+        return not (
+            -1e-9 <= step[0] <= self._area[0] + 1e-9
+            and -1e-9 <= step[1] <= self._area[1] + 1e-9
+        )
+
+    def _choose_direction(self, node: int) -> None:
+        """Turn policy at an intersection (U-turn only when forced)."""
+        if self._rng.random() < self.turn_probability:
+            # Turn left or right with equal probability.
+            turn = 1 if self._rng.random() < 0.5 else 3
+            self._direction[node] = (self._direction[node] + turn) % 4
+        for _ in range(4):
+            if not self._heading_out_of_bounds(node):
+                return
+            self._direction[node] = (self._direction[node] + 1) % 4
+
+    def advance(self, dt: float) -> None:
+        """Move all nodes forward by ``dt`` seconds along the streets."""
+        dt = self._check_dt(dt)
+        if dt == 0.0:
+            return
+        for node in range(self._n):
+            remaining = dt
+            for _ in range(10_000):
+                if remaining <= 1e-12:
+                    break
+                if self._at_intersection(node):
+                    # Turn (or be bounced back in-bounds) before walking
+                    # the next block.
+                    self._choose_direction(node)
+                to_corner = self._distance_to_next_intersection(node)
+                step = min(self._speeds[node] * remaining, to_corner)
+                self._positions[node] += (
+                    _DIRECTIONS[self._direction[node]] * step
+                )
+                remaining -= step / self._speeds[node]
+        self._clip_to_area()

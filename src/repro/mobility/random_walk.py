@@ -1,0 +1,107 @@
+"""Random Walk (Brownian-style) mobility.
+
+Each node walks with a constant per-leg speed and heading for an
+exponentially distributed leg duration, then draws a new uniform heading.
+Nodes reflect off the area boundary.  Included as an alternative to the
+paper's Random Waypoint for sensitivity/ablation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MobilityError
+from repro.mobility.base import MobilityModel
+
+__all__ = ["RandomWalk"]
+
+
+class RandomWalk(MobilityModel):
+    """Vectorised random-walk mobility with boundary reflection.
+
+    Args:
+        n_nodes: Number of nodes.
+        area: ``(width, height)`` in metres.
+        rng: Source of randomness.
+        speed_min: Minimum leg speed in m/s (> 0).
+        speed_max: Maximum leg speed in m/s (>= speed_min).
+        mean_leg_duration: Mean of the exponential leg duration, seconds.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: Tuple[float, float],
+        rng: np.random.Generator,
+        *,
+        speed_min: float = 0.5,
+        speed_max: float = 1.5,
+        mean_leg_duration: float = 60.0,
+    ):
+        super().__init__(n_nodes, area, rng)
+        if speed_min <= 0 or speed_max < speed_min:
+            raise MobilityError(
+                f"invalid speed range [{speed_min!r}, {speed_max!r}]"
+            )
+        if mean_leg_duration <= 0:
+            raise MobilityError(
+                f"mean_leg_duration must be > 0, got {mean_leg_duration!r}"
+            )
+        self._speed_range = (float(speed_min), float(speed_max))
+        self._mean_leg = float(mean_leg_duration)
+
+        width, height = self._area
+        self._positions[:, 0] = rng.uniform(0.0, width, size=self._n)
+        self._positions[:, 1] = rng.uniform(0.0, height, size=self._n)
+        self._velocities = self._draw_velocities(self._n)
+        self._leg_left = rng.exponential(self._mean_leg, size=self._n)
+
+    def _draw_velocities(self, count: int) -> np.ndarray:
+        headings = self._rng.uniform(0.0, 2.0 * np.pi, size=count)
+        speeds = self._rng.uniform(
+            self._speed_range[0], self._speed_range[1], size=count
+        )
+        return np.stack(
+            (speeds * np.cos(headings), speeds * np.sin(headings)), axis=1
+        )
+
+    def advance(self, dt: float) -> None:
+        """Move all nodes forward by ``dt`` seconds."""
+        dt = self._check_dt(dt)
+        if dt == 0.0:
+            return
+        remaining = np.full(self._n, dt, dtype=np.float64)
+        for _ in range(10_000):
+            active = remaining > 1e-12
+            if not np.any(active):
+                break
+            idx = np.nonzero(active)[0]
+            step = np.minimum(remaining[idx], self._leg_left[idx])
+            self._positions[idx] += self._velocities[idx] * step[:, None]
+            self._leg_left[idx] -= step
+            remaining[idx] -= step
+            expired = idx[self._leg_left[idx] <= 1e-12]
+            if expired.size:
+                self._velocities[expired] = self._draw_velocities(expired.size)
+                self._leg_left[expired] = self._rng.exponential(
+                    self._mean_leg, size=expired.size
+                )
+        self._reflect()
+
+    def _reflect(self) -> None:
+        """Reflect positions (and headings) off the area boundary."""
+        width, height = self._area
+        for axis, limit in ((0, width), (1, height)):
+            coords = self._positions[:, axis]
+            below = coords < 0.0
+            if np.any(below):
+                coords[below] = -coords[below]
+                self._velocities[below, axis] = -self._velocities[below, axis]
+            above = coords > limit
+            if np.any(above):
+                coords[above] = 2.0 * limit - coords[above]
+                self._velocities[above, axis] = -self._velocities[above, axis]
+        # A pathological dt could bounce past both walls; clamp as a net.
+        self._clip_to_area()

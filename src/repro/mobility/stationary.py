@@ -1,0 +1,64 @@
+"""Stationary "mobility": nodes never move.
+
+Useful for unit tests (deterministic contacts) and for scripted
+topologies such as the Paper II three-device demo, where device A is in
+range of B, B is in range of C, but A and C do not overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MobilityError
+from repro.mobility.base import MobilityModel
+
+__all__ = ["Stationary"]
+
+
+class Stationary(MobilityModel):
+    """Nodes stay wherever they are placed.
+
+    Args:
+        n_nodes: Number of nodes.
+        area: ``(width, height)`` in metres.
+        rng: Source of randomness (used only when ``positions`` is None).
+        positions: Optional explicit ``(n, 2)`` placement.  When omitted,
+            nodes are placed uniformly at random.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: Tuple[float, float],
+        rng: np.random.Generator,
+        *,
+        positions: Optional[Sequence[Sequence[float]]] = None,
+    ):
+        super().__init__(n_nodes, area, rng)
+        if positions is None:
+            width, height = self._area
+            self._positions[:, 0] = rng.uniform(0.0, width, size=self._n)
+            self._positions[:, 1] = rng.uniform(0.0, height, size=self._n)
+        else:
+            array = np.asarray(positions, dtype=np.float64)
+            if array.shape != (self._n, 2):
+                raise MobilityError(
+                    f"positions must have shape ({self._n}, 2), "
+                    f"got {array.shape}"
+                )
+            self._positions[:] = array
+            self._clip_to_area()
+
+    def advance(self, dt: float) -> None:
+        """No-op (validates ``dt`` for interface consistency)."""
+        self._check_dt(dt)
+
+    def move_node(self, node: int, x: float, y: float) -> None:
+        """Teleport one node — lets tests script contact plans."""
+        if not 0 <= node < self._n:
+            raise MobilityError(f"node index {node} out of range")
+        self._positions[node, 0] = float(x)
+        self._positions[node, 1] = float(y)
+        self._clip_to_area()

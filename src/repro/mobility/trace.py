@@ -1,0 +1,176 @@
+"""Contact traces.
+
+A contact is an interval during which two nodes are within radio range.
+The protocol simulation consumes contacts as (up, down) events; this
+module provides the trace container, chronological event iteration,
+serialisation, and summary statistics.  Traces can come from a mobility
+model (via :mod:`repro.mobility.contact`), from a file, or be written by
+hand for scripted scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
+
+from repro.errors import MobilityError
+
+__all__ = ["Contact", "ContactTrace"]
+
+
+@dataclass(frozen=True)
+class Contact:
+    """One contact interval between nodes ``a`` and ``b``.
+
+    Attributes:
+        start: Contact start time, seconds.
+        end: Contact end time, seconds (``end > start``).
+        a: First node id (``a < b`` by convention).
+        b: Second node id.
+    """
+
+    start: float
+    end: float
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise MobilityError(
+                f"contact end ({self.end!r}) must be after start ({self.start!r})"
+            )
+        if self.a == self.b:
+            raise MobilityError(f"contact requires two distinct nodes, got {self.a}")
+        if self.a > self.b:
+            # Normalise order so pair identity is canonical.
+            low, high = self.b, self.a
+            object.__setattr__(self, "a", low)
+            object.__setattr__(self, "b", high)
+
+    @property
+    def duration(self) -> float:
+        """Length of the contact in seconds."""
+        return self.end - self.start
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """Canonical ``(a, b)`` pair."""
+        return (self.a, self.b)
+
+
+class ContactTrace:
+    """An ordered collection of contacts.
+
+    Example:
+        >>> trace = ContactTrace([Contact(0.0, 10.0, 0, 1)])
+        >>> [(t, kind, pair) for t, kind, pair in trace.events()]
+        [(0.0, 'up', (0, 1)), (10.0, 'down', (0, 1))]
+    """
+
+    def __init__(self, contacts: Iterable[Contact] = ()):
+        self._contacts: List[Contact] = sorted(
+            contacts, key=lambda c: (c.start, c.end, c.a, c.b)
+        )
+
+    def __len__(self) -> int:
+        return len(self._contacts)
+
+    def __iter__(self) -> Iterator[Contact]:
+        return iter(self._contacts)
+
+    def __getitem__(self, index: int) -> Contact:
+        return self._contacts[index]
+
+    @property
+    def contacts(self) -> Tuple[Contact, ...]:
+        """All contacts, sorted by start time."""
+        return tuple(self._contacts)
+
+    def add(self, contact: Contact) -> None:
+        """Insert a contact, keeping start-time order."""
+        self._contacts.append(contact)
+        self._contacts.sort(key=lambda c: (c.start, c.end, c.a, c.b))
+
+    def events(self) -> Iterator[Tuple[float, str, Tuple[int, int]]]:
+        """Yield ``(time, 'up'|'down', (a, b))`` in chronological order.
+
+        For simultaneous events, ``down`` sorts before ``up`` so a pair
+        that disconnects and reconnects at the same instant is handled as
+        two distinct contacts.
+        """
+        raw: List[Tuple[float, int, Tuple[int, int], str]] = []
+        for contact in self._contacts:
+            raw.append((contact.start, 1, contact.pair, "up"))
+            raw.append((contact.end, 0, contact.pair, "down"))
+        raw.sort(key=lambda item: (item[0], item[1], item[2]))
+        for time, _, pair, kind in raw:
+            yield (time, kind, pair)
+
+    def duration(self) -> float:
+        """Latest contact end time (0 for an empty trace)."""
+        return max((c.end for c in self._contacts), default=0.0)
+
+    def total_contact_time(self) -> float:
+        """Sum of all contact durations."""
+        return sum(c.duration for c in self._contacts)
+
+    def contacts_per_pair(self) -> Dict[Tuple[int, int], int]:
+        """Number of contacts recorded for each node pair."""
+        counts: Dict[Tuple[int, int], int] = {}
+        for contact in self._contacts:
+            counts[contact.pair] = counts.get(contact.pair, 0) + 1
+        return counts
+
+    def restricted_to(self, nodes: Iterable[int]) -> "ContactTrace":
+        """Return a trace containing only contacts among ``nodes``."""
+        keep = set(nodes)
+        return ContactTrace(
+            c for c in self._contacts if c.a in keep and c.b in keep
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON lines: one contact object per line."""
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as handle:
+            for contact in self._contacts:
+                record = {
+                    "start": contact.start,
+                    "end": contact.end,
+                    "a": contact.a,
+                    "b": contact.b,
+                }
+                handle.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ContactTrace":
+        """Read a trace previously written by :meth:`save`."""
+        source = Path(path)
+        contacts: List[Contact] = []
+        with source.open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    contacts.append(
+                        Contact(
+                            start=float(record["start"]),
+                            end=float(record["end"]),
+                            a=int(record["a"]),
+                            b=int(record["b"]),
+                        )
+                    )
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise MobilityError(
+                        f"{source}:{line_no}: malformed contact record: {exc}"
+                    ) from exc
+        return cls(contacts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ContactTrace({len(self._contacts)} contacts, "
+            f"span={self.duration():.1f}s)"
+        )

@@ -1,0 +1,15 @@
+"""Network substrate: nodes, buffers, links, energy, and the world."""
+
+from repro.network.buffer import DropPolicy, MessageBuffer
+from repro.network.energy import EnergyModel
+from repro.network.link import Link, Transfer
+from repro.network.node import Node
+
+__all__ = [
+    "DropPolicy",
+    "MessageBuffer",
+    "EnergyModel",
+    "Link",
+    "Transfer",
+    "Node",
+]

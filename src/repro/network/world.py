@@ -1,0 +1,442 @@
+"""The simulation world: mobility, links, transfers, workload, TTL.
+
+``World`` is the substrate every routing scheme runs on.  It consumes a
+contact trace (from :mod:`repro.mobility`), manages link lifecycles and
+bandwidth-limited transfers, injects the message workload, enforces TTL,
+applies node behaviours (a selfish node's radio is off for most
+encounters), charges radio energy, and feeds every observable event to
+the :class:`~repro.metrics.collector.MetricsCollector`.
+
+Routers receive hooks (contact start/end, message received/aborted) and
+call back into :meth:`send_message`, :meth:`deliver` and
+:meth:`accept_relay`; see :class:`repro.routing.base.Router`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import BufferError_, ConfigurationError, SimulationError
+from repro.messages.generator import MessageGenerator
+from repro.messages.message import Message
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.trace import ContactTrace
+from repro.network.energy import EnergyModel
+from repro.network.link import Link, Transfer
+from repro.network.node import Node
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RandomStreams
+
+__all__ = ["World"]
+
+
+class World:
+    """Wires nodes, contacts, transfers and a router into one simulation.
+
+    Args:
+        engine: The discrete-event engine driving the run.
+        nodes: The node population (ids must be unique).
+        router: The routing protocol under test.
+        link_speed: Transfer speed in bytes/second (Table 5.1: 250 kBps).
+        streams: Named RNG streams (behaviour draws, workload, ...).
+        metrics: Metrics sink; a fresh collector is created when omitted.
+        energy: Radio energy model; a default Friis model when omitted.
+        ttl: Optional message time-to-live in seconds.
+        ttl_check_interval: How often buffers are swept for expiry.
+        nominal_distance: Distance (metres) assumed between connected
+            devices for energy purposes.  The contact trace abstracts
+            exact geometry away, so the transmission radius is the
+            conservative stand-in (documented in DESIGN.md).
+        battery_capacity: Optional per-node battery in joules.  When
+            set, radio energy drains the battery and a node whose
+            battery is empty stops forming contacts — the resource
+            scarcity the paper names as the *reason* nodes turn selfish.
+            ``None`` (the default, and the paper's evaluation setting)
+            models mains-refreshed devices.
+        resume_partial_transfers: DTN *reactive fragmentation*: bytes
+            moved before a contact broke are remembered, and the next
+            transfer of the same message to the same receiver only moves
+            the remainder.  Off by default — ONE's (and the paper's)
+            baseline behaviour restarts aborted transfers from zero.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        nodes: Sequence[Node],
+        router: "Router",
+        *,
+        link_speed: float = 250_000.0,
+        streams: Optional[RandomStreams] = None,
+        metrics: Optional[MetricsCollector] = None,
+        energy: Optional[EnergyModel] = None,
+        ttl: Optional[float] = None,
+        ttl_check_interval: float = 300.0,
+        nominal_distance: float = 100.0,
+        battery_capacity: Optional[float] = None,
+        resume_partial_transfers: bool = False,
+    ):
+        if link_speed <= 0:
+            raise ConfigurationError(f"link_speed must be > 0, got {link_speed!r}")
+        if ttl is not None and ttl <= 0:
+            raise ConfigurationError(f"ttl must be > 0, got {ttl!r}")
+        if battery_capacity is not None and battery_capacity <= 0:
+            raise ConfigurationError(
+                f"battery_capacity must be > 0, got {battery_capacity!r}"
+            )
+        self.engine = engine
+        self._nodes: Dict[int, Node] = {}
+        for node in nodes:
+            if node.node_id in self._nodes:
+                raise ConfigurationError(
+                    f"duplicate node id {node.node_id}"
+                )
+            self._nodes[node.node_id] = node
+        self.router = router
+        self.link_speed = float(link_speed)
+        self.streams = streams if streams is not None else RandomStreams(0)
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.energy = energy if energy is not None else EnergyModel()
+        self.ttl = ttl
+        self.nominal_distance = float(nominal_distance)
+        self.battery_capacity = battery_capacity
+        self._battery: Dict[int, float] = {
+            node_id: battery_capacity for node_id in self._nodes
+        } if battery_capacity is not None else {}
+
+        self.resume_partial_transfers = bool(resume_partial_transfers)
+        # (receiver, uuid) -> bytes already moved in an aborted attempt.
+        self._partial_bytes: Dict[Tuple[int, str], float] = {}
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self._links_by_node: Dict[int, List[Link]] = {
+            node_id: [] for node_id in self._nodes
+        }
+        self._in_flight: Set[Tuple[int, str]] = set()
+        self._generator: Optional[MessageGenerator] = None
+
+        router.bind(self)
+        if ttl is not None:
+            self._ttl_process = PeriodicProcess(
+                engine, ttl_check_interval, self._sweep_ttl,
+                start_at=engine.now + ttl_check_interval, label="ttl-sweep",
+            )
+            self._ttl_process.start()
+
+    # ------------------------------------------------------------------
+    # RoutingContext interface
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.engine.now
+
+    def node(self, node_id: int) -> Node:
+        """The node with ``node_id``.
+
+        Raises:
+            ConfigurationError: For unknown ids.
+        """
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown node id {node_id}") from None
+
+    def node_ids(self) -> List[int]:
+        """All node ids, sorted."""
+        return sorted(self._nodes)
+
+    def nodes(self) -> List[Node]:
+        """All nodes, sorted by id."""
+        return [self._nodes[i] for i in self.node_ids()]
+
+    def active_links(self, node_id: int) -> List[Link]:
+        """Open links ``node_id`` currently participates in."""
+        return [l for l in self._links_by_node.get(node_id, []) if not l.closed]
+
+    def link_between(self, a: int, b: int) -> Optional[Link]:
+        """The open link between ``a`` and ``b``, if any."""
+        link = self._links.get((a, b) if a < b else (b, a))
+        if link is not None and not link.closed:
+            return link
+        return None
+
+    def can_send(self, link: Link, sender: int, message: Message) -> bool:
+        """Whether :meth:`send_message` would actually start a transfer.
+
+        Lets protocols settle payments only for transfers that will
+        happen (the incentive scheme pays *before* transferring).
+        """
+        if link.closed:
+            return False
+        receiver_id = link.peer_of(sender)
+        receiver = self.node(receiver_id)
+        if receiver.has_seen(message.uuid):
+            return False
+        return (receiver_id, message.uuid) not in self._in_flight
+
+    def send_message(
+        self, link: Link, sender: int, message: Message
+    ) -> Optional[Transfer]:
+        """Queue a copy of ``message`` from ``sender`` over ``link``.
+
+        The transfer is suppressed (returns ``None``) when the link is
+        closed, the receiver has already seen the message, or an
+        identical copy is already in flight to that receiver.
+        """
+        if link.closed:
+            self.metrics.on_transfer_suppressed()
+            return None
+        receiver_id = link.peer_of(sender)
+        receiver = self.node(receiver_id)
+        key = (receiver_id, message.uuid)
+        if receiver.has_seen(message.uuid) or key in self._in_flight:
+            self.metrics.on_transfer_suppressed()
+            return None
+        copy = message.copy_for_transfer()
+        self._in_flight.add(key)
+        self.metrics.on_transfer_started(copy)
+        duration = None
+        if self.resume_partial_transfers:
+            done = self._partial_bytes.get(key, 0.0)
+            if done > 0.0:
+                remaining = max(copy.size - done, 0.0)
+                duration = remaining / link.speed
+        return link.send(
+            sender,
+            copy,
+            on_complete=lambda transfer: self._transfer_done(transfer, link),
+            on_abort=lambda transfer: self._transfer_aborted(transfer, link),
+            duration=duration,
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery / relay bookkeeping (called by routers)
+    # ------------------------------------------------------------------
+    def deliver(self, receiver: Node, message: Message) -> bool:
+        """Record delivery of ``message`` to ``receiver`` as destination.
+
+        Returns:
+            ``True`` on first delivery, ``False`` on duplicates.
+        """
+        first = receiver.accept_delivery(message, self.now)
+        if first:
+            self.metrics.on_delivered(message, receiver.node_id, self.now)
+        return first
+
+    def accept_relay(self, receiver: Node, message: Message) -> bool:
+        """Buffer ``message`` at ``receiver`` for onward forwarding.
+
+        Returns:
+            ``True`` if buffered (evictions are metered), ``False`` if
+            the buffer rejected the message.
+        """
+        if message.uuid in receiver.buffer:
+            return True
+        try:
+            evicted = receiver.buffer.add(message, self.now)
+        except BufferError_:
+            return False
+        receiver.seen.add(message.uuid)
+        if evicted:
+            self.metrics.on_buffer_evicted(len(evicted))
+            for victim in evicted:
+                self.router.on_message_dropped(receiver.node_id, victim)
+        self.metrics.on_relayed(message, receiver.node_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Contacts
+    # ------------------------------------------------------------------
+    def load_contact_trace(self, trace: ContactTrace) -> None:
+        """Schedule every contact up/down event from ``trace``."""
+        for time, kind, pair in trace.events():
+            if kind == "up":
+                self.engine.schedule_at(
+                    time,
+                    lambda p=pair: self._contact_up(p),
+                    priority=1,
+                    label=f"contact-up {pair}",
+                )
+            else:
+                self.engine.schedule_at(
+                    time,
+                    lambda p=pair: self._contact_down(p),
+                    priority=0,
+                    label=f"contact-down {pair}",
+                )
+
+    def battery_level(self, node_id: int) -> Optional[float]:
+        """Remaining battery in joules (None when batteries are off)."""
+        if self.battery_capacity is None:
+            return None
+        return self._battery.get(node_id, 0.0)
+
+    def _battery_dead(self, node_id: int) -> bool:
+        if self.battery_capacity is None:
+            return False
+        return self._battery.get(node_id, 0.0) <= 0.0
+
+    def _drain_battery(self, node_id: int, joules: float) -> None:
+        if self.battery_capacity is None:
+            return
+        self._battery[node_id] = max(
+            0.0, self._battery.get(node_id, 0.0) - joules
+        )
+
+    def _behavior_allows_contact(self, node: Node) -> bool:
+        if self._battery_dead(node.node_id):
+            return False
+        behavior = node.behavior
+        if behavior is None:
+            return True
+        enabled = getattr(behavior, "contact_enabled", None)
+        if enabled is None:
+            return True
+        return bool(enabled(self.streams.get("behavior")))
+
+    def _contact_up(self, pair: Tuple[int, int]) -> None:
+        a, b = pair
+        if a not in self._nodes or b not in self._nodes:
+            return
+        if self._links.get(pair) is not None and not self._links[pair].closed:
+            return
+        # A selfish node's radio is usually off: the contact only forms
+        # when both endpoints participate (Paper I, experiment A).
+        if not self._behavior_allows_contact(self._nodes[a]):
+            return
+        if not self._behavior_allows_contact(self._nodes[b]):
+            return
+        link = Link(
+            self.engine, a, b,
+            speed=self.link_speed, distance=self.nominal_distance,
+        )
+        self._links[pair] = link
+        self._links_by_node[a].append(link)
+        self._links_by_node[b].append(link)
+        self.router.on_contact_start(link)
+
+    def _contact_down(self, pair: Tuple[int, int]) -> None:
+        link = self._links.pop(pair, None)
+        if link is None or link.closed:
+            return
+        a, b = pair
+        self._links_by_node[a].remove(link)
+        self._links_by_node[b].remove(link)
+        link.close()
+        self.router.on_contact_end(link)
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def _transfer_done(self, transfer: Transfer, link: Link) -> None:
+        self._in_flight.discard((transfer.receiver, transfer.message.uuid))
+        self._partial_bytes.pop(
+            (transfer.receiver, transfer.message.uuid), None
+        )
+        self.metrics.on_transfer_completed(transfer.message)
+        # Energy: transmitter pays P_t * t; receiver pays the Friis
+        # received power at the nominal contact distance times t.
+        tx_energy = self.energy.transmit_energy(transfer.duration)
+        rx_energy = self.energy.receive_energy(
+            transfer.duration, link.distance
+        )
+        self.energy.charge(transfer.sender, tx_energy)
+        self.energy.charge(transfer.receiver, rx_energy)
+        self._drain_battery(transfer.sender, tx_energy)
+        self._drain_battery(transfer.receiver, rx_energy)
+        self.router.on_message_received(transfer, link)
+
+    def _transfer_aborted(self, transfer: Transfer, link: Link) -> None:
+        key = (transfer.receiver, transfer.message.uuid)
+        self._in_flight.discard(key)
+        if self.resume_partial_transfers and transfer.started_at is not None:
+            elapsed = max(self.now - transfer.started_at, 0.0)
+            moved_now = min(elapsed * link.speed, float(transfer.message.size))
+            already = self._partial_bytes.get(key, 0.0)
+            self._partial_bytes[key] = min(
+                already + moved_now, float(transfer.message.size)
+            )
+        self.metrics.on_transfer_aborted(transfer.message)
+        self.router.on_transfer_aborted(transfer, link)
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+    def use_generator(self, generator: MessageGenerator) -> None:
+        """Attach the workload generator used by :meth:`schedule_workload`."""
+        self._generator = generator
+
+    def schedule_workload(self, plan: Iterable[Tuple[float, int]]) -> None:
+        """Schedule message creations from ``(time, source)`` pairs."""
+        if self._generator is None:
+            raise SimulationError(
+                "call use_generator() before schedule_workload()"
+            )
+        for time, source in plan:
+            self.engine.schedule_at(
+                time,
+                lambda t=time, s=source: self._create_scheduled_message(s),
+                priority=2,
+                label=f"create message at node {source}",
+            )
+
+    def _create_scheduled_message(self, source: int) -> None:
+        node = self.node(source)
+        low_quality = False
+        behavior = node.behavior
+        if behavior is not None:
+            creates_low = getattr(behavior, "creates_low_quality", None)
+            if creates_low is not None:
+                low_quality = bool(creates_low(self.streams.get("behavior")))
+        message = self._generator.create_message(
+            source, self.now, low_quality=low_quality
+        )
+        self.inject_message(message)
+
+    def inject_message(self, message: Message) -> None:
+        """Originate ``message`` at its source and register metrics."""
+        node = self.node(message.source)
+        intended = {
+            other.node_id
+            for other in self._nodes.values()
+            if other.node_id != message.source
+            and other.is_interested_in(message)
+        }
+        try:
+            node.originate(message, self.now)
+        except BufferError_:
+            # Source buffer full even after creation: the message dies at
+            # birth but still counts against MDR, as in ONE.
+            self.metrics.on_message_created(message, intended)
+            return
+        self.metrics.on_message_created(message, intended)
+        self.router.on_message_created(message.source, message)
+
+    # ------------------------------------------------------------------
+    # TTL
+    # ------------------------------------------------------------------
+    def _sweep_ttl(self, now: float) -> None:
+        if self.ttl is None:
+            return
+        for node in self._nodes.values():
+            expired = node.buffer.expire(now, self.ttl)
+            if expired:
+                self.metrics.on_expired(len(expired))
+                for message in expired:
+                    self.router.on_message_expired(node.node_id, message)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> MetricsCollector:
+        """Run the simulation for ``duration`` seconds and return metrics."""
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration!r}")
+        self.engine.run_until(self.engine.now + duration)
+        return self.metrics
+
+
+# Imported late to avoid a circular reference in type checking; Router
+# only needs World at runtime through the RoutingContext protocol.
+from repro.routing.base import Router  # noqa: E402  (documentation import)

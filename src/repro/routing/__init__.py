@@ -1,0 +1,37 @@
+"""Routing protocols: ChitChat (the paper's substrate) plus classic
+node-centric baselines used for ablations."""
+
+from repro.routing.base import Router, RoutingContext
+from repro.routing.chitchat import ChitChatRouter, InterestRecord, InterestTable
+from repro.routing.direct import DirectContactRouter
+from repro.routing.epidemic import EpidemicRouter
+from repro.routing.epidemic_variants import (
+    ImmuneEpidemicRouter,
+    PriorityEpidemicRouter,
+)
+from repro.routing.nectar import NectarRouter
+from repro.routing.prophet import ProphetRouter
+from repro.routing.relics import RelicsRouter
+from repro.routing.spray_and_wait import SprayAndWaitRouter
+from repro.routing.tft import TitForTatRouter
+from repro.routing.two_hop import TwoHopRouter
+from repro.routing.two_hop_reward import TwoHopRewardRouter
+
+__all__ = [
+    "Router",
+    "RoutingContext",
+    "ChitChatRouter",
+    "InterestRecord",
+    "InterestTable",
+    "EpidemicRouter",
+    "PriorityEpidemicRouter",
+    "ImmuneEpidemicRouter",
+    "DirectContactRouter",
+    "TwoHopRouter",
+    "SprayAndWaitRouter",
+    "ProphetRouter",
+    "NectarRouter",
+    "TitForTatRouter",
+    "RelicsRouter",
+    "TwoHopRewardRouter",
+]

@@ -1,0 +1,134 @@
+"""Router interface.
+
+A router decides *what to forward and what to accept*; the
+:class:`~repro.network.world.World` owns the mechanics (mobility,
+links, bandwidth, buffers, TTL) and calls the router's hooks.  The
+separation lets the same scenario run under ChitChat, the incentive
+scheme, or any baseline with identical contacts and workload — which is
+how the paper's comparisons are constructed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterable, List, Optional, Protocol
+
+from repro.messages.message import Message
+from repro.network.link import Link, Transfer
+from repro.network.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = ["RoutingContext", "Router"]
+
+
+class RoutingContext(Protocol):
+    """The world services a router may use (implemented by ``World``)."""
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+
+    def node(self, node_id: int) -> Node:
+        """The node with the given id."""
+
+    def node_ids(self) -> List[int]:
+        """All node ids."""
+
+    def active_links(self, node_id: int) -> List[Link]:
+        """Open links that ``node_id`` participates in."""
+
+    def link_between(self, a: int, b: int) -> Optional[Link]:
+        """The open link between ``a`` and ``b``, if any."""
+
+    def send_message(
+        self, link: Link, sender: int, message: Message
+    ) -> Optional[Transfer]:
+        """Queue a copy of ``message`` for transfer over ``link``.
+
+        Returns the transfer, or ``None`` if the world suppressed it
+        (duplicate in flight, link closing, ...).
+        """
+
+    def deliver(self, receiver: Node, message: Message) -> bool:
+        """Record delivery to a destination; True on first delivery."""
+
+    def accept_relay(self, receiver: Node, message: Message) -> bool:
+        """Buffer a message for relaying; False if the buffer refused."""
+
+
+class Router(abc.ABC):
+    """Base class for routing protocols.
+
+    Lifecycle: :meth:`bind` is called once by the world, then the event
+    hooks fire as the simulation unfolds.  Implementations keep their
+    per-node protocol state internally, keyed by node id.
+    """
+
+    #: Short name used in reports (override in subclasses).
+    name: str = "router"
+
+    def __init__(self) -> None:
+        self._world: Optional[RoutingContext] = None
+
+    @property
+    def world(self) -> RoutingContext:
+        """The bound world.
+
+        Raises:
+            RuntimeError: If the router has not been bound yet.
+        """
+        if self._world is None:
+            raise RuntimeError(f"router {self.name!r} is not bound to a world")
+        return self._world
+
+    def bind(self, world: RoutingContext) -> None:
+        """Attach the router to its world.  Called once by the world."""
+        self._world = world
+
+    # ------------------------------------------------------------------
+    # Hooks (all optional except message selection semantics)
+    # ------------------------------------------------------------------
+    def on_message_created(self, node_id: int, message: Message) -> None:
+        """A node originated ``message`` (already buffered by the world)."""
+
+    def on_contact_start(self, link: Link) -> None:
+        """A contact came up; typically triggers the exchange phase."""
+
+    def on_contact_end(self, link: Link) -> None:
+        """A contact went down (in-flight transfers already aborted)."""
+
+    @abc.abstractmethod
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        """A transfer completed; decide delivery/relay handling."""
+
+    def on_transfer_aborted(self, transfer: Transfer, link: Link) -> None:
+        """A transfer was cut off by link closure before completing."""
+
+    def on_message_expired(self, node_id: int, message: Message) -> None:
+        """A buffered message passed its TTL and was dropped."""
+
+    def on_message_dropped(self, node_id: int, message: Message) -> None:
+        """A buffered message was evicted to make room for another."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def is_destination(self, node: Node, message: Message) -> bool:
+        """Data-centric destination test: direct interest in any tag."""
+        return node.is_interested_in(message)
+
+    def eligible_messages(
+        self, sender: Node, receiver: Node, messages: Iterable[Message]
+    ) -> List[Message]:
+        """Filter out messages the receiver already saw or cannot fit.
+
+        Buffer-capacity checks are left to the receive path (state may
+        change while transfers are queued); this only removes certain
+        no-ops.
+        """
+        return [
+            m for m in messages
+            if not receiver.has_seen(m.uuid)
+        ]

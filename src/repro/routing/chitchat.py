@@ -1,0 +1,433 @@
+"""ChitChat routing with Real-time Transient Social Relationships (RTSR).
+
+This is the paper's substrate (McGeehan, Lin, Madria — ICDCS 2016) as
+specified in Paper I Sections 2.2-2.4:
+
+* Every node has *direct* interests (its own subscriptions, initial
+  weight 0.5) and *transient* interests acquired from encountered nodes.
+* On contact, weights are first **decayed** (Algorithm 1), the decayed
+  weights are exchanged, then **grown** (Algorithm 2) from the peer's
+  weights with a case factor psi.
+* Messages route by interest strength: ``u`` forwards message ``M`` to
+  ``v`` when ``S_v > S_u`` where ``S_x`` is the sum of ``x``'s weights
+  over ``M``'s keywords; a node with a *direct* interest in a tag is a
+  destination and always receives the message.
+
+Ambiguities resolved here (see DESIGN.md section 4): the decay
+denominator is clamped to >= 1 so decay never amplifies a weight; the
+growth increment is scaled by ``growth_scale`` and the per-contact
+elapsed time is capped, because the raw thesis formula grows without
+bound in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.messages.message import Message
+from repro.network.link import Link, Transfer
+from repro.routing.base import Router
+
+__all__ = ["InterestRecord", "InterestTable", "ChitChatRouter", "psi_case"]
+
+
+@dataclass
+class InterestRecord:
+    """State of one interest keyword at one node.
+
+    Attributes:
+        weight: Current ChitChat weight in [0, 1].
+        direct: True for the node's own subscription, False for a
+            transient (acquired) interest.
+        last_contact: Latest time a device sharing the interest was
+            connected (``T_l`` in Algorithm 1).
+    """
+
+    weight: float
+    direct: bool
+    last_contact: float
+
+
+def psi_case(u_record: Optional[InterestRecord],
+             v_record: InterestRecord) -> int:
+    """The growth divisor psi in {1..6} for a keyword's (u, v) status.
+
+    The thesis names two cases explicitly (both direct -> 1; u direct,
+    v transient -> 2); the remaining four follow the same ordering:
+    stronger evidence (direct on both sides) grows fastest.
+    """
+    v_direct = v_record.direct
+    if u_record is None:
+        return 5 if v_direct else 6
+    if u_record.direct:
+        return 1 if v_direct else 2
+    return 3 if v_direct else 4
+
+
+class InterestTable:
+    """A node's keyword-weight table (direct + transient interests)."""
+
+    def __init__(self, direct_interests: Iterable[str], created_at: float = 0.0):
+        self._records: Dict[str, InterestRecord] = {}
+        for keyword in direct_interests:
+            self._records[keyword] = InterestRecord(
+                weight=0.5, direct=True, last_contact=created_at
+            )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword in self._records
+
+    @property
+    def keywords(self) -> FrozenSet[str]:
+        """All keywords with a record (direct and transient)."""
+        return frozenset(self._records)
+
+    def record(self, keyword: str) -> Optional[InterestRecord]:
+        """The record for ``keyword``, or None."""
+        return self._records.get(keyword)
+
+    def weight(self, keyword: str) -> float:
+        """Current weight of ``keyword`` (0.0 when absent)."""
+        record = self._records.get(keyword)
+        return record.weight if record is not None else 0.0
+
+    def is_direct(self, keyword: str) -> bool:
+        """Whether ``keyword`` is one of the node's own subscriptions."""
+        record = self._records.get(keyword)
+        return record is not None and record.direct
+
+    def sum_for(self, keywords: Iterable[str]) -> float:
+        """``S`` — the sum of weights over ``keywords``."""
+        return sum(self.weight(k) for k in keywords)
+
+    def average_for(self, keywords: Iterable[str]) -> float:
+        """Average weight over ``keywords`` (0 for an empty set)."""
+        keys = list(keywords)
+        if not keys:
+            return 0.0
+        return self.sum_for(keys) / len(keys)
+
+    def direct_keywords(self) -> FrozenSet[str]:
+        """The node's own subscription keywords."""
+        return frozenset(k for k, r in self._records.items() if r.direct)
+
+    def add_direct(self, keyword: str, now: float) -> None:
+        """Subscribe to a new keyword (operator function *Subscribe*)."""
+        existing = self._records.get(keyword)
+        if existing is not None:
+            existing.direct = True
+            existing.weight = max(existing.weight, 0.5)
+        else:
+            self._records[keyword] = InterestRecord(
+                weight=0.5, direct=True, last_contact=now
+            )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: decay
+    # ------------------------------------------------------------------
+    def decay(
+        self,
+        now: float,
+        connected_keywords: Set[str],
+        *,
+        beta: float,
+        prune_below: float = 1e-3,
+    ) -> None:
+        """Decay all weights per Algorithm 1.
+
+        Args:
+            now: Current time ``T_c``.
+            connected_keywords: Keywords shared by *currently connected*
+                devices; their weights are frozen and their ``T_l``
+                refreshed.
+            beta: Decay constant.
+            prune_below: Transient records below this weight are removed
+                (bounds table growth; direct interests are never pruned).
+        """
+        if beta <= 0:
+            raise ConfigurationError(f"beta must be > 0, got {beta!r}")
+        dead: List[str] = []
+        for keyword, record in self._records.items():
+            if keyword in connected_keywords:
+                record.last_contact = now
+                continue
+            elapsed = now - record.last_contact
+            if elapsed <= 0:
+                continue
+            denominator = max(beta * elapsed, 1.0)
+            if record.direct:
+                record.weight = (record.weight - 0.5) / denominator + 0.5
+            else:
+                record.weight = record.weight / denominator
+                if record.weight < prune_below:
+                    dead.append(keyword)
+        for keyword in dead:
+            del self._records[keyword]
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: growth
+    # ------------------------------------------------------------------
+    def grow_from(
+        self,
+        peer: "InterestTable",
+        now: float,
+        elapsed: float,
+        *,
+        growth_scale: float,
+        elapsed_cap: float,
+    ) -> None:
+        """Grow this table from ``peer``'s weights per Algorithm 2.
+
+        ``Delta = growth_scale * w_v(I) * min(elapsed, cap) / psi`` and
+        the new weight is ``min(1, w + Delta)``.  Keywords we do not hold
+        are acquired as transient interests.
+        """
+        if elapsed < 0:
+            raise ConfigurationError(f"elapsed must be >= 0, got {elapsed!r}")
+        effective = min(elapsed, elapsed_cap)
+        for keyword in peer.keywords:
+            peer_record = peer.record(keyword)
+            if peer_record is None or peer_record.weight <= 0.0:
+                continue
+            mine = self._records.get(keyword)
+            psi = psi_case(mine, peer_record)
+            delta = growth_scale * peer_record.weight * effective / psi
+            if delta <= 0.0:
+                continue
+            if mine is None:
+                self._records[keyword] = InterestRecord(
+                    weight=min(1.0, delta), direct=False, last_contact=now
+                )
+            else:
+                mine.weight = min(1.0, mine.weight + delta)
+                mine.last_contact = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        direct = sum(1 for r in self._records.values() if r.direct)
+        return (
+            f"InterestTable({direct} direct, "
+            f"{len(self._records) - direct} transient)"
+        )
+
+
+class ChitChatRouter(Router):
+    """The plain ChitChat protocol — the paper's comparison baseline.
+
+    Args:
+        beta: Decay constant.  The thesis example uses 2, but its own
+            arithmetic is inconsistent (it reports 0.55 where the stated
+            formula yields 0.51), and with beta=2 a transient interest
+            divided by ``beta * dt`` dies within seconds of
+            disconnection, killing multi-hop relaying outright.  The
+            default 0.01 gives transient interests a ~100 s grace period
+            (the clamp ``max(beta * dt, 1)`` binds until ``dt = 1/beta``)
+            followed by hyperbolic decay — see DESIGN.md section 4.
+        growth_scale: Scale applied to the growth increment (see module
+            docstring).
+        growth_elapsed_cap: Cap on the per-contact elapsed time used by
+            growth, seconds.
+        destinations_also_relay: Whether a destination keeps a copy in
+            its buffer to serve further destinations (multicast
+            dissemination, as the paper's "share with multiple
+            destinations" implies).
+    """
+
+    name = "chitchat"
+
+    def __init__(
+        self,
+        *,
+        beta: float = 0.01,
+        growth_scale: float = 0.01,
+        growth_elapsed_cap: float = 600.0,
+        destinations_also_relay: bool = True,
+    ):
+        super().__init__()
+        if beta <= 0:
+            raise ConfigurationError(f"beta must be > 0, got {beta!r}")
+        if growth_scale <= 0:
+            raise ConfigurationError(
+                f"growth_scale must be > 0, got {growth_scale!r}"
+            )
+        if growth_elapsed_cap <= 0:
+            raise ConfigurationError(
+                f"growth_elapsed_cap must be > 0, got {growth_elapsed_cap!r}"
+            )
+        self.beta = float(beta)
+        self.growth_scale = float(growth_scale)
+        self.growth_elapsed_cap = float(growth_elapsed_cap)
+        self.destinations_also_relay = bool(destinations_also_relay)
+        self._tables: Dict[int, InterestTable] = {}
+
+    # ------------------------------------------------------------------
+    # RTSR state
+    # ------------------------------------------------------------------
+    def table(self, node_id: int) -> InterestTable:
+        """The RTSR table for ``node_id`` (created lazily)."""
+        existing = self._tables.get(node_id)
+        if existing is None:
+            node = self.world.node(node_id)
+            existing = InterestTable(node.interests, created_at=self.world.now)
+            self._tables[node_id] = existing
+        return existing
+
+    def interest_sum(self, node_id: int, message: Message) -> float:
+        """``S`` for ``message`` at ``node_id``."""
+        return self.table(node_id).sum_for(message.keywords)
+
+    def _connected_keywords(self, node_id: int) -> Set[str]:
+        """Keywords held by any currently connected peer of ``node_id``."""
+        keywords: Set[str] = set()
+        for link in self.world.active_links(node_id):
+            peer = link.peer_of(node_id)
+            keywords |= self.table(peer).keywords
+        return keywords
+
+    def run_rtsr_decay(self, link: Link) -> None:
+        """Phase one of the weight exchange: decay on both endpoints."""
+        now = self.world.now
+        for node_id in link.pair:
+            self.table(node_id).decay(
+                now, self._connected_keywords(node_id), beta=self.beta
+            )
+
+    def run_rtsr_growth(self, link: Link, elapsed: float) -> None:
+        """Phase three: growth on both endpoints from the peer's table."""
+        now = self.world.now
+        table_a = self.table(link.a)
+        table_b = self.table(link.b)
+        # Grow from snapshots so the update is symmetric (b must not see
+        # a's freshly grown weights).
+        snapshot_a = _snapshot(table_a)
+        snapshot_b = _snapshot(table_b)
+        table_a.grow_from(
+            snapshot_b, now, elapsed,
+            growth_scale=self.growth_scale,
+            elapsed_cap=self.growth_elapsed_cap,
+        )
+        table_b.grow_from(
+            snapshot_a, now, elapsed,
+            growth_scale=self.growth_scale,
+            elapsed_cap=self.growth_elapsed_cap,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing decisions
+    # ------------------------------------------------------------------
+    def classify(self, receiver_id: int, message: Message) -> str:
+        """Operator *DecideDestOrRelay*: ``"destination"`` or ``"relay"``.
+
+        A device with a *direct* interest in any tag is a destination;
+        one with only transient interest is a relay candidate.
+        """
+        table = self.table(receiver_id)
+        if any(table.is_direct(k) for k in message.keywords):
+            return "destination"
+        return "relay"
+
+    def wants_as_relay(
+        self, sender_id: int, receiver_id: int, message: Message
+    ) -> bool:
+        """The ChitChat forwarding rule ``S_v > S_u``."""
+        return (
+            self.interest_sum(receiver_id, message)
+            > self.interest_sum(sender_id, message)
+        )
+
+    def select_messages(
+        self, sender_id: int, receiver_id: int
+    ) -> List[Tuple[Message, str]]:
+        """Messages ``sender`` should offer ``receiver``, with their role.
+
+        Returns:
+            ``(message, "destination"|"relay")`` pairs, destinations
+            first, then relays by descending receiver interest strength
+            (so the most valuable transfers survive short contacts).
+        """
+        sender = self.world.node(sender_id)
+        receiver = self.world.node(receiver_id)
+        destinations: List[Tuple[float, Message]] = []
+        relays: List[Tuple[float, Message]] = []
+        for message in sender.buffer.messages():
+            if receiver.has_seen(message.uuid):
+                continue
+            if message.size > receiver.buffer.capacity:
+                continue
+            role = self.classify(receiver_id, message)
+            strength = self.interest_sum(receiver_id, message)
+            if role == "destination":
+                destinations.append((strength, message))
+            elif self.wants_as_relay(sender_id, receiver_id, message):
+                relays.append((strength, message))
+        destinations.sort(key=lambda item: (-item[0], item[1].uuid))
+        relays.sort(key=lambda item: (-item[0], item[1].uuid))
+        return (
+            [(m, "destination") for _, m in destinations]
+            + [(m, "relay") for _, m in relays]
+        )
+
+    # ------------------------------------------------------------------
+    # World hooks
+    # ------------------------------------------------------------------
+    def on_contact_start(self, link: Link) -> None:
+        self.run_rtsr_decay(link)
+        self._exchange(link)
+
+    def on_contact_end(self, link: Link) -> None:
+        elapsed = self.world.now - link.opened_at
+        self.run_rtsr_growth(link, elapsed)
+
+    def _exchange(self, link: Link) -> None:
+        """Offer messages in both directions after the RTSR update."""
+        for sender_id in link.pair:
+            receiver_id = link.peer_of(sender_id)
+            for message, _role in self.select_messages(sender_id, receiver_id):
+                self.world.send_message(link, sender_id, message)
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        role = self.classify(receiver.node_id, message)
+        if role == "destination":
+            self.world.deliver(receiver, message)
+            if self.destinations_also_relay:
+                self.world.accept_relay(receiver, message)
+        else:
+            if not self.world.accept_relay(receiver, message):
+                return
+        self._forward_onward(receiver.node_id, message)
+
+    def _forward_onward(self, holder_id: int, message: Message) -> None:
+        """Offer a freshly received message on the holder's other links."""
+        holder = self.world.node(holder_id)
+        if message.uuid not in holder.buffer:
+            return
+        for link in self.world.active_links(holder_id):
+            peer_id = link.peer_of(holder_id)
+            peer = self.world.node(peer_id)
+            if peer.has_seen(message.uuid):
+                continue
+            role = self.classify(peer_id, message)
+            if role == "destination" or self.wants_as_relay(
+                holder_id, peer_id, message
+            ):
+                self.world.send_message(link, holder_id, message)
+
+
+def _snapshot(table: InterestTable) -> InterestTable:
+    """A deep-enough copy of a table for symmetric growth updates."""
+    clone = InterestTable(())
+    for keyword in table.keywords:
+        record = table.record(keyword)
+        clone._records[keyword] = InterestRecord(
+            weight=record.weight,
+            direct=record.direct,
+            last_contact=record.last_contact,
+        )
+    return clone

@@ -1,0 +1,39 @@
+"""Direct-contact routing baseline.
+
+The source holds its messages until it personally meets a destination;
+nothing is ever relayed.  Minimum overhead, minimum delivery ratio.
+"""
+
+from __future__ import annotations
+
+from repro.network.link import Link, Transfer
+from repro.routing.base import Router
+
+__all__ = ["DirectContactRouter"]
+
+
+class DirectContactRouter(Router):
+    """Source-to-destination delivery only."""
+
+    name = "direct"
+
+    def on_contact_start(self, link: Link) -> None:
+        for sender_id in link.pair:
+            sender = self.world.node(sender_id)
+            receiver = self.world.node(link.peer_of(sender_id))
+            for message in sender.buffer.messages():
+                # Only the source carries copies under direct contact.
+                if message.source != sender_id:
+                    continue
+                if receiver.has_seen(message.uuid):
+                    continue
+                if self.is_destination(receiver, message):
+                    self.world.send_message(link, sender_id, message)
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        # Under direct contact the only transfers ever issued are
+        # source -> destination, so this is always a delivery.
+        self.world.deliver(receiver, message)

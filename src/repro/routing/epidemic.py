@@ -1,0 +1,51 @@
+"""Epidemic routing baseline.
+
+Every node forwards every message to every encountered node that has
+not seen it (Vahdat & Becker, 2000).  Maximum delivery ratio, maximum
+overhead — the reference point the paper's Section 1 uses to motivate
+data-centric schemes.
+"""
+
+from __future__ import annotations
+
+from repro.messages.message import Message
+from repro.network.link import Link, Transfer
+from repro.routing.base import Router
+
+__all__ = ["EpidemicRouter"]
+
+
+class EpidemicRouter(Router):
+    """Flood everything to everyone."""
+
+    name = "epidemic"
+
+    def on_contact_start(self, link: Link) -> None:
+        for sender_id in link.pair:
+            receiver = self.world.node(link.peer_of(sender_id))
+            sender = self.world.node(sender_id)
+            for message in sender.buffer.messages():
+                if receiver.has_seen(message.uuid):
+                    continue
+                if message.size > receiver.buffer.capacity:
+                    continue
+                self.world.send_message(link, sender_id, message)
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        if self.is_destination(receiver, message):
+            self.world.deliver(receiver, message)
+        if not self.world.accept_relay(receiver, message):
+            return
+        self._flood_onward(receiver.node_id, message)
+
+    def _flood_onward(self, holder_id: int, message: Message) -> None:
+        holder = self.world.node(holder_id)
+        if message.uuid not in holder.buffer:
+            return
+        for link in self.world.active_links(holder_id):
+            peer = self.world.node(link.peer_of(holder_id))
+            if not peer.has_seen(message.uuid):
+                self.world.send_message(link, holder_id, message)

@@ -1,0 +1,106 @@
+"""Epidemic routing variants surveyed in thesis Section 1.1.
+
+* **Priority-based epidemic** — flooding, but transfer queues drain in
+  source-priority order, so high-priority messages win the race for
+  short contacts.
+* **Immunity-based epidemic** — once a node has *delivered* a message
+  (or learns of its delivery via gossiped immunity lists), it purges the
+  copy and refuses re-infection, curing the network of dead traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.messages.message import Message
+from repro.network.link import Link, Transfer
+from repro.routing.epidemic import EpidemicRouter
+
+__all__ = ["PriorityEpidemicRouter", "ImmuneEpidemicRouter"]
+
+
+class PriorityEpidemicRouter(EpidemicRouter):
+    """Epidemic flooding with priority-ordered transfer queues."""
+
+    name = "epidemic-priority"
+
+    def on_contact_start(self, link: Link) -> None:
+        for sender_id in link.pair:
+            sender = self.world.node(sender_id)
+            receiver = self.world.node(link.peer_of(sender_id))
+            candidates = [
+                m for m in sender.buffer.messages()
+                if not receiver.has_seen(m.uuid)
+                and m.size <= receiver.buffer.capacity
+            ]
+            candidates.sort(
+                key=lambda m: (int(m.priority), -m.quality, m.uuid)
+            )
+            for message in candidates:
+                self.world.send_message(link, sender_id, message)
+
+
+class ImmuneEpidemicRouter(EpidemicRouter):
+    """Epidemic flooding with delivery-immunity ("cure") propagation.
+
+    Each node keeps an immunity set of message UUIDs known to be fully
+    delivered.  On contact, immunity sets are merged *before* routing,
+    and immune messages are purged from buffers and never re-accepted —
+    the classic anti-entropy optimisation that trades a little metadata
+    for a large drop in dead traffic.
+
+    A message becomes immune once it has reached every destination the
+    *receiving node can name* — here, when the delivering contact's
+    destination accepts it; richer oracle policies can subclass
+    :meth:`_should_immunise`.
+    """
+
+    name = "epidemic-immune"
+
+    def __init__(self):
+        super().__init__()
+        self._immunity: Dict[int, Set[str]] = {}
+
+    def immunity_of(self, node_id: int) -> Set[str]:
+        """The node's current immunity set (a live reference)."""
+        return self._immunity.setdefault(node_id, set())
+
+    def _should_immunise(self, receiver_id: int, message: Message) -> bool:
+        """Whether this delivery should start curing the message."""
+        record = self.world.metrics.record_for(message.uuid)
+        if record is None:
+            return True
+        # Cure once every intended destination has a copy.
+        return set(record.delivered_to) >= set(record.intended)
+
+    def _purge(self, node_id: int, uuid: str) -> None:
+        node = self.world.node(node_id)
+        node.buffer.discard(uuid)
+
+    def on_contact_start(self, link: Link) -> None:
+        # Anti-entropy: merge immunity sets, purge cured copies.
+        merged = self.immunity_of(link.a) | self.immunity_of(link.b)
+        self._immunity[link.a] = set(merged)
+        self._immunity[link.b] = set(merged)
+        for node_id in link.pair:
+            for uuid in merged:
+                self._purge(node_id, uuid)
+        super().on_contact_start(link)
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        if message.uuid in self.immunity_of(receiver.node_id):
+            # Refuse re-infection; the copy dies here.
+            receiver.seen.add(message.uuid)
+            return
+        message.record_hop(receiver.node_id)
+        if self.is_destination(receiver, message):
+            self.world.deliver(receiver, message)
+            if self._should_immunise(receiver.node_id, message):
+                self.immunity_of(receiver.node_id).add(message.uuid)
+                self._purge(receiver.node_id, message.uuid)
+                return
+        if not self.world.accept_relay(receiver, message):
+            return
+        self._flood_onward(receiver.node_id, message)

@@ -1,0 +1,118 @@
+"""NECTAR baseline (de Oliveira et al., 2009).
+
+Section 1.1 of the thesis surveys NECTAR among the forwarding-based
+node-centric algorithms: each node maintains a *neighbourhood index*
+reflecting how often it meets every other node, and a message is
+forwarded to nodes whose index toward the destination is higher than the
+carrier's.  Destinations remain interest-based, as everywhere in this
+package: the "index toward the destination set" is the maximum index
+toward any node with a direct interest in the message.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.messages.message import Message
+from repro.network.link import Link, Transfer
+from repro.routing.base import Router
+
+__all__ = ["NectarRouter"]
+
+
+class NectarRouter(Router):
+    """Meeting-frequency (neighbourhood index) routing.
+
+    Args:
+        decay_per_second: Exponential index decay rate per second, so
+            stale meeting history loses influence (0 disables decay).
+        boost: Index increment applied on every encounter.
+    """
+
+    name = "nectar"
+
+    def __init__(self, *, decay_per_second: float = 1e-4, boost: float = 1.0):
+        super().__init__()
+        if decay_per_second < 0:
+            raise ConfigurationError(
+                f"decay_per_second must be >= 0, got {decay_per_second!r}"
+            )
+        if boost <= 0:
+            raise ConfigurationError(f"boost must be > 0, got {boost!r}")
+        self.decay_per_second = float(decay_per_second)
+        self.boost = float(boost)
+        self._index: Dict[int, Dict[int, float]] = {}
+        self._last_update: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Neighbourhood index
+    # ------------------------------------------------------------------
+    def index(self, holder: int, target: int) -> float:
+        """Current neighbourhood index of ``holder`` toward ``target``."""
+        return self._index.get(holder, {}).get(target, 0.0)
+
+    def _age(self, node_id: int) -> None:
+        now = self.world.now
+        last = self._last_update.get(node_id, now)
+        self._last_update[node_id] = now
+        elapsed = now - last
+        if elapsed <= 0 or self.decay_per_second == 0:
+            return
+        factor = math.exp(-self.decay_per_second * elapsed)
+        table = self._index.get(node_id)
+        if not table:
+            return
+        for target in list(table):
+            table[target] *= factor
+            if table[target] < 1e-9:
+                del table[target]
+
+    def _record_meeting(self, a: int, b: int) -> None:
+        self._index.setdefault(a, {})[b] = self.index(a, b) + self.boost
+        self._index.setdefault(b, {})[a] = self.index(b, a) + self.boost
+
+    def index_toward_destinations(self, holder: int, message: Message) -> float:
+        """Max index from ``holder`` to any interested node."""
+        best = 0.0
+        for node_id in self.world.node_ids():
+            if node_id == holder:
+                continue
+            if self.world.node(node_id).is_interested_in(message):
+                best = max(best, self.index(holder, node_id))
+        return best
+
+    # ------------------------------------------------------------------
+    # World hooks
+    # ------------------------------------------------------------------
+    def on_contact_start(self, link: Link) -> None:
+        self._age(link.a)
+        self._age(link.b)
+        self._record_meeting(link.a, link.b)
+        for sender_id in link.pair:
+            sender = self.world.node(sender_id)
+            receiver = self.world.node(link.peer_of(sender_id))
+            for message in sender.buffer.messages():
+                if receiver.has_seen(message.uuid):
+                    continue
+                if message.size > receiver.buffer.capacity:
+                    continue
+                if self.is_destination(receiver, message):
+                    self.world.send_message(link, sender_id, message)
+                    continue
+                mine = self.index_toward_destinations(sender_id, message)
+                theirs = self.index_toward_destinations(
+                    receiver.node_id, message
+                )
+                if theirs > mine:
+                    self.world.send_message(link, sender_id, message)
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        if self.is_destination(receiver, message):
+            self.world.deliver(receiver, message)
+            return
+        self.world.accept_relay(receiver, message)

@@ -1,0 +1,147 @@
+"""PRoPHET baseline (Lindgren et al., 2003).
+
+Probabilistic Routing Protocol using History of Encounters and
+Transitivity: each node keeps a delivery predictability ``P(a, b)``
+updated on encounters, aged over time, and made transitive through
+common neighbours.  A message is forwarded when the peer's
+predictability of reaching *some destination* of the message exceeds the
+holder's.  Destinations are interest-based, like everywhere else in this
+package.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.messages.message import Message
+from repro.network.link import Link, Transfer
+from repro.routing.base import Router
+
+__all__ = ["ProphetRouter"]
+
+
+class ProphetRouter(Router):
+    """PRoPHET with interest-based destination sets.
+
+    Args:
+        p_encounter: Initialisation constant ``P_init`` in (0, 1].
+        beta_transitive: Transitivity scaling ``beta`` in [0, 1].
+        gamma: Aging constant per second in (0, 1).
+    """
+
+    name = "prophet"
+
+    def __init__(
+        self,
+        *,
+        p_encounter: float = 0.75,
+        beta_transitive: float = 0.25,
+        gamma: float = 0.999,
+    ):
+        super().__init__()
+        if not 0.0 < p_encounter <= 1.0:
+            raise ConfigurationError(
+                f"p_encounter must be in (0, 1], got {p_encounter!r}"
+            )
+        if not 0.0 <= beta_transitive <= 1.0:
+            raise ConfigurationError(
+                f"beta_transitive must be in [0, 1], got {beta_transitive!r}"
+            )
+        if not 0.0 < gamma < 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1), got {gamma!r}")
+        self.p_encounter = float(p_encounter)
+        self.beta_transitive = float(beta_transitive)
+        self.gamma = float(gamma)
+        self._pred: Dict[int, Dict[int, float]] = {}
+        self._last_aged: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Predictability bookkeeping
+    # ------------------------------------------------------------------
+    def predictability(self, holder: int, target: int) -> float:
+        """Current ``P(holder, target)`` (0 when never encountered)."""
+        return self._pred.get(holder, {}).get(target, 0.0)
+
+    def _age(self, node_id: int) -> None:
+        now = self.world.now
+        last = self._last_aged.get(node_id, now)
+        elapsed = now - last
+        self._last_aged[node_id] = now
+        if elapsed <= 0:
+            return
+        table = self._pred.get(node_id)
+        if not table:
+            return
+        factor = math.pow(self.gamma, elapsed)
+        for target in list(table):
+            table[target] *= factor
+            if table[target] < 1e-6:
+                del table[target]
+
+    def _on_encounter(self, a: int, b: int) -> None:
+        for holder, peer in ((a, b), (b, a)):
+            table = self._pred.setdefault(holder, {})
+            old = table.get(peer, 0.0)
+            table[peer] = old + (1.0 - old) * self.p_encounter
+        # Transitivity: P(a, c) grows through b's knowledge.
+        for holder, peer in ((a, b), (b, a)):
+            holder_table = self._pred.setdefault(holder, {})
+            peer_table = self._pred.get(peer, {})
+            p_holder_peer = holder_table.get(peer, 0.0)
+            for target, p_peer_target in peer_table.items():
+                if target == holder:
+                    continue
+                old = holder_table.get(target, 0.0)
+                boost = (
+                    p_holder_peer * p_peer_target * self.beta_transitive
+                )
+                holder_table[target] = old + (1.0 - old) * boost
+
+    def best_predictability(self, holder: int, message: Message) -> float:
+        """Max predictability of ``holder`` reaching any destination."""
+        best = 0.0
+        for node_id in self.world.node_ids():
+            if node_id == holder:
+                continue
+            node = self.world.node(node_id)
+            if node.is_interested_in(message):
+                best = max(best, self.predictability(holder, node_id))
+        return best
+
+    # ------------------------------------------------------------------
+    # World hooks
+    # ------------------------------------------------------------------
+    def on_contact_start(self, link: Link) -> None:
+        self._age(link.a)
+        self._age(link.b)
+        self._on_encounter(link.a, link.b)
+        for sender_id in link.pair:
+            sender = self.world.node(sender_id)
+            receiver = self.world.node(link.peer_of(sender_id))
+            offers: List[Tuple[float, Message]] = []
+            for message in sender.buffer.messages():
+                if receiver.has_seen(message.uuid):
+                    continue
+                if message.size > receiver.buffer.capacity:
+                    continue
+                if self.is_destination(receiver, message):
+                    offers.append((math.inf, message))
+                    continue
+                mine = self.best_predictability(sender_id, message)
+                theirs = self.best_predictability(receiver.node_id, message)
+                if theirs > mine:
+                    offers.append((theirs, message))
+            offers.sort(key=lambda item: -item[0])
+            for _, message in offers:
+                self.world.send_message(link, sender_id, message)
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        if self.is_destination(receiver, message):
+            self.world.deliver(receiver, message)
+            return
+        self.world.accept_relay(receiver, message)

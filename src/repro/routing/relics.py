@@ -1,0 +1,128 @@
+"""RELICS-style in-network incentive baseline (Uddin et al., ICNP'10).
+
+The thesis's related work: RELICS designs a *rank* metric quantifying a
+node's transit behaviour, and realises incentives in-network — a node's
+own traffic is served in proportion to the relaying work it performs, so
+selfish nodes starve until they contribute.
+
+This implementation tracks each node's transit rank (bytes relayed for
+others) and gates *delivery to* a destination on its rank: a message is
+handed to an interested node only when that node has relayed at least
+``service_ratio`` times the bytes it has consumed.  Fresh nodes get a
+``grace_bytes`` allowance so the network can bootstrap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.network.link import Link, Transfer
+from repro.routing.base import Router
+
+__all__ = ["RelicsRouter"]
+
+
+class RelicsRouter(Router):
+    """Transit-rank-gated flooding.
+
+    Args:
+        service_ratio: Required (bytes relayed) / (bytes consumed) ratio
+            for continued service; 0 disables gating.
+        grace_bytes: Consumption allowance before the ratio is enforced.
+    """
+
+    name = "relics"
+
+    def __init__(self, *, service_ratio: float = 0.5,
+                 grace_bytes: int = 5_000_000):
+        super().__init__()
+        if service_ratio < 0:
+            raise ConfigurationError(
+                f"service_ratio must be >= 0, got {service_ratio!r}"
+            )
+        if grace_bytes < 0:
+            raise ConfigurationError(
+                f"grace_bytes must be >= 0, got {grace_bytes!r}"
+            )
+        self.service_ratio = float(service_ratio)
+        self.grace_bytes = int(grace_bytes)
+        self._relayed_bytes: Dict[int, int] = {}
+        self._consumed_bytes: Dict[int, int] = {}
+        # Bytes of in-flight deliveries, counted at offer time so that
+        # simultaneous offers cannot race past the standing check.
+        self._pending_consumption: Dict[int, int] = {}
+
+    def rank(self, node_id: int) -> int:
+        """Transit rank: bytes the node has relayed for others."""
+        return self._relayed_bytes.get(node_id, 0)
+
+    def consumed(self, node_id: int) -> int:
+        """Bytes delivered to the node as a destination."""
+        return self._consumed_bytes.get(node_id, 0)
+
+    def in_good_standing(self, node_id: int, next_size: int) -> bool:
+        """Whether the node has relayed enough to be served more."""
+        would_consume = (
+            self.consumed(node_id)
+            + self._pending_consumption.get(node_id, 0)
+            + next_size
+        )
+        if would_consume <= self.grace_bytes:
+            return True
+        return self.rank(node_id) >= self.service_ratio * (
+            would_consume - self.grace_bytes
+        )
+
+    def on_contact_start(self, link: Link) -> None:
+        for sender_id in link.pair:
+            sender = self.world.node(sender_id)
+            receiver = self.world.node(link.peer_of(sender_id))
+            for message in sender.buffer.messages():
+                if receiver.has_seen(message.uuid):
+                    continue
+                if message.size > receiver.buffer.capacity:
+                    continue
+                if self.is_destination(receiver, message):
+                    # In-network incentive: low-rank consumers starve.
+                    if self.in_good_standing(receiver.node_id, message.size):
+                        transfer = self.world.send_message(
+                            link, sender_id, message
+                        )
+                        if transfer is not None:
+                            self._pending_consumption[receiver.node_id] = (
+                                self._pending_consumption.get(
+                                    receiver.node_id, 0
+                                ) + message.size
+                            )
+                    continue
+                self.world.send_message(link, sender_id, message)
+
+    def _release_pending(self, transfer: Transfer) -> None:
+        node_id = transfer.receiver
+        pending = self._pending_consumption.get(node_id, 0)
+        if pending:
+            self._pending_consumption[node_id] = max(
+                0, pending - transfer.message.size
+            )
+
+    def on_transfer_aborted(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        if self.is_destination(receiver, transfer.message):
+            self._release_pending(transfer)
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        if self.is_destination(receiver, message):
+            self._release_pending(transfer)
+            if self.world.deliver(receiver, message):
+                self._consumed_bytes[receiver.node_id] = (
+                    self.consumed(receiver.node_id) + message.size
+                )
+            return
+        if self.world.accept_relay(receiver, message):
+            self._relayed_bytes[receiver.node_id] = (
+                self.rank(receiver.node_id) + message.size
+            )

@@ -1,0 +1,97 @@
+"""Spray-and-Wait baseline (binary variant).
+
+Each message starts with ``initial_copies`` logical copies.  In the
+*spray* phase a node holding ``c > 1`` copies hands ``floor(c / 2)`` to
+an encountered node; a node left with one copy *waits* and delivers only
+on meeting a destination (Spyropoulos et al., 2005).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.link import Link, Transfer
+from repro.routing.base import Router
+
+__all__ = ["SprayAndWaitRouter"]
+
+
+class SprayAndWaitRouter(Router):
+    """Binary Spray-and-Wait with interest-based destinations.
+
+    Args:
+        initial_copies: Logical copies created with each message (L).
+    """
+
+    name = "spray-and-wait"
+
+    def __init__(self, initial_copies: int = 8):
+        super().__init__()
+        if initial_copies < 1:
+            raise ConfigurationError(
+                f"initial_copies must be >= 1, got {initial_copies}"
+            )
+        self.initial_copies = int(initial_copies)
+        # (node_id, uuid) -> remaining logical copies held by that node.
+        self._copies: Dict[Tuple[int, str], int] = {}
+        # Copies granted to a transfer, reclaimed on abort.
+        self._in_flight: Dict[int, Tuple[int, str, int]] = {}
+
+    def copies_held(self, node_id: int, uuid: str) -> int:
+        """Logical copies ``node_id`` currently holds for ``uuid``."""
+        return self._copies.get((node_id, uuid), 0)
+
+    def on_message_created(self, node_id: int, message) -> None:
+        self._copies[(node_id, message.uuid)] = self.initial_copies
+
+    def on_contact_start(self, link: Link) -> None:
+        for sender_id in link.pair:
+            sender = self.world.node(sender_id)
+            receiver = self.world.node(link.peer_of(sender_id))
+            for message in sender.buffer.messages():
+                if receiver.has_seen(message.uuid):
+                    continue
+                if message.size > receiver.buffer.capacity:
+                    continue
+                if self.is_destination(receiver, message):
+                    self.world.send_message(link, sender_id, message)
+                    continue
+                held = self.copies_held(sender_id, message.uuid)
+                if held > 1:
+                    transfer = self.world.send_message(link, sender_id, message)
+                    if transfer is not None:
+                        granted = held // 2
+                        self._copies[(sender_id, message.uuid)] = held - granted
+                        self._in_flight[id(transfer)] = (
+                            sender_id, message.uuid, granted
+                        )
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        grant = self._in_flight.pop(id(transfer), None)
+        if self.is_destination(receiver, message):
+            self.world.deliver(receiver, message)
+            return
+        if not self.world.accept_relay(receiver, message):
+            # Buffer refused; return the copies to the sender.
+            if grant is not None:
+                sender_id, uuid, granted = grant
+                self._copies[(sender_id, uuid)] = (
+                    self.copies_held(sender_id, uuid) + granted
+                )
+            return
+        if grant is not None:
+            self._copies[(receiver.node_id, message.uuid)] = grant[2]
+
+    def on_transfer_aborted(self, transfer: Transfer, link: Link) -> None:
+        # Aborted transfers never hit on_message_received; reclaim their
+        # granted copies so none are lost to a broken contact.
+        grant = self._in_flight.pop(id(transfer), None)
+        if grant is not None:
+            sender_id, uuid, granted = grant
+            self._copies[(sender_id, uuid)] = (
+                self.copies_held(sender_id, uuid) + granted
+            )

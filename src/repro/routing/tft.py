@@ -1,0 +1,141 @@
+"""Tit-For-Tat incentive-aware routing baseline (Shevade et al., ICNP'08).
+
+The thesis's related work: under TFT a node relays traffic for a
+neighbour only to the extent the neighbour has relayed for it, plus a
+small generosity allowance ``epsilon`` that bootstraps cooperation.
+
+We keep pairwise byte counters: ``carried(v, u)`` is how many bytes
+``v`` has accepted from ``u`` for relaying.  ``v`` accepts another relay
+message from ``u`` only while::
+
+    carried(v, u) <= carried(u, v) + epsilon_bytes
+
+Deliveries to destinations are always accepted (TFT constrains *relay*
+work, not final delivery), and routing otherwise follows the epidemic
+pattern so the TFT constraint is the only thing being measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.link import Link, Transfer
+from repro.routing.base import Router
+
+__all__ = ["TitForTatRouter"]
+
+
+class TitForTatRouter(Router):
+    """Pairwise reciprocity-constrained flooding.
+
+    Args:
+        epsilon_bytes: Generosity allowance per neighbour pair — how far
+            a node will run ahead of reciprocity before refusing (the
+            classic bootstrap for TFT schemes).
+    """
+
+    name = "tit-for-tat"
+
+    def __init__(self, *, epsilon_bytes: int = 2_000_000):
+        super().__init__()
+        if epsilon_bytes < 0:
+            raise ConfigurationError(
+                f"epsilon_bytes must be >= 0, got {epsilon_bytes!r}"
+            )
+        self.epsilon_bytes = int(epsilon_bytes)
+        # carried[(v, u)]: bytes v accepted from u for relaying.
+        self._carried: Dict[Tuple[int, int], int] = {}
+        # Bytes committed to in-flight transfers, counted against the
+        # allowance at offer time so simultaneous offers cannot race
+        # past the reciprocity gate; reclaimed on abort.
+        self._pending: Dict[Tuple[int, int], int] = {}
+
+    def carried(self, carrier: int, requester: int) -> int:
+        """Bytes ``carrier`` has relayed on behalf of ``requester``."""
+        return self._carried.get((carrier, requester), 0)
+
+    def _committed(self, carrier: int, requester: int) -> int:
+        key = (carrier, requester)
+        return self._carried.get(key, 0) + self._pending.get(key, 0)
+
+    def within_allowance(self, carrier: int, requester: int,
+                         size: int) -> bool:
+        """The TFT acceptance rule for one prospective relay transfer."""
+        return (
+            self._committed(carrier, requester) + size
+            <= self.carried(requester, carrier) + self.epsilon_bytes
+        )
+
+    def on_contact_start(self, link: Link) -> None:
+        for sender_id in link.pair:
+            sender = self.world.node(sender_id)
+            receiver = self.world.node(link.peer_of(sender_id))
+            for message in sender.buffer.messages():
+                if receiver.has_seen(message.uuid):
+                    continue
+                if message.size > receiver.buffer.capacity:
+                    continue
+                if self.is_destination(receiver, message):
+                    self.world.send_message(link, sender_id, message)
+                    continue
+                if self.within_allowance(
+                    receiver.node_id, sender_id, message.size
+                ):
+                    transfer = self.world.send_message(
+                        link, sender_id, message
+                    )
+                    if transfer is not None:
+                        key = (receiver.node_id, sender_id)
+                        self._pending[key] = (
+                            self._pending.get(key, 0) + message.size
+                        )
+
+    def _settle_pending(self, transfer: Transfer) -> None:
+        key = (transfer.receiver, transfer.sender)
+        pending = self._pending.get(key, 0)
+        if pending:
+            self._pending[key] = max(0, pending - transfer.message.size)
+
+    def on_transfer_aborted(self, transfer: Transfer, link: Link) -> None:
+        self._settle_pending(transfer)
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        if self.is_destination(receiver, message):
+            self._settle_pending(transfer)
+            self.world.deliver(receiver, message)
+            return
+        self._settle_pending(transfer)
+        if not self.world.accept_relay(receiver, message):
+            return
+        key = (receiver.node_id, transfer.sender)
+        self._carried[key] = self._carried.get(key, 0) + message.size
+        # The receiver just carried traffic for the sender, which raises
+        # the receiver's own allowance at the sender: retry messages the
+        # gate deferred earlier in this contact.
+        self._offer_relays(link, sender_id=receiver.node_id,
+                           receiver_id=transfer.sender)
+
+    def _offer_relays(self, link: Link, *, sender_id: int,
+                      receiver_id: int) -> None:
+        if link.closed:
+            return
+        sender = self.world.node(sender_id)
+        receiver = self.world.node(receiver_id)
+        for message in sender.buffer.messages():
+            if receiver.has_seen(message.uuid):
+                continue
+            if message.size > receiver.buffer.capacity:
+                continue
+            if self.is_destination(receiver, message):
+                continue  # deliveries were already offered unconditionally
+            if self.within_allowance(receiver_id, sender_id, message.size):
+                transfer = self.world.send_message(link, sender_id, message)
+                if transfer is not None:
+                    key = (receiver_id, sender_id)
+                    self._pending[key] = (
+                        self._pending.get(key, 0) + message.size
+                    )

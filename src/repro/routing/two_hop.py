@@ -1,0 +1,43 @@
+"""Two-hop relay baseline.
+
+The source may hand copies to relays it meets; a relay only passes its
+copy on when it meets a destination.  Paths are therefore at most two
+hops (source -> relay -> destination), bounding overhead.
+"""
+
+from __future__ import annotations
+
+from repro.network.link import Link, Transfer
+from repro.routing.base import Router
+
+__all__ = ["TwoHopRouter"]
+
+
+class TwoHopRouter(Router):
+    """Source -> relay -> destination, never deeper."""
+
+    name = "two-hop"
+
+    def on_contact_start(self, link: Link) -> None:
+        for sender_id in link.pair:
+            sender = self.world.node(sender_id)
+            receiver = self.world.node(link.peer_of(sender_id))
+            for message in sender.buffer.messages():
+                if receiver.has_seen(message.uuid):
+                    continue
+                if message.size > receiver.buffer.capacity:
+                    continue
+                if self.is_destination(receiver, message):
+                    self.world.send_message(link, sender_id, message)
+                elif message.source == sender_id:
+                    # Only the source spreads copies to relays.
+                    self.world.send_message(link, sender_id, message)
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        if self.is_destination(receiver, message):
+            self.world.deliver(receiver, message)
+            return
+        self.world.accept_relay(receiver, message)

@@ -1,0 +1,172 @@
+"""Two-hop reward-based incentive baseline (Seregina et al., TMC 2017).
+
+The thesis's related work [5]/[6]: a source sprays copies to relays with
+a *promise* — only the **first** relay to reach the destination collects
+the reward from it.  When recruiting, the source reveals full, partial
+or no information about the competition:
+
+* ``full``    — the relay learns how many copies circulate *and* how
+  long they have been out (older copies are likelier to win first);
+* ``partial`` — the relay learns only the copy count;
+* ``none``    — the relay learns nothing and uses a pessimistic prior.
+
+A rational relay accepts a copy only when its expected payoff covers its
+relaying cost: ``P(win) * reward >= cost``.  With ``k`` competing copies
+the naive win probability is ``1/(k+1)``; under ``full`` information the
+estimate is further discounted by how stale the competition makes a new
+entrant (each already-circulating copy ages the newcomer's chances).
+
+Rewards settle on a :class:`~repro.core.ledger.TokenLedger` so the
+economics are inspectable, mirroring the main scheme's bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.ledger import TokenLedger
+from repro.errors import ConfigurationError
+from repro.network.link import Link, Transfer
+from repro.routing.base import Router
+
+__all__ = ["TwoHopRewardRouter", "INFORMATION_SETTINGS"]
+
+INFORMATION_SETTINGS = ("full", "partial", "none")
+
+
+class TwoHopRewardRouter(Router):
+    """First-deliverer-wins two-hop incentive routing.
+
+    Args:
+        information: One of ``"full"``, ``"partial"``, ``"none"``.
+        reward: Tokens the destination pays the first deliverer.
+        relay_cost: A relay's subjective cost of carrying one copy.
+        pessimistic_copies: The copy count a relay assumes under the
+            ``none`` setting.
+        initial_tokens: Ledger endowment per node.
+    """
+
+    name = "two-hop-reward"
+
+    def __init__(
+        self,
+        *,
+        information: str = "full",
+        reward: float = 10.0,
+        relay_cost: float = 1.0,
+        pessimistic_copies: int = 8,
+        initial_tokens: float = 200.0,
+        ledger: Optional[TokenLedger] = None,
+    ):
+        super().__init__()
+        if information not in INFORMATION_SETTINGS:
+            raise ConfigurationError(
+                f"information must be one of {INFORMATION_SETTINGS}, "
+                f"got {information!r}"
+            )
+        if reward <= 0:
+            raise ConfigurationError(f"reward must be > 0, got {reward!r}")
+        if relay_cost < 0:
+            raise ConfigurationError(
+                f"relay_cost must be >= 0, got {relay_cost!r}"
+            )
+        if pessimistic_copies < 0:
+            raise ConfigurationError(
+                f"pessimistic_copies must be >= 0, got {pessimistic_copies!r}"
+            )
+        self.information = information
+        self.reward = float(reward)
+        self.relay_cost = float(relay_cost)
+        self.pessimistic_copies = int(pessimistic_copies)
+        self.initial_tokens = float(initial_tokens)
+        self.ledger = ledger if ledger is not None else TokenLedger()
+        # uuid -> [recruitment times of circulating relay copies].
+        self._copies_out: Dict[str, List[float]] = {}
+        self._declined = 0
+        self._accepted = 0
+
+    # ------------------------------------------------------------------
+    # Relay economics
+    # ------------------------------------------------------------------
+    @property
+    def offers_declined(self) -> int:
+        """Relay offers turned down as economically unattractive."""
+        return self._declined
+
+    @property
+    def offers_accepted(self) -> int:
+        """Relay offers accepted."""
+        return self._accepted
+
+    def _ensure_account(self, node_id: int) -> None:
+        if not self.ledger.has_account(node_id):
+            self.ledger.open_account(node_id, self.initial_tokens)
+
+    def win_probability_estimate(self, uuid: str) -> float:
+        """A prospective relay's estimated chance of delivering first."""
+        recruited = self._copies_out.get(uuid, [])
+        if self.information == "none":
+            k = self.pessimistic_copies
+            return 1.0 / (k + 1)
+        k = len(recruited)
+        estimate = 1.0 / (k + 1)
+        if self.information == "full" and recruited:
+            # Every already-circulating copy has a head start; discount
+            # the newcomer by the mean age of the competition relative
+            # to the run so far (older competition = worse odds).
+            now = max(self.world.now, 1e-9)
+            mean_age = sum(now - t for t in recruited) / len(recruited)
+            estimate *= 1.0 / (1.0 + mean_age / now)
+        return estimate
+
+    def relay_accepts(self, uuid: str) -> bool:
+        """The rational-relay participation rule."""
+        return self.win_probability_estimate(uuid) * self.reward >= (
+            self.relay_cost
+        )
+
+    # ------------------------------------------------------------------
+    # World hooks
+    # ------------------------------------------------------------------
+    def on_contact_start(self, link: Link) -> None:
+        for sender_id in link.pair:
+            sender = self.world.node(sender_id)
+            receiver = self.world.node(link.peer_of(sender_id))
+            for message in sender.buffer.messages():
+                if receiver.has_seen(message.uuid):
+                    continue
+                if message.size > receiver.buffer.capacity:
+                    continue
+                if self.is_destination(receiver, message):
+                    self.world.send_message(link, sender_id, message)
+                elif message.source == sender_id:
+                    # Two-hop: only the source recruits relays, and a
+                    # rational relay weighs the offer first.
+                    if self.relay_accepts(message.uuid):
+                        self._accepted += 1
+                        self.world.send_message(link, sender_id, message)
+                    else:
+                        self._declined += 1
+
+    def on_message_received(self, transfer: Transfer, link: Link) -> None:
+        receiver = self.world.node(transfer.receiver)
+        message = transfer.message
+        message.record_hop(receiver.node_id)
+        if self.is_destination(receiver, message):
+            first = self.world.deliver(receiver, message)
+            if first and transfer.sender != message.source:
+                # Only the first deliverer collects; dedup already
+                # guarantees one delivery per (message, destination).
+                self._ensure_account(receiver.node_id)
+                self._ensure_account(transfer.sender)
+                if self.ledger.can_pay(receiver.node_id, self.reward):
+                    self.ledger.transfer(
+                        receiver.node_id, transfer.sender, self.reward,
+                        time=self.world.now, reason="two-hop-reward",
+                    )
+                    self.world.metrics.on_payment(self.reward)
+            return
+        if self.world.accept_relay(receiver, message):
+            self._copies_out.setdefault(message.uuid, []).append(
+                self.world.now
+            )

@@ -1,0 +1,14 @@
+"""Discrete-event simulation engine.
+
+This subpackage replaces the core of the ONE simulator used by the paper:
+a monotonic simulation clock, a binary-heap event queue with deterministic
+tie-breaking, seeded per-purpose random streams, and light-weight periodic
+processes.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventHandle
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Engine", "Event", "EventHandle", "PeriodicProcess", "RandomStreams"]

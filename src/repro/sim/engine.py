@@ -1,0 +1,176 @@
+"""The discrete-event engine.
+
+The engine owns the simulation clock and a binary-heap event queue.  It is
+deliberately small: everything domain-specific (contacts, transfers,
+message generation) is expressed as scheduled callbacks, exactly as in
+event-driven network simulators such as ONE or ns-3.
+
+Example:
+    >>> engine = Engine()
+    >>> fired = []
+    >>> _ = engine.schedule_at(5.0, lambda: fired.append(engine.now))
+    >>> engine.run_until(10.0)
+    >>> fired
+    [5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Event, EventHandle
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Events scheduled for the same instant fire in (priority, insertion)
+    order.  The clock only moves forward; scheduling in the past raises
+    :class:`~repro.errors.SchedulingError`.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        if not math.isfinite(start_time):
+            raise SchedulingError(f"start_time must be finite, got {start_time!r}")
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._sequence = 0
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire at absolute simulation ``time``.
+
+        Args:
+            time: Absolute firing time; must be >= :attr:`now`.
+            callback: Zero-argument callable.
+            priority: Tie-break among simultaneous events; lower first.
+            label: Tag used in error messages.
+
+        Returns:
+            A handle that can cancel the event.
+
+        Raises:
+            SchedulingError: If ``time`` is in the past or not finite.
+        """
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule {label or 'event'!r} at t={time:.6f}, "
+                f"clock is already at t={self._now:.6f}"
+            )
+        event = Event(
+            time=float(time),
+            priority=priority,
+            sequence=self._sequence,
+            callback=callback,
+            label=label,
+        )
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be >= 0, got {delay!r}")
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, label=label
+        )
+
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns:
+            ``True`` if an event fired, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events until the clock reaches ``end_time``.
+
+        Events scheduled exactly at ``end_time`` are fired.  The clock is
+        left at ``end_time`` even if the queue drains early, so metric
+        windows line up with the configured duration.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time:.6f} is before current time {self._now:.6f}"
+            )
+        if self._running:
+            raise SimulationError("engine is already running (reentrant run call)")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.time > end_time:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._events_fired += 1
+                event.callback()
+            self._now = float(end_time)
+        finally:
+            self._running = False
+
+    def run(self) -> None:
+        """Run until the event queue is exhausted."""
+        if self._running:
+            raise SimulationError("engine is already running (reentrant run call)")
+        self._running = True
+        try:
+            while self.step():
+                pass
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Engine(now={self._now:.3f}, pending={self.pending}, "
+            f"fired={self._events_fired})"
+        )

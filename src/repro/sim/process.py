@@ -1,0 +1,95 @@
+"""Periodic processes on top of the event engine.
+
+A :class:`PeriodicProcess` re-schedules itself every ``interval`` seconds
+until stopped — the building block for contact scans, message-generation
+ticks and metric sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Engine
+from repro.sim.events import EventHandle
+
+__all__ = ["PeriodicProcess"]
+
+
+class PeriodicProcess:
+    """Invoke a callback at a fixed simulated interval.
+
+    The callback receives the current simulation time.  The process stops
+    either when :meth:`stop` is called or when ``until`` is reached.
+
+    Example:
+        >>> engine = Engine()
+        >>> ticks = []
+        >>> process = PeriodicProcess(engine, 2.0, ticks.append, start_at=0.0)
+        >>> process.start()
+        >>> engine.run_until(5.0)
+        >>> ticks
+        [0.0, 2.0, 4.0]
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        interval: float,
+        callback: Callable[[float], None],
+        *,
+        start_at: Optional[float] = None,
+        until: Optional[float] = None,
+        label: str = "periodic",
+    ):
+        if interval <= 0:
+            raise SchedulingError(f"interval must be > 0, got {interval!r}")
+        self._engine = engine
+        self._interval = float(interval)
+        self._callback = callback
+        self._start_at = engine.now if start_at is None else float(start_at)
+        self._until = until
+        self._label = label
+        self._handle: Optional[EventHandle] = None
+        self._stopped = False
+        self._ticks = 0
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the callback has fired."""
+        return self._ticks
+
+    @property
+    def running(self) -> bool:
+        """Whether the process has a pending event."""
+        return self._handle is not None and not self._stopped
+
+    def start(self) -> None:
+        """Schedule the first tick.  Starting twice is an error."""
+        if self._handle is not None:
+            raise SchedulingError(f"process {self._label!r} already started")
+        self._schedule(self._start_at)
+
+    def stop(self) -> None:
+        """Cancel the pending tick, if any.  Idempotent."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _schedule(self, time: float) -> None:
+        if self._until is not None and time > self._until:
+            self._handle = None
+            return
+        self._handle = self._engine.schedule_at(
+            time, self._fire, label=self._label
+        )
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._ticks += 1
+        now = self._engine.now
+        self._callback(now)
+        if not self._stopped:
+            self._schedule(now + self._interval)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incentive import IncentiveParams
+from repro.core.protocol import IncentiveChitChatRouter
+from repro.core.reputation import RatingModel
+from repro.messages.keywords import KeywordUniverse
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """A deterministic stream family."""
+    return RandomStreams(seed=42)
+
+
+@pytest.fixture
+def universe() -> KeywordUniverse:
+    """A 30-keyword universe."""
+    return KeywordUniverse(30)
+
+
+@pytest.fixture
+def incentive_router() -> IncentiveChitChatRouter:
+    """An incentive router with deterministic (noise-free) ratings."""
+    params = IncentiveParams(initial_tokens=100.0)
+    return IncentiveChitChatRouter(
+        params=params,
+        rating_model=RatingModel(params, noise=0.0, confidence_low=1.0),
+    )

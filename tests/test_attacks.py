@@ -1,0 +1,123 @@
+"""Tests for the attack models (whitewashing, collusive praise)."""
+
+import pytest
+
+from repro.agents.attacks import WhitewashAttack
+from repro.core.incentive import IncentiveParams
+from repro.core.reputation import ReputationSystem
+from repro.errors import ConfigurationError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def params():
+    return IncentiveParams()
+
+
+class TestWhitewashAttack:
+    def test_wash_triggers_below_threshold(self, params):
+        engine = Engine()
+        reputation = ReputationSystem(params)
+        reputation.book(1).rate_message(9, 0.5)  # 9's name is mud at 1
+        attack = WhitewashAttack(
+            engine, reputation, attackers=[9], observers=[1, 2],
+            wash_threshold=2.0, check_interval=100.0,
+        )
+        attack.start()
+        engine.run_until(150.0)
+        assert attack.wash_count == 1
+        # After the wash, node 9 looks like an unknown node again.
+        assert not reputation.book(1).has_opinion(9)
+        assert reputation.book(1).score(9) == params.default_rating
+
+    def test_no_wash_above_threshold(self, params):
+        engine = Engine()
+        reputation = ReputationSystem(params)
+        reputation.book(1).rate_message(9, 4.5)
+        attack = WhitewashAttack(
+            engine, reputation, attackers=[9], observers=[1],
+            wash_threshold=2.0, check_interval=100.0,
+        )
+        attack.start()
+        engine.run_until(500.0)
+        assert attack.wash_count == 0
+
+    def test_repeated_washes_are_logged(self, params):
+        engine = Engine()
+        reputation = ReputationSystem(params)
+        attack = WhitewashAttack(
+            engine, reputation, attackers=[9], observers=[1],
+            wash_threshold=2.0, check_interval=100.0,
+        )
+        attack.start()
+        # Re-smear node 9 after every check.
+        for round_start in (50.0, 150.0, 250.0):
+            engine.schedule_at(
+                round_start,
+                lambda: reputation.book(1).rate_message(9, 0.0),
+            )
+        engine.run_until(400.0)
+        assert attack.wash_count >= 2
+        assert all(a == 9 for _, a in attack.washes)
+
+    def test_stop_disarms(self, params):
+        engine = Engine()
+        reputation = ReputationSystem(params)
+        reputation.book(1).rate_message(9, 0.0)
+        attack = WhitewashAttack(
+            engine, reputation, attackers=[9], observers=[1],
+            wash_threshold=2.0, check_interval=100.0,
+        )
+        attack.start()
+        attack.stop()
+        engine.run_until(500.0)
+        assert attack.wash_count == 0
+
+    def test_invalid_construction(self, params):
+        engine = Engine()
+        reputation = ReputationSystem(params)
+        with pytest.raises(ConfigurationError):
+            WhitewashAttack(engine, reputation, [9], [1],
+                            check_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            WhitewashAttack(engine, reputation, [9], [1],
+                            wash_threshold=-1.0)
+
+
+class TestCollusion:
+    def test_collusion_props_up_malicious_reputation(self):
+        config = ScenarioConfig.tiny(malicious_fraction=0.3)
+        honest_view = {}
+        for scheme in ("incentive", "incentive-collusion"):
+            result = run_scenario(config, scheme, seed=3)
+            reputation = result.router.reputation
+            # Average as seen by *everyone* — collusive praise inflates
+            # the malicious raters' books, pulling the global view up.
+            observers = sorted(
+                result.honest_ids | result.selfish_ids | result.malicious_ids
+            )
+            scores = [
+                reputation.average_score_of(node, observers)
+                for node in sorted(result.malicious_ids)
+            ]
+            honest_view[scheme] = sum(scores) / len(scores)
+        assert (
+            honest_view["incentive-collusion"] > honest_view["incentive"]
+        )
+
+    def test_alpha_weighting_limits_collusion_damage(self):
+        # Among honest observers only, malicious nodes still end up
+        # below the unknown default even under collusion: own first-hand
+        # evidence dominates hearsay (alpha > 0.5).
+        config = ScenarioConfig.tiny(malicious_fraction=0.3)
+        result = run_scenario(config, "incentive-collusion", seed=3)
+        reputation = result.router.reputation
+        observers = sorted(result.honest_ids)
+        scores = [
+            reputation.average_score_of(node, observers)
+            for node in sorted(result.malicious_ids)
+        ]
+        average = sum(scores) / len(scores)
+        assert average < config.incentive.default_rating

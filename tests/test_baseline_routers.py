@@ -1,0 +1,179 @@
+"""Unit tests for the baseline (node-centric) routers."""
+
+import pytest
+
+from tests.helpers import contact, make_message, make_world, trace_of
+from repro.routing.direct import DirectContactRouter
+from repro.routing.epidemic import EpidemicRouter
+from repro.routing.prophet import ProphetRouter
+from repro.routing.spray_and_wait import SprayAndWaitRouter
+from repro.routing.two_hop import TwoHopRouter
+
+
+def run_chain(router, *, hops, interests=None):
+    """Source 0 -> ... -> destination; sequential pairwise contacts."""
+    interests = interests if interests is not None else {
+        0: [], 1: [], 2: [], 3: ["flood"],
+    }
+    world = make_world(interests, router)
+    message = make_message(source=0, size=100, keywords=("flood",),
+                           content=("flood",))
+    world.inject_message(message)
+    contacts = []
+    time = 10.0
+    for a, b in hops:
+        contacts.append(contact(time, time + 50.0, a, b))
+        time += 100.0
+    world.load_contact_trace(trace_of(*contacts))
+    world.run(time + 100.0)
+    return world, message
+
+
+class TestEpidemic:
+    def test_floods_along_any_path(self):
+        world, message = run_chain(
+            EpidemicRouter(), hops=[(0, 1), (1, 2), (2, 3)],
+        )
+        assert message.uuid in world.node(3).delivered
+        # Every intermediate holds a copy.
+        assert message.uuid in world.node(1).buffer
+        assert message.uuid in world.node(2).buffer
+
+    def test_no_duplicate_transfers_to_same_node(self):
+        router = EpidemicRouter()
+        world = make_world({0: [], 1: []}, router)
+        message = make_message(source=0, size=100)
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 50.0, 0, 1), contact(100.0, 150.0, 0, 1),
+        ))
+        world.run(200.0)
+        assert world.metrics.transfers_completed == 1
+
+
+class TestDirectContact:
+    def test_delivers_only_source_to_destination(self):
+        world, message = run_chain(
+            DirectContactRouter(), hops=[(0, 3)],
+        )
+        assert message.uuid in world.node(3).delivered
+
+    def test_never_relays(self):
+        world, message = run_chain(
+            DirectContactRouter(), hops=[(0, 1), (1, 3)],
+        )
+        assert message.uuid not in world.node(3).delivered
+        assert world.metrics.transfers_completed == 0
+
+
+class TestTwoHop:
+    def test_source_relay_destination_path_works(self):
+        world, message = run_chain(
+            TwoHopRouter(), hops=[(0, 1), (1, 3)],
+        )
+        assert message.uuid in world.node(3).delivered
+
+    def test_three_hop_path_fails(self):
+        # Relays do not re-relay: 0 -> 1 -> 2 never happens.
+        world, message = run_chain(
+            TwoHopRouter(), hops=[(0, 1), (1, 2), (2, 3)],
+        )
+        assert message.uuid not in world.node(3).delivered
+        assert message.uuid not in world.node(2).buffer
+
+
+class TestSprayAndWait:
+    def test_copies_halve_at_each_spray(self):
+        router = SprayAndWaitRouter(initial_copies=8)
+        world = make_world({0: [], 1: [], 2: []}, router)
+        message = make_message(source=0, size=100)
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 50.0, 0, 1), contact(100.0, 150.0, 0, 2),
+        ))
+        world.run(200.0)
+        # 8 -> grant 4 to node 1 (keep 4) -> grant 2 to node 2 (keep 2).
+        assert router.copies_held(0, message.uuid) == 2
+        assert router.copies_held(1, message.uuid) == 4
+        assert router.copies_held(2, message.uuid) == 2
+
+    def test_single_copy_node_waits(self):
+        router = SprayAndWaitRouter(initial_copies=2)
+        world = make_world({0: [], 1: [], 2: [], 3: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 50.0, 0, 1),     # 1 now holds a single copy
+            contact(100.0, 150.0, 1, 2),   # waiting: must not spray to 2
+            contact(200.0, 250.0, 1, 3),   # but delivers to destination
+        ))
+        world.run(300.0)
+        assert message.uuid not in world.node(2).buffer
+        assert message.uuid in world.node(3).delivered
+
+    def test_delivery_to_destination_always_allowed(self):
+        router = SprayAndWaitRouter(initial_copies=1)
+        world, message = (lambda w: (w, None))(None)
+        world = make_world({0: [], 1: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(contact(10.0, 50.0, 0, 1)))
+        world.run(100.0)
+        assert message.uuid in world.node(1).delivered
+
+    def test_invalid_copy_count_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SprayAndWaitRouter(initial_copies=0)
+
+
+class TestProphet:
+    def test_predictability_grows_on_encounters(self):
+        router = ProphetRouter()
+        world = make_world({0: [], 1: []}, router)
+        world.load_contact_trace(trace_of(contact(10.0, 20.0, 0, 1)))
+        world.run(50.0)
+        assert router.predictability(0, 1) == pytest.approx(0.75)
+
+    def test_predictability_ages_between_encounters(self):
+        router = ProphetRouter(gamma=0.99)
+        world = make_world({0: [], 1: []}, router)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 20.0, 0, 1), contact(500.0, 510.0, 0, 1),
+        ))
+        world.run(600.0)
+        # Second encounter re-boosts after aging; still below 1.
+        assert 0.75 < router.predictability(0, 1) < 1.0
+
+    def test_transitivity_builds_indirect_predictability(self):
+        router = ProphetRouter()
+        world = make_world({0: [], 1: [], 2: []}, router)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 20.0, 1, 2), contact(100.0, 110.0, 0, 1),
+        ))
+        world.run(200.0)
+        assert router.predictability(0, 2) > 0.0
+
+    def test_forwards_toward_better_carrier(self):
+        router = ProphetRouter()
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 20.0, 1, 2),    # 1 becomes a good carrier for 2
+            contact(100.0, 150.0, 0, 1),  # source hands the message over
+            contact(200.0, 250.0, 1, 2),  # carrier delivers
+        ))
+        world.run(300.0)
+        assert message.uuid in world.node(2).delivered
+
+    def test_invalid_parameters_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ProphetRouter(p_encounter=0.0)
+        with pytest.raises(ConfigurationError):
+            ProphetRouter(beta_transitive=1.5)
+        with pytest.raises(ConfigurationError):
+            ProphetRouter(gamma=1.0)

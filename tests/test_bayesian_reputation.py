@@ -1,0 +1,165 @@
+"""Unit tests for the REPSYS-style Bayesian reputation system."""
+
+import pytest
+
+from repro.core.bayesian_reputation import (
+    BayesianReputationSystem,
+    BetaBelief,
+)
+from repro.core.incentive import IncentiveParams
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def params():
+    return IncentiveParams(max_rating=5.0, alpha=0.7)
+
+
+@pytest.fixture
+def system(params):
+    return BayesianReputationSystem(params)
+
+
+class TestBetaBelief:
+    def test_prior_is_uniform(self):
+        belief = BetaBelief()
+        assert belief.mean == pytest.approx(0.5)
+        assert belief.evidence == 0.0
+
+    def test_observe_successes_raises_mean(self):
+        belief = BetaBelief()
+        for _ in range(10):
+            belief.observe(1.0)
+        assert belief.mean > 0.9
+
+    def test_observe_failures_lowers_mean(self):
+        belief = BetaBelief()
+        for _ in range(10):
+            belief.observe(0.0)
+        assert belief.mean < 0.1
+
+    def test_fade_moves_toward_prior(self):
+        belief = BetaBelief()
+        for _ in range(10):
+            belief.observe(1.0)
+        strong = belief.mean
+        belief.fade(0.1)
+        assert 0.5 < belief.mean < strong
+
+
+class TestFirstHandEvidence:
+    def test_unknown_subject_scores_at_prior(self, system, params):
+        # Beta(1,1) mean 0.5 -> 2.5 on the 0..5 scale.
+        assert system.book(0).score(9) == pytest.approx(2.5)
+        assert not system.book(0).has_opinion(9)
+
+    def test_good_ratings_raise_score(self, system):
+        book = system.book(0)
+        for _ in range(10):
+            book.rate_message(9, 5.0)
+        assert book.score(9) > 4.0
+        assert book.has_opinion(9)
+
+    def test_bad_ratings_lower_score(self, system):
+        book = system.book(0)
+        for _ in range(10):
+            book.rate_message(9, 0.0)
+        assert book.score(9) < 1.0
+
+    def test_fading_lets_recent_evidence_dominate(self, params):
+        system = BayesianReputationSystem(params, fading=0.5)
+        book = system.book(0)
+        for _ in range(10):
+            book.rate_message(9, 5.0)
+        for _ in range(3):
+            book.rate_message(9, 0.0)
+        # With strong fading three bad reports outweigh ten old good ones.
+        assert book.score(9) < 2.5
+
+    def test_out_of_range_rating_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            system.book(0).rate_message(9, 5.5)
+
+
+class TestDeviationTest:
+    def test_compatible_report_accepted(self, system):
+        book = system.book(0)
+        book.rate_message(9, 4.0)  # belief mean 0.6 (Beta(1.8, 1.2))
+        before = book.score(9)
+        book.merge_opinion(9, 4.5)  # heard mean 0.9: within 0.35 deviation
+        assert book.score(9) > before
+        assert book.rejected_reports == 0
+
+    def test_wild_report_rejected(self, system):
+        book = system.book(0)
+        for _ in range(5):
+            book.rate_message(9, 5.0)
+        before = book.score(9)
+        book.merge_opinion(9, 0.0)  # false accusation
+        assert book.score(9) == pytest.approx(before)
+        assert book.rejected_reports == 1
+
+    def test_reports_accepted_when_no_own_evidence(self, system):
+        book = system.book(0)
+        book.merge_opinion(9, 0.5)
+        assert book.score(9) < 2.5
+
+    def test_self_reports_ignored(self, system):
+        book = system.book(0)
+        book.merge_opinion(0, 5.0)
+        assert not book.has_opinion(0)
+
+
+class TestSystem:
+    def test_exchange_spreads_evidence(self, system):
+        system.book(1).rate_message(9, 0.0)
+        system.exchange(1, 2)
+        assert system.book(2).score(9) < 2.5
+
+    def test_exchange_skips_interlocutors(self, system):
+        system.book(1).rate_message(2, 0.0)
+        system.exchange(1, 2)
+        assert not system.book(2).has_opinion(2)
+
+    def test_average_score_of(self, system, params):
+        system.book(1).rate_message(9, 0.0)
+        assert system.average_score_of(9, [1, 2]) < 2.5
+        assert system.average_score_of(7, [1, 2]) == pytest.approx(2.5)
+
+    def test_forget_subject_resets_to_prior(self, system):
+        system.book(1).rate_message(9, 0.0)
+        assert system.forget_subject(9) == 1
+        assert system.book(1).score(9) == pytest.approx(2.5)
+
+    def test_classification_threshold(self, system):
+        system.book(1).rate_message(9, 0.0)
+        system.book(1).rate_message(9, 0.0)
+        assert system.classify_misbehaving(1, 9, threshold=0.4)
+        assert not system.classify_misbehaving(1, 5, threshold=0.4)
+
+    def test_invalid_construction(self, params):
+        with pytest.raises(ConfigurationError):
+            BayesianReputationSystem(params, fading=0.0)
+        with pytest.raises(ConfigurationError):
+            BayesianReputationSystem(params, deviation_threshold=1.5)
+        with pytest.raises(ConfigurationError):
+            BayesianReputationSystem(params, merge_weight=-1.0)
+
+
+class TestProtocolIntegration:
+    def test_incentive_bayesian_scheme_runs(self):
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_scenario
+
+        config = ScenarioConfig.tiny(malicious_fraction=0.2)
+        result = run_scenario(
+            config, "incentive-bayesian", seed=1,
+            sample_ratings=True, rating_sample_interval=300.0,
+        )
+        assert isinstance(result.router.reputation,
+                          BayesianReputationSystem)
+        samples = result.metrics.rating_samples
+        start = sum(samples[0][1].values()) / len(samples[0][1])
+        end = sum(samples[-1][1].values()) / len(samples[-1][1])
+        # Malicious nodes are exposed under the Bayesian model too.
+        assert end < start

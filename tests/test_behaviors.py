@@ -1,0 +1,112 @@
+"""Unit tests for behaviour profiles and role hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.agents.behaviors import BehaviorProfile, assign_behaviors
+from repro.agents.roles import RoleHierarchy
+from repro.errors import ConfigurationError
+
+
+class TestBehaviorProfile:
+    def test_honest_always_participates(self, rng):
+        honest = BehaviorProfile()
+        assert all(honest.contact_enabled(rng) for _ in range(50))
+
+    def test_honest_never_degrades_quality(self, rng):
+        honest = BehaviorProfile()
+        assert not any(honest.creates_low_quality(rng) for _ in range(50))
+
+    def test_selfish_participation_rate_near_probability(self, rng):
+        selfish = BehaviorProfile(selfish=True, participation_probability=0.1)
+        rate = sum(
+            selfish.contact_enabled(rng) for _ in range(5000)
+        ) / 5000
+        assert 0.07 <= rate <= 0.13  # paper: radio on 1 of 10 encounters
+
+    def test_fully_selfish_never_participates(self, rng):
+        hermit = BehaviorProfile(selfish=True, participation_probability=0.0)
+        assert not any(hermit.contact_enabled(rng) for _ in range(50))
+
+    def test_malicious_low_quality_rate(self, rng):
+        bad = BehaviorProfile(malicious=True, low_quality_probability=1.0)
+        assert all(bad.creates_low_quality(rng) for _ in range(50))
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BehaviorProfile(participation_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            BehaviorProfile(low_quality_probability=-0.1)
+
+
+class TestAssignBehaviors:
+    def test_fractions_are_honoured(self, rng):
+        profiles = assign_behaviors(
+            range(100), rng, selfish_fraction=0.3, malicious_fraction=0.2,
+        )
+        assert sum(p.selfish for p in profiles.values()) == 30
+        assert sum(p.malicious for p in profiles.values()) == 20
+
+    def test_selfish_and_malicious_are_disjoint(self, rng):
+        profiles = assign_behaviors(
+            range(100), rng, selfish_fraction=0.5, malicious_fraction=0.5,
+        )
+        both = [
+            node for node, p in profiles.items() if p.selfish and p.malicious
+        ]
+        assert both == []
+
+    def test_all_honest_by_default(self, rng):
+        profiles = assign_behaviors(range(10), rng)
+        assert all(
+            not p.selfish and not p.malicious for p in profiles.values()
+        )
+
+    def test_everybody_selfish_at_full_fraction(self, rng):
+        profiles = assign_behaviors(range(10), rng, selfish_fraction=1.0)
+        assert all(p.selfish for p in profiles.values())
+
+    def test_overcommitted_fractions_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            assign_behaviors(range(10), rng, selfish_fraction=0.7,
+                             malicious_fraction=0.7)
+
+    def test_deterministic_given_seed(self):
+        a = assign_behaviors(range(50), np.random.default_rng(3),
+                             selfish_fraction=0.4)
+        b = assign_behaviors(range(50), np.random.default_rng(3),
+                             selfish_fraction=0.4)
+        assert all(a[i].selfish == b[i].selfish for i in range(50))
+
+
+class TestRoleHierarchy:
+    def test_rank_lookup(self):
+        hierarchy = RoleHierarchy(("sergeant", "soldier"), (0.1, 0.9))
+        assert hierarchy.rank_of("sergeant") == 1
+        assert hierarchy.rank_of("soldier") == 2
+        assert hierarchy.name_of(1) == "sergeant"
+
+    def test_unknown_level_rejected(self):
+        hierarchy = RoleHierarchy()
+        with pytest.raises(ConfigurationError):
+            hierarchy.rank_of("general")
+        with pytest.raises(ConfigurationError):
+            hierarchy.name_of(5)
+
+    def test_assignment_distribution(self, rng):
+        hierarchy = RoleHierarchy(("top", "bottom"), (0.2, 0.8))
+        ranks = hierarchy.assign(range(1000), rng)
+        top_share = sum(1 for r in ranks.values() if r == 1) / 1000
+        assert 0.15 <= top_share <= 0.25
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            RoleHierarchy(("a", "b"), (0.5, 0.6))
+
+    def test_levels_and_fractions_must_align(self):
+        with pytest.raises(ConfigurationError):
+            RoleHierarchy(("a", "b"), (1.0,))
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoleHierarchy(("a", "a"), (0.5, 0.5))

@@ -1,0 +1,152 @@
+"""Unit tests for the finite message buffer."""
+
+import pytest
+
+from tests.helpers import make_message
+from repro.errors import BufferError_, ConfigurationError
+from repro.messages.message import Priority
+from repro.network.buffer import DropPolicy, MessageBuffer
+
+
+class TestBasics:
+    def test_add_and_get(self):
+        buffer = MessageBuffer(10_000)
+        message = make_message(size=100)
+        assert buffer.add(message, now=1.0) == []
+        assert buffer.get(message.uuid) is message
+        assert message.uuid in buffer
+        assert len(buffer) == 1
+
+    def test_used_and_free_track_bytes(self):
+        buffer = MessageBuffer(1_000)
+        buffer.add(make_message(size=300), now=0.0)
+        buffer.add(make_message(size=200), now=0.0)
+        assert buffer.used == 500
+        assert buffer.free == 500
+
+    def test_remove_returns_message_and_frees_space(self):
+        buffer = MessageBuffer(1_000)
+        message = make_message(size=400)
+        buffer.add(message, now=0.0)
+        assert buffer.remove(message.uuid) is message
+        assert buffer.used == 0
+        assert message.uuid not in buffer
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(BufferError_):
+            MessageBuffer(100).remove("nope")
+
+    def test_discard_missing_returns_none(self):
+        assert MessageBuffer(100).discard("nope") is None
+
+    def test_duplicate_add_rejected(self):
+        buffer = MessageBuffer(1_000)
+        message = make_message(size=10)
+        buffer.add(message, now=0.0)
+        with pytest.raises(BufferError_):
+            buffer.add(message, now=1.0)
+
+    def test_oversized_message_rejected_and_counted(self):
+        buffer = MessageBuffer(100)
+        with pytest.raises(BufferError_):
+            buffer.add(make_message(size=101), now=0.0)
+        assert buffer.rejections == 1
+
+    def test_messages_in_arrival_order(self):
+        buffer = MessageBuffer(1_000)
+        first = make_message(size=10)
+        second = make_message(size=10)
+        buffer.add(first, now=0.0)
+        buffer.add(second, now=1.0)
+        assert buffer.messages() == [first, second]
+
+    def test_arrival_time_recorded(self):
+        buffer = MessageBuffer(1_000)
+        message = make_message(size=10)
+        buffer.add(message, now=3.5)
+        assert buffer.arrival_time(message.uuid) == 3.5
+        with pytest.raises(BufferError_):
+            buffer.arrival_time("nope")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageBuffer(0)
+
+
+class TestDropOldest:
+    def test_evicts_oldest_first(self):
+        buffer = MessageBuffer(1_000, DropPolicy.DROP_OLDEST)
+        oldest = make_message(size=400)
+        newer = make_message(size=400)
+        buffer.add(oldest, now=0.0)
+        buffer.add(newer, now=1.0)
+        incoming = make_message(size=300)
+        evicted = buffer.add(incoming, now=2.0)
+        assert evicted == [oldest]
+        assert newer.uuid in buffer
+        assert incoming.uuid in buffer
+        assert buffer.drops == 1
+
+    def test_evicts_until_enough_room(self):
+        buffer = MessageBuffer(1_000, DropPolicy.DROP_OLDEST)
+        small = [make_message(size=250) for _ in range(4)]
+        for index, message in enumerate(small):
+            buffer.add(message, now=float(index))
+        evicted = buffer.add(make_message(size=600), now=10.0)
+        assert evicted == small[:3]
+
+
+class TestDropLowestPriority:
+    def test_evicts_low_priority_first(self):
+        buffer = MessageBuffer(1_000, DropPolicy.DROP_LOWEST_PRIORITY)
+        high = make_message(size=400, priority=Priority.HIGH)
+        low = make_message(size=400, priority=Priority.LOW)
+        buffer.add(high, now=0.0)
+        buffer.add(low, now=1.0)
+        evicted = buffer.add(make_message(size=300, priority=Priority.MEDIUM),
+                             now=2.0)
+        assert evicted == [low]
+        assert high.uuid in buffer
+
+    def test_ties_broken_by_age(self):
+        buffer = MessageBuffer(1_000, DropPolicy.DROP_LOWEST_PRIORITY)
+        older = make_message(size=400, priority=Priority.LOW)
+        newer = make_message(size=400, priority=Priority.LOW)
+        buffer.add(older, now=0.0)
+        buffer.add(newer, now=1.0)
+        evicted = buffer.add(make_message(size=300), now=2.0)
+        assert evicted == [older]
+
+
+class TestReject:
+    def test_reject_policy_never_evicts(self):
+        buffer = MessageBuffer(1_000, DropPolicy.REJECT)
+        resident = make_message(size=800)
+        buffer.add(resident, now=0.0)
+        with pytest.raises(BufferError_):
+            buffer.add(make_message(size=300), now=1.0)
+        assert resident.uuid in buffer
+        assert buffer.rejections == 1
+
+
+class TestExpiry:
+    def test_expire_drops_old_messages(self):
+        buffer = MessageBuffer(1_000)
+        old = make_message(created_at=0.0, size=10)
+        fresh = make_message(created_at=90.0, size=10)
+        buffer.add(old, now=0.0)
+        buffer.add(fresh, now=90.0)
+        expired = buffer.expire(now=100.0, ttl=50.0)
+        assert expired == [old]
+        assert fresh.uuid in buffer
+        assert buffer.drops == 1
+
+    def test_ttl_measured_from_creation_not_arrival(self):
+        buffer = MessageBuffer(1_000)
+        relayed = make_message(created_at=0.0, size=10)
+        buffer.add(relayed, now=95.0)  # arrived late in its life
+        assert buffer.expire(now=100.0, ttl=50.0) == [relayed]
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageBuffer(100).expire(now=0.0, ttl=0.0)

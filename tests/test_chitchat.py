@@ -1,0 +1,251 @@
+"""Unit tests for ChitChat's RTSR module and routing rule."""
+
+import pytest
+
+from tests.helpers import contact, make_message, make_world, trace_of
+from repro.errors import ConfigurationError
+from repro.routing.chitchat import (
+    ChitChatRouter,
+    InterestRecord,
+    InterestTable,
+    psi_case,
+)
+
+
+class TestPsiCase:
+    def direct(self):
+        return InterestRecord(weight=0.6, direct=True, last_contact=0.0)
+
+    def transient(self):
+        return InterestRecord(weight=0.3, direct=False, last_contact=0.0)
+
+    def test_all_six_cases(self):
+        assert psi_case(self.direct(), self.direct()) == 1
+        assert psi_case(self.direct(), self.transient()) == 2
+        assert psi_case(self.transient(), self.direct()) == 3
+        assert psi_case(self.transient(), self.transient()) == 4
+        assert psi_case(None, self.direct()) == 5
+        assert psi_case(None, self.transient()) == 6
+
+
+class TestInterestTable:
+    def test_direct_interests_start_at_half(self):
+        table = InterestTable(["flood", "fire"])
+        assert table.weight("flood") == 0.5
+        assert table.is_direct("flood")
+        assert table.weight("unknown") == 0.0
+
+    def test_sum_and_average(self):
+        table = InterestTable(["flood", "fire"])
+        assert table.sum_for(["flood", "fire", "x"]) == pytest.approx(1.0)
+        assert table.average_for(["flood", "x"]) == pytest.approx(0.25)
+        assert table.average_for([]) == 0.0
+
+    def test_add_direct_promotes_transient(self):
+        table = InterestTable([])
+        table._records["flood"] = InterestRecord(0.2, False, 0.0)
+        table.add_direct("flood", now=1.0)
+        assert table.is_direct("flood")
+        assert table.weight("flood") == 0.5  # lifted to the floor
+
+    # ---- Algorithm 1 (decay) ----
+    def test_decay_direct_moves_toward_half(self):
+        # Paper's worked example: w=0.6, beta=2, 5 s elapsed.  The thesis
+        # reports 0.55, but its stated formula (W_p-0.5)/(beta*dt)+0.5
+        # gives 0.1/10 + 0.5 = 0.51; we implement the formula.
+        table = InterestTable(["food-coupon"])
+        record = table.record("food-coupon")
+        record.weight = 0.6
+        record.last_contact = 0.0
+        table.decay(5.0, set(), beta=2.0)
+        assert table.weight("food-coupon") == pytest.approx(0.51)
+
+    def test_decay_direct_below_half_rises_toward_half(self):
+        table = InterestTable(["flood"])
+        record = table.record("flood")
+        record.weight = 0.3
+        record.last_contact = 0.0
+        table.decay(5.0, set(), beta=2.0)
+        assert 0.3 < table.weight("flood") < 0.5
+
+    def test_decay_transient_shrinks_toward_zero(self):
+        table = InterestTable([])
+        table._records["flood"] = InterestRecord(0.4, False, 0.0)
+        table.decay(5.0, set(), beta=2.0)
+        assert table.weight("flood") == pytest.approx(0.04)
+
+    def test_decay_frozen_while_sharing_device_connected(self):
+        table = InterestTable(["flood"])
+        record = table.record("flood")
+        record.weight = 0.9
+        record.last_contact = 0.0
+        table.decay(100.0, {"flood"}, beta=2.0)
+        assert table.weight("flood") == 0.9
+        assert record.last_contact == 100.0
+
+    def test_decay_denominator_clamped_to_one(self):
+        # beta * dt < 1 must not *amplify* the deviation from 0.5.
+        table = InterestTable(["flood"])
+        record = table.record("flood")
+        record.weight = 0.9
+        record.last_contact = 0.0
+        table.decay(0.01, set(), beta=2.0)
+        assert table.weight("flood") <= 0.9
+
+    def test_decay_prunes_dead_transients(self):
+        table = InterestTable([])
+        table._records["flood"] = InterestRecord(1e-4, False, 0.0)
+        table.decay(100.0, set(), beta=2.0)
+        assert "flood" not in table
+
+    def test_decay_never_prunes_direct_interests(self):
+        table = InterestTable(["flood"])
+        table.decay(1e9, set(), beta=2.0)
+        assert "flood" in table
+        assert table.weight("flood") == pytest.approx(0.5)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterestTable(["x"]).decay(1.0, set(), beta=0.0)
+
+    # ---- Algorithm 2 (growth) ----
+    def test_growth_acquires_transient_interest(self):
+        mine = InterestTable([])
+        peer = InterestTable(["flood"])
+        mine.grow_from(peer, now=10.0, elapsed=100.0,
+                       growth_scale=0.01, elapsed_cap=600.0)
+        assert "flood" in mine
+        assert not mine.is_direct("flood")
+        # delta = 0.01 * 0.5 * 100 / psi(None, direct)=5 -> 0.1
+        assert mine.weight("flood") == pytest.approx(0.1)
+
+    def test_growth_boosts_shared_direct_interest_fastest(self):
+        mine = InterestTable(["flood"])
+        peer = InterestTable(["flood"])
+        mine.grow_from(peer, now=10.0, elapsed=100.0,
+                       growth_scale=0.01, elapsed_cap=600.0)
+        # delta = 0.01 * 0.5 * 100 / 1 = 0.5 -> 1.0 capped
+        assert mine.weight("flood") == pytest.approx(1.0)
+
+    def test_growth_capped_at_one(self):
+        mine = InterestTable(["flood"])
+        peer = InterestTable(["flood"])
+        mine.grow_from(peer, now=0.0, elapsed=1e9,
+                       growth_scale=1.0, elapsed_cap=1e9)
+        assert mine.weight("flood") == 1.0
+
+    def test_growth_elapsed_cap_applies(self):
+        mine = InterestTable([])
+        peer = InterestTable(["flood"])
+        mine.grow_from(peer, now=0.0, elapsed=1e6,
+                       growth_scale=0.01, elapsed_cap=100.0)
+        capped = mine.weight("flood")
+        assert capped == pytest.approx(0.01 * 0.5 * 100.0 / 5)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterestTable([]).grow_from(
+                InterestTable(["x"]), now=0.0, elapsed=-1.0,
+                growth_scale=0.01, elapsed_cap=10.0,
+            )
+
+
+class TestRouterClassification:
+    def make(self):
+        router = ChitChatRouter()
+        world = make_world(
+            {0: ["flood"], 1: ["fire"], 2: []}, router,
+        )
+        return router, world
+
+    def test_direct_interest_means_destination(self):
+        router, world = self.make()
+        message = make_message(keywords=("flood",))
+        assert router.classify(0, message) == "destination"
+        assert router.classify(1, message) == "relay"
+        assert router.classify(2, message) == "relay"
+
+    def test_routing_rule_s_v_greater_than_s_u(self):
+        router, world = self.make()
+        message = make_message(keywords=("fire",))
+        # Node 1 has direct interest (0.5), node 2 has nothing.
+        assert router.wants_as_relay(2, 1, message)
+        assert not router.wants_as_relay(1, 2, message)
+        assert not router.wants_as_relay(1, 1, message)
+
+    def test_interest_sum_matches_table(self):
+        router, world = self.make()
+        message = make_message(keywords=("flood", "fire"))
+        assert router.interest_sum(0, message) == pytest.approx(0.5)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChitChatRouter(beta=0.0)
+        with pytest.raises(ConfigurationError):
+            ChitChatRouter(growth_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            ChitChatRouter(growth_elapsed_cap=0.0)
+
+
+class TestRouterEndToEnd:
+    def test_direct_delivery_over_one_contact(self):
+        router = ChitChatRouter()
+        world = make_world({0: [], 1: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(contact(10.0, 100.0, 0, 1)))
+        world.run(200.0)
+        assert message.uuid in world.node(1).delivered
+        assert world.metrics.delivered_pairs() == 1
+        assert world.metrics.message_delivery_ratio() == 1.0
+
+    def test_two_hop_delivery_via_transient_relay(self):
+        router = ChitChatRouter()
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        # 1 meets the destination 2 first (acquiring a transient interest
+        # in "flood"), then meets the source 0 and relays, then meets 2
+        # again to deliver.
+        world.load_contact_trace(trace_of(
+            contact(10.0, 200.0, 1, 2),
+            contact(300.0, 500.0, 0, 1),
+            contact(600.0, 800.0, 1, 2),
+        ))
+        world.run(1000.0)
+        assert message.uuid in world.node(2).delivered
+
+    def test_short_contact_aborts_transfer(self):
+        router = ChitChatRouter()
+        # 1000 B at 1000 B/s needs 1 s; the contact lasts 0.4 s.
+        world = make_world({0: [], 1: ["flood"]}, router)
+        message = make_message(source=0, size=1000, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(contact(10.0, 10.4, 0, 1)))
+        world.run(100.0)
+        assert message.uuid not in world.node(1).delivered
+        assert world.metrics.transfers_aborted == 1
+
+    def test_no_duplicate_deliveries(self):
+        router = ChitChatRouter()
+        world = make_world({0: [], 1: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 50.0, 0, 1),
+            contact(100.0, 150.0, 0, 1),
+        ))
+        world.run(200.0)
+        assert world.metrics.delivered_pairs() == 1
+        assert world.metrics.transfers_completed == 1
+
+    def test_growth_runs_at_contact_end(self):
+        router = ChitChatRouter()
+        world = make_world({0: ["flood"], 1: []}, router)
+        world.load_contact_trace(trace_of(contact(10.0, 200.0, 0, 1)))
+        world.run(300.0)
+        # Node 1 acquired a transient interest in "flood" from node 0.
+        assert router.table(1).weight("flood") > 0.0
+        assert not router.table(1).is_direct("flood")

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table_command_parses(self):
+        args = build_parser().parse_args(["table"])
+        assert args.command == "table"
+
+    def test_figure_command_parses(self):
+        args = build_parser().parse_args(["figure", "5.1", "--seeds", "3"])
+        assert args.figure == "5.1"
+        assert args.seeds == 3
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheme == "incentive"
+        assert args.selfish == 0.0
+
+    def test_unknown_scheme_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "bogus"])
+
+
+class TestCompare:
+    def test_compare_command_parses(self):
+        args = build_parser().parse_args(
+            ["compare", "incentive", "chitchat", "--seeds", "2"]
+        )
+        assert args.schemes == ["incentive", "chitchat"]
+        assert args.seeds == 2
+
+    def test_compare_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "bogus"])
+
+
+class TestTrace:
+    def test_trace_command_writes_jsonl(self, tmp_path, capsys):
+        from repro.mobility.trace import ContactTrace
+
+        out = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", str(out), "--nodes", "15", "--duration", "600",
+        ])
+        assert code == 0
+        loaded = ContactTrace.load(out)
+        assert len(loaded) > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_command_writes_one_format(self, tmp_path):
+        from repro.mobility.one_trace import load_one_trace
+
+        out = tmp_path / "conn.txt"
+        code = main([
+            "trace", str(out), "--format", "one",
+            "--nodes", "15", "--duration", "600",
+        ])
+        assert code == 0
+        assert len(load_one_trace(out)) > 0
+
+
+class TestExecution:
+    def test_table_prints_parameters(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5.1" in out
+        assert "500" in out
+
+    def test_unknown_figure_is_an_error(self, capsys):
+        assert main(["figure", "9.9"]) == 2
+        assert "unknown figure" in capsys.readouterr().err

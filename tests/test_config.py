@@ -1,0 +1,76 @@
+"""Unit tests for scenario configuration."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ScenarioConfig
+
+
+class TestDefaults:
+    def test_paper_scale_matches_table_5_1(self):
+        config = ScenarioConfig.paper_scale()
+        assert config.n_nodes == 500
+        assert config.keyword_pool == 200
+        assert config.interests_per_node == 20
+        assert config.link_speed == 250_000.0
+        assert config.transmission_radius == 100.0
+        assert config.buffer_capacity == 250_000_000
+        assert config.duration == 86_400.0
+        assert config.area_km2 == pytest.approx(5.0)
+        assert config.incentive.relay_threshold == 0.8
+        assert config.incentive.initial_tokens == 200.0
+
+    def test_small_preserves_density_order(self):
+        small = ScenarioConfig.small()
+        paper = ScenarioConfig.paper_scale()
+        # Same order of magnitude of nodes per km^2.
+        assert 0.3 <= small.node_density / paper.node_density <= 3.0
+
+    def test_tiny_is_fast_scale(self):
+        tiny = ScenarioConfig.tiny()
+        assert tiny.n_nodes <= 25
+        assert tiny.duration <= 3_600.0
+
+    def test_presets_accept_overrides(self):
+        config = ScenarioConfig.small(selfish_fraction=0.4)
+        assert config.selfish_fraction == 0.4
+
+
+class TestValidation:
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(n_nodes=1)
+
+    def test_pool_smaller_than_interests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(keyword_pool=10, interests_per_node=20)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(selfish_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(malicious_fraction=-0.1)
+
+
+class TestHelpers:
+    def test_replace_returns_modified_copy(self):
+        base = ScenarioConfig.small()
+        changed = base.replace(n_nodes=99)
+        assert changed.n_nodes == 99
+        assert base.n_nodes != 99
+
+    def test_with_tokens(self):
+        config = ScenarioConfig.small().with_tokens(42.0)
+        assert config.incentive.initial_tokens == 42.0
+        # Other incentive parameters survive the update.
+        assert config.incentive.relay_threshold == 0.8
+
+    def test_table_rows_cover_table_5_1(self):
+        rows = dict(ScenarioConfig.paper_scale().table_rows())
+        assert rows["Number of Participants"] == 500
+        assert rows["Pool of Social Interest Keywords"] == 200
+        assert rows["Threshold for relay"] == 0.8
+        assert "200" in rows["Number of initial tokens"]
+        assert len(rows) == 11  # the table has 11 entries

@@ -1,0 +1,135 @@
+"""Unit tests for contact detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MobilityError
+from repro.mobility.contact import ContactDetector, detect_contacts, pairs_in_range
+from repro.mobility.stationary import Stationary
+from repro.mobility.random_waypoint import RandomWaypoint
+
+
+class TestPairsInRange:
+    def test_empty_and_single(self):
+        assert pairs_in_range(np.zeros((0, 2)), 10.0) == set()
+        assert pairs_in_range(np.zeros((1, 2)), 10.0) == set()
+
+    def test_two_nodes_in_range(self):
+        positions = np.array([[0.0, 0.0], [5.0, 0.0]])
+        assert pairs_in_range(positions, 10.0) == {(0, 1)}
+
+    def test_two_nodes_out_of_range(self):
+        positions = np.array([[0.0, 0.0], [15.0, 0.0]])
+        assert pairs_in_range(positions, 10.0) == set()
+
+    def test_boundary_is_inclusive(self):
+        positions = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert pairs_in_range(positions, 10.0) == {(0, 1)}
+
+    def test_matches_brute_force(self, rng):
+        positions = rng.uniform(0, 500, size=(80, 2))
+        radius = 60.0
+        expected = set()
+        for i in range(80):
+            for j in range(i + 1, 80):
+                if np.hypot(*(positions[i] - positions[j])) <= radius:
+                    expected.add((i, j))
+        assert pairs_in_range(positions, radius) == expected
+
+    def test_pairs_across_grid_cells(self):
+        # Nodes on either side of a cell boundary must still pair.
+        positions = np.array([[9.9, 0.0], [10.1, 0.0]])
+        assert pairs_in_range(positions, 10.0) == {(0, 1)}
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(MobilityError):
+            pairs_in_range(np.zeros((2, 2)), 0.0)
+
+
+class TestContactDetector:
+    def test_contact_opens_and_closes(self):
+        detector = ContactDetector(10.0)
+        near = np.array([[0.0, 0.0], [5.0, 0.0]])
+        far = np.array([[0.0, 0.0], [50.0, 0.0]])
+        detector.scan(0.0, near)
+        detector.scan(10.0, near)
+        detector.scan(20.0, far)
+        trace = detector.finish(30.0)
+        assert len(trace) == 1
+        assert trace[0].start == 0.0
+        assert trace[0].end == 20.0
+
+    def test_open_contact_closed_at_finish(self):
+        detector = ContactDetector(10.0)
+        near = np.array([[0.0, 0.0], [5.0, 0.0]])
+        detector.scan(0.0, near)
+        trace = detector.finish(25.0)
+        assert len(trace) == 1
+        assert trace[0].end == 25.0
+
+    def test_reconnection_creates_two_contacts(self):
+        detector = ContactDetector(10.0)
+        near = np.array([[0.0, 0.0], [5.0, 0.0]])
+        far = np.array([[0.0, 0.0], [50.0, 0.0]])
+        for time, positions in [(0, near), (10, far), (20, near), (30, far)]:
+            detector.scan(float(time), positions)
+        trace = detector.finish(40.0)
+        assert len(trace) == 2
+        assert [(c.start, c.end) for c in trace] == [(0.0, 10.0), (20.0, 30.0)]
+
+    def test_scan_times_must_increase(self):
+        detector = ContactDetector(10.0)
+        detector.scan(0.0, np.zeros((2, 2)))
+        with pytest.raises(MobilityError):
+            detector.scan(0.0, np.zeros((2, 2)))
+
+    def test_open_pairs_property(self):
+        detector = ContactDetector(10.0)
+        detector.scan(0.0, np.array([[0.0, 0.0], [5.0, 0.0]]))
+        assert detector.open_pairs == {(0, 1)}
+
+
+class TestDetectContacts:
+    def test_stationary_pair_yields_full_duration_contact(self, rng):
+        model = Stationary(
+            3, (1000.0, 1000.0), rng,
+            positions=[[0, 0], [50, 0], [900, 900]],
+        )
+        trace = detect_contacts(model, radius=100.0, duration=500.0,
+                                scan_interval=10.0)
+        assert len(trace) == 1
+        only = trace[0]
+        assert only.pair == (0, 1)
+        assert only.start == 0.0
+        assert only.end == 500.0
+
+    def test_random_waypoint_produces_contacts(self):
+        model = RandomWaypoint(
+            40, (600.0, 600.0), np.random.default_rng(3)
+        )
+        trace = detect_contacts(model, radius=100.0, duration=1200.0,
+                                scan_interval=10.0)
+        assert len(trace) > 0
+        assert trace.duration() <= 1200.0
+        for c in trace:
+            assert 0.0 <= c.start < c.end <= 1200.0
+
+    def test_invalid_parameters_rejected(self, rng):
+        model = Stationary(2, (100.0, 100.0), rng)
+        with pytest.raises(MobilityError):
+            detect_contacts(model, radius=10.0, duration=0.0)
+        with pytest.raises(MobilityError):
+            detect_contacts(model, radius=10.0, duration=10.0,
+                            scan_interval=0.0)
+
+    def test_deterministic_given_seed(self):
+        def build():
+            model = RandomWaypoint(20, (500.0, 500.0),
+                                   np.random.default_rng(9))
+            return detect_contacts(model, radius=80.0, duration=600.0,
+                                   scan_interval=10.0)
+
+        first, second = build(), build()
+        assert [(c.start, c.end, c.pair) for c in first] == [
+            (c.start, c.end, c.pair) for c in second
+        ]

@@ -1,0 +1,182 @@
+"""Edge-case and failure-injection tests across module boundaries."""
+
+import pytest
+
+from tests.helpers import contact, make_message, make_world, trace_of
+from repro.core.incentive import IncentiveParams
+from repro.core.protocol import IncentiveChitChatRouter
+from repro.core.reputation import RatingModel
+from repro.errors import BufferError_
+from repro.messages.message import Message
+from repro.network.buffer import DropPolicy
+from repro.network.node import Node
+from repro.network.world import World
+from repro.routing.chitchat import ChitChatRouter
+from repro.routing.epidemic import EpidemicRouter
+from repro.sim.engine import Engine
+
+
+def make_protocol(**overrides):
+    params = overrides.pop("params", IncentiveParams(initial_tokens=100.0))
+    defaults = dict(
+        params=params,
+        rating_model=RatingModel(params, noise=0.0, confidence_low=1.0),
+    )
+    defaults.update(overrides)
+    return IncentiveChitChatRouter(**defaults)
+
+
+class TestWorldEdges:
+    def test_link_between_unknown_pair(self):
+        world = make_world({0: [], 1: []}, EpidemicRouter())
+        assert world.link_between(0, 1) is None
+
+    def test_back_to_back_contacts_at_same_instant(self):
+        # A contact ends exactly when the next begins; the down event
+        # must be processed first (trace ordering + event priority).
+        world = make_world({0: [], 1: ["flood"]}, EpidemicRouter())
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 50.0, 0, 1),
+            contact(50.0, 90.0, 0, 1),
+        ))
+        world.run(100.0)
+        assert message.uuid in world.node(1).delivered
+        assert world.metrics.transfers_completed == 1
+
+    def test_source_buffer_overflow_still_counts_message(self):
+        # A message larger than its own source's buffer dies at birth
+        # but still enters the MDR denominator (as in ONE).
+        nodes = [
+            Node(0, [], buffer_capacity=500),
+            Node(1, ["flood"], buffer_capacity=500_000),
+        ]
+        world = World(Engine(), nodes, EpidemicRouter(), link_speed=1_000.0)
+        message = make_message(source=0, size=1_000, keywords=("flood",))
+        world.inject_message(message)
+        assert world.metrics.intended_pairs() == 1
+        assert message.uuid not in world.node(0).buffer
+
+    def test_reject_buffer_policy_loses_relay_copies(self):
+        nodes = [
+            Node(0, [], buffer_capacity=10_000),
+            Node(1, [], buffer_capacity=1_500,
+                 drop_policy=DropPolicy.REJECT),
+            Node(2, ["flood"], buffer_capacity=10_000),
+        ]
+        world = World(Engine(), nodes, EpidemicRouter(), link_speed=1_000.0)
+        first = make_message(source=0, size=1_000, keywords=("flood",))
+        second = make_message(source=0, size=1_000, keywords=("flood",))
+        world.inject_message(first)
+        world.inject_message(second)
+        world.load_contact_trace(trace_of(contact(10.0, 100.0, 0, 1)))
+        world.run(200.0)
+        # Only one copy fits; REJECT refuses the second outright.
+        buffered = [m.uuid in world.node(1).buffer
+                    for m in (first, second)]
+        assert buffered.count(True) == 1
+
+
+class TestConcurrentContacts:
+    def test_received_message_propagates_to_other_active_links(self):
+        # Node 1 is simultaneously connected to 0 (source) and 2
+        # (destination); the copy arriving mid-contact must flow on
+        # without waiting for a new contact.
+        world = make_world({0: [], 1: [], 2: ["flood"]}, EpidemicRouter())
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 200.0, 1, 2),
+            contact(50.0, 150.0, 0, 1),
+        ))
+        world.run(300.0)
+        assert message.uuid in world.node(2).delivered
+
+    def test_incentive_forward_onward_pays_through(self):
+        router = make_protocol()
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        # 1 must first qualify as relay: meets 2 to acquire interest,
+        # stays connected, then 0 shows up.
+        world.load_contact_trace(trace_of(
+            contact(10.0, 100.0, 1, 2),
+            contact(150.0, 500.0, 1, 2),
+            contact(200.0, 400.0, 0, 1),
+        ))
+        world.run(600.0)
+        if message.uuid in world.node(2).delivered:
+            # The destination paid whoever delivered.
+            assert router.ledger.balance(2) < 100.0
+
+
+class TestProtocolVariants:
+    def test_best_relay_only_false_forwards_to_any_qualifier(self):
+        router_any = make_protocol(best_relay_only=False)
+        router_best = make_protocol(best_relay_only=True)
+        for router in (router_any, router_best):
+            world = make_world(
+                {0: [], 1: [], 2: [], 3: ["flood"]}, router,
+            )
+            message = make_message(source=0, size=100, keywords=("flood",),
+                                   content=("flood",))
+            world.inject_message(message)
+            # Both 1 and 2 acquire transient interest from 3, then meet
+            # the source simultaneously.
+            world.load_contact_trace(trace_of(
+                contact(10.0, 200.0, 1, 3),
+                contact(10.0, 200.0, 2, 3),
+                contact(300.0, 500.0, 0, 1),
+                contact(300.0, 500.0, 0, 2),
+            ))
+            world.run(600.0)
+            copies = sum(
+                1 for node_id in (1, 2)
+                if message.uuid in world.node(node_id).buffer
+            )
+            if router is router_best:
+                best_copies = copies
+            else:
+                any_copies = copies
+        assert any_copies >= best_copies
+
+    def test_destinations_do_not_relay_when_disabled(self):
+        router = make_protocol(destinations_also_relay=False)
+        world = make_world({0: [], 1: ["flood"], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 100.0, 0, 1),
+            contact(200.0, 300.0, 1, 2),
+        ))
+        world.run(400.0)
+        assert message.uuid in world.node(1).delivered
+        # Node 1 consumed the message without keeping a relay copy.
+        assert message.uuid not in world.node(1).buffer
+        assert message.uuid not in world.node(2).delivered
+
+
+class TestChitChatSelection:
+    def test_oversized_messages_never_offered(self):
+        router = ChitChatRouter()
+        world = make_world(
+            {0: [], 1: ["flood"]}, router, buffer_capacity=10_000,
+        )
+        world.node(0).buffer.add(
+            make_message(source=0, size=9_000, keywords=("flood",)), now=0.0,
+        )
+        # Shrink the receiver's buffer below the message size.
+        world.node(1).buffer = type(world.node(1).buffer)(1_000)
+        selected = router.select_messages(0, 1)
+        assert selected == []
+
+    def test_selection_orders_destinations_before_relays(self):
+        router = ChitChatRouter()
+        world = make_world({0: [], 1: ["flood"], 2: []}, router)
+        dest_message = make_message(source=0, size=100, keywords=("flood",))
+        world.node(0).buffer.add(dest_message, now=0.0)
+        roles = [role for _, role in router.select_messages(0, 1)]
+        assert roles == ["destination"]

@@ -1,0 +1,204 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_clock_can_start_elsewhere(self):
+        assert Engine(start_time=100.0).now == 100.0
+
+    def test_nonfinite_start_time_rejected(self):
+        with pytest.raises(SchedulingError):
+            Engine(start_time=float("nan"))
+
+    def test_schedule_at_returns_handle_with_time(self):
+        engine = Engine()
+        handle = engine.schedule_at(5.0, lambda: None, label="x")
+        assert handle.time == 5.0
+        assert handle.label == "x"
+        assert not handle.cancelled
+
+    def test_schedule_in_offsets_from_now(self):
+        engine = Engine()
+        engine.schedule_at(3.0, lambda: None)
+        engine.step()
+        handle = engine.schedule_in(2.0, lambda: None)
+        assert handle.time == 5.0
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule_at(3.0, lambda: None)
+        engine.step()
+        with pytest.raises(SchedulingError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Engine().schedule_in(-1.0, lambda: None)
+
+    def test_nonfinite_time_rejected(self):
+        with pytest.raises(SchedulingError):
+            Engine().schedule_at(float("inf"), lambda: None)
+
+    def test_schedule_at_current_time_allowed(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(0.0, lambda: fired.append(True))
+        engine.step()
+        assert fired == [True]
+
+
+class TestExecution:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule_at(3.0, lambda: order.append(3))
+        engine.schedule_at(1.0, lambda: order.append(1))
+        engine.schedule_at(2.0, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2, 3]
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        engine = Engine()
+        order = []
+        for tag in range(5):
+            engine.schedule_at(1.0, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties_before_insertion_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule_at(1.0, lambda: order.append("late"), priority=1)
+        engine.schedule_at(1.0, lambda: order.append("early"), priority=0)
+        engine.run()
+        assert order == ["early", "late"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(7.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [7.5]
+        assert engine.now == 7.5
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_step_fires_exactly_one_event(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(2.0, lambda: fired.append(2))
+        assert engine.step() is True
+        assert fired == [1]
+
+    def test_events_fired_counter(self):
+        engine = Engine()
+        for t in range(3):
+            engine.schedule_at(float(t), lambda: None)
+        engine.run()
+        assert engine.events_fired == 3
+
+    def test_callback_may_schedule_more_events(self):
+        engine = Engine()
+        order = []
+
+        def chain():
+            order.append(engine.now)
+            if engine.now < 3.0:
+                engine.schedule_in(1.0, chain)
+
+        engine.schedule_at(1.0, chain)
+        engine.run()
+        assert order == [1.0, 2.0, 3.0]
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(10.0, lambda: fired.append(10))
+        engine.run_until(5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending == 1
+
+    def test_run_until_includes_boundary_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append(5))
+        engine.run_until(5.0)
+        assert fired == [5]
+
+    def test_run_until_advances_clock_even_with_empty_queue(self):
+        engine = Engine()
+        engine.run_until(42.0)
+        assert engine.now == 42.0
+
+    def test_run_until_in_past_rejected(self):
+        engine = Engine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_run_until_can_continue(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(8.0, lambda: fired.append(8))
+        engine.run_until(5.0)
+        engine.run_until(10.0)
+        assert fired == [1, 8]
+
+    def test_reentrant_run_rejected(self):
+        engine = Engine()
+
+        def nested():
+            engine.run_until(10.0)
+
+        engine.schedule_at(1.0, nested)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancelling_one_event_spares_others(self):
+        engine = Engine()
+        fired = []
+        keep = engine.schedule_at(1.0, lambda: fired.append("keep"))
+        drop = engine.schedule_at(1.0, lambda: fired.append("drop"))
+        drop.cancel()
+        engine.run()
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+    def test_cancelled_events_still_counted_as_pending(self):
+        engine = Engine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        assert engine.pending == 1  # lazy deletion
+        engine.run()
+        assert engine.pending == 0

@@ -1,0 +1,78 @@
+"""Unit tests for content enrichment."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import make_message
+from repro.core.enrichment import EnrichmentPolicy
+from repro.errors import ConfigurationError
+from repro.messages.keywords import KeywordUniverse
+
+
+@pytest.fixture
+def policy(universe):
+    return EnrichmentPolicy(
+        universe, honest_probability=1.0, malicious_probability=1.0,
+        max_tags=2,
+    )
+
+
+class TestHonestEnrichment:
+    def test_tags_come_from_unannotated_content(self, policy, rng):
+        message = make_message(content=("flood", "fire", "shelter"),
+                               keywords=("flood",))
+        tags = policy.honest_tags(message, rng)
+        assert tags
+        assert set(tags) <= {"fire", "shelter"}
+
+    def test_no_tags_when_content_fully_annotated(self, policy, rng):
+        message = make_message(content=("flood",), keywords=("flood",))
+        assert policy.honest_tags(message, rng) == []
+
+    def test_probability_zero_never_enriches(self, universe, rng):
+        policy = EnrichmentPolicy(universe, honest_probability=0.0)
+        message = make_message(content=("flood", "fire"), keywords=("flood",))
+        assert all(
+            policy.honest_tags(message, rng) == [] for _ in range(20)
+        )
+
+    def test_max_tags_respected(self, universe, rng):
+        policy = EnrichmentPolicy(universe, honest_probability=1.0, max_tags=1)
+        message = make_message(
+            content=("flood", "fire", "shelter", "hospital"),
+            keywords=("flood",),
+        )
+        for _ in range(20):
+            assert len(policy.honest_tags(message, rng)) <= 1
+
+
+class TestMaliciousEnrichment:
+    def test_tags_are_irrelevant(self, policy, rng):
+        message = make_message(content=("flood", "fire"), keywords=("flood",))
+        tags = policy.malicious_tags(message, rng)
+        assert tags
+        for keyword in tags:
+            assert not message.is_relevant(keyword)
+            assert keyword not in message.keywords
+
+    def test_probability_zero_never_injects(self, universe, rng):
+        policy = EnrichmentPolicy(universe, malicious_probability=0.0)
+        message = make_message()
+        assert all(
+            policy.malicious_tags(message, rng) == [] for _ in range(20)
+        )
+
+
+class TestDispatch:
+    def test_tags_for_routes_by_flag(self, policy, rng):
+        message = make_message(content=("flood", "fire"), keywords=("flood",))
+        honest = policy.tags_for(message, malicious=False, rng=rng)
+        assert all(message.is_relevant(k) for k in honest)
+        injected = policy.tags_for(message, malicious=True, rng=rng)
+        assert all(not message.is_relevant(k) for k in injected)
+
+    def test_invalid_construction_rejected(self, universe):
+        with pytest.raises(ConfigurationError):
+            EnrichmentPolicy(universe, honest_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            EnrichmentPolicy(universe, max_tags=0)

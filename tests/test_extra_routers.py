@@ -1,0 +1,298 @@
+"""Unit tests for the extended router collection (NECTAR, TFT, RELICS,
+epidemic variants, two-hop reward)."""
+
+import pytest
+
+from tests.helpers import contact, make_message, make_world, trace_of
+from repro.errors import ConfigurationError
+from repro.messages.message import Priority
+from repro.routing.epidemic_variants import (
+    ImmuneEpidemicRouter,
+    PriorityEpidemicRouter,
+)
+from repro.routing.nectar import NectarRouter
+from repro.routing.relics import RelicsRouter
+from repro.routing.tft import TitForTatRouter
+from repro.routing.two_hop_reward import TwoHopRewardRouter
+
+
+class TestNectar:
+    def test_index_grows_on_meetings_and_decays(self):
+        router = NectarRouter(decay_per_second=1e-3)
+        world = make_world({0: [], 1: [], 2: []}, router)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 20.0, 0, 1),
+            contact(30.0, 40.0, 0, 1),
+            contact(2000.0, 2010.0, 0, 2),
+        ))
+        world.run(2100.0)
+        # Two meetings with node 1 beat one with node 2 even after decay.
+        assert router.index(0, 1) > 0.0
+        assert router.index(0, 2) == pytest.approx(1.0)
+
+    def test_forwards_to_frequent_meeter_of_destination(self):
+        router = NectarRouter()
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 20.0, 1, 2),     # 1 builds index toward 2
+            contact(100.0, 150.0, 0, 1),   # 0 hands over: index(1,2) > index(0,2)
+            contact(200.0, 250.0, 1, 2),   # 1 delivers
+        ))
+        world.run(300.0)
+        assert message.uuid in world.node(2).delivered
+
+    def test_does_not_forward_to_worse_carrier(self):
+        router = NectarRouter()
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        # Node 0 itself met the destination; node 1 never did.
+        world.load_contact_trace(trace_of(
+            contact(10.0, 20.0, 0, 2),
+            contact(100.0, 150.0, 0, 1),
+        ))
+        world.run(200.0)
+        assert message.uuid not in world.node(1).buffer
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            NectarRouter(decay_per_second=-1.0)
+        with pytest.raises(ConfigurationError):
+            NectarRouter(boost=0.0)
+
+
+class TestPriorityEpidemic:
+    def test_high_priority_transferred_first(self):
+        router = PriorityEpidemicRouter()
+        world = make_world({0: [], 1: []}, router, link_speed=1_000.0)
+        low = make_message(source=0, size=1_000, priority=Priority.LOW)
+        high = make_message(source=0, size=1_000, priority=Priority.HIGH)
+        world.inject_message(low)   # injected first
+        world.inject_message(high)
+        # The contact fits exactly one 1 s transfer.
+        world.load_contact_trace(trace_of(contact(10.0, 11.5, 0, 1)))
+        world.run(100.0)
+        assert world.node(1).has_seen(high.uuid)
+        assert not world.node(1).has_seen(low.uuid)
+
+
+class TestImmuneEpidemic:
+    def test_delivered_message_is_cured(self):
+        router = ImmuneEpidemicRouter()
+        world = make_world({0: [], 1: ["flood"], 2: []}, router)
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 50.0, 0, 1),     # delivery: 1 becomes immune
+            contact(100.0, 150.0, 1, 2),   # immunity gossip; no re-spread
+        ))
+        world.run(200.0)
+        assert message.uuid in world.node(1).delivered
+        assert message.uuid not in world.node(1).buffer
+        assert message.uuid in router.immunity_of(1)
+        # Node 2 learned the immunity and never buffered the message.
+        assert message.uuid in router.immunity_of(2)
+        assert message.uuid not in world.node(2).buffer
+
+    def test_immunity_purges_existing_copies(self):
+        router = ImmuneEpidemicRouter()
+        world = make_world({0: [], 1: ["flood"], 2: []}, router)
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 50.0, 0, 2),     # 2 becomes a carrier
+            contact(100.0, 150.0, 0, 1),   # delivery at 1: immune
+            contact(200.0, 250.0, 1, 2),   # 2 hears the cure, purges
+        ))
+        world.run(300.0)
+        assert message.uuid not in world.node(2).buffer
+
+    def test_immune_reduces_traffic_vs_plain_epidemic(self):
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_comparison
+
+        config = ScenarioConfig.tiny()
+        results = run_comparison(
+            config, ["epidemic", "epidemic-immune", "epidemic-priority"],
+            seed=1,
+        )
+        assert (
+            results["epidemic-immune"].traffic
+            <= results["epidemic"].traffic
+        )
+        # The priority variant floods the same copies, just reordered.
+        assert (
+            abs(results["epidemic-priority"].mdr - results["epidemic"].mdr)
+            < 0.2
+        )
+
+
+class TestTitForTat:
+    def test_reciprocity_limits_freeloading(self):
+        # epsilon admits one 1000 B message; the second is refused until
+        # the receiver reciprocates.
+        router = TitForTatRouter(epsilon_bytes=1_000)
+        world = make_world({0: [], 1: []}, router)
+        first = make_message(source=0, size=1_000)
+        second = make_message(source=0, size=1_000)
+        world.inject_message(first)
+        world.inject_message(second)
+        world.load_contact_trace(trace_of(contact(10.0, 100.0, 0, 1)))
+        world.run(200.0)
+        assert first.uuid in world.node(1).buffer
+        assert second.uuid not in world.node(1).buffer
+        assert router.carried(1, 0) == 1_000
+
+    def test_reciprocation_restores_allowance(self):
+        router = TitForTatRouter(epsilon_bytes=1_000)
+        world = make_world({0: [], 1: []}, router)
+        mine = make_message(source=0, size=1_000)
+        yours = make_message(source=1, size=1_000)
+        extra = make_message(source=0, size=1_000)
+        world.inject_message(mine)
+        world.inject_message(yours)
+        world.inject_message(extra)
+        world.load_contact_trace(trace_of(contact(10.0, 200.0, 0, 1)))
+        world.run(300.0)
+        # Both directions carried each other's traffic, so the balance
+        # allows the extra message too.
+        assert router.carried(1, 0) >= 1_000
+        assert router.carried(0, 1) == 1_000
+        assert extra.uuid in world.node(1).buffer
+
+    def test_deliveries_ignore_tft_constraint(self):
+        router = TitForTatRouter(epsilon_bytes=0)
+        world = make_world({0: [], 1: ["flood"]}, router)
+        message = make_message(source=0, size=1_000, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(contact(10.0, 100.0, 0, 1)))
+        world.run(200.0)
+        assert message.uuid in world.node(1).delivered
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            TitForTatRouter(epsilon_bytes=-1)
+
+
+class TestRelics:
+    def test_low_rank_consumer_starves(self):
+        router = RelicsRouter(service_ratio=1.0, grace_bytes=1_500)
+        world = make_world({0: [], 1: ["flood"]}, router)
+        messages = [
+            make_message(source=0, size=1_000, keywords=("flood",))
+            for _ in range(4)
+        ]
+        for message in messages:
+            world.inject_message(message)
+        world.load_contact_trace(trace_of(contact(10.0, 200.0, 0, 1)))
+        world.run(300.0)
+        delivered = sum(
+            1 for m in messages if m.uuid in world.node(1).delivered
+        )
+        # Grace covers the first message; node 1 never relays, so the
+        # rest are withheld.
+        assert delivered == 1
+
+    def test_relaying_restores_service(self):
+        router = RelicsRouter(service_ratio=1.0, grace_bytes=1_500)
+        world = make_world({0: [], 1: ["flood"], 2: []}, router)
+        wanted = [
+            make_message(source=0, size=1_000, keywords=("flood",))
+            for _ in range(3)
+        ]
+        for message in wanted:
+            world.inject_message(message)
+        # Content/keywords avoid node 1's interests so it acts as a
+        # relay for this message, not as a destination.
+        carried = make_message(source=2, size=5_000, content=("fire",),
+                               keywords=("fire",))
+        world.inject_message(carried)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 100.0, 1, 2),    # node 1 relays 5 kB for node 2
+            contact(200.0, 400.0, 0, 1),   # then gets served fully
+        ))
+        world.run(500.0)
+        assert router.rank(1) == 5_000
+        delivered = sum(
+            1 for m in wanted if m.uuid in world.node(1).delivered
+        )
+        assert delivered == 3
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            RelicsRouter(service_ratio=-0.1)
+        with pytest.raises(ConfigurationError):
+            RelicsRouter(grace_bytes=-1)
+
+
+class TestTwoHopReward:
+    def test_first_deliverer_collects_reward(self):
+        router = TwoHopRewardRouter(reward=10.0, relay_cost=0.5,
+                                    initial_tokens=100.0)
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 50.0, 0, 1),     # recruit relay 1
+            contact(100.0, 150.0, 1, 2),   # relay delivers, collects
+        ))
+        world.run(200.0)
+        assert message.uuid in world.node(2).delivered
+        assert router.ledger.balance(1) == pytest.approx(110.0)
+        assert router.ledger.balance(2) == pytest.approx(90.0)
+
+    def test_source_delivery_pays_nothing(self):
+        router = TwoHopRewardRouter(initial_tokens=100.0)
+        world = make_world({0: [], 1: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(contact(10.0, 50.0, 0, 1)))
+        world.run(100.0)
+        assert message.uuid in world.node(1).delivered
+        assert router.ledger.transactions == ()
+
+    def test_unattractive_offer_declined(self):
+        # One token of reward cannot cover a 5-token relay cost.
+        router = TwoHopRewardRouter(reward=1.0, relay_cost=5.0)
+        world = make_world({0: [], 1: []}, router)
+        message = make_message(source=0, size=100)
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(contact(10.0, 50.0, 0, 1)))
+        world.run(100.0)
+        assert message.uuid not in world.node(1).buffer
+        assert router.offers_declined >= 1
+
+    def test_information_settings_order_win_estimates(self):
+        world_interests = {0: [], 1: [], 2: [], 3: []}
+        estimates = {}
+        for setting in ("full", "partial", "none"):
+            router = TwoHopRewardRouter(
+                information=setting, reward=10.0, relay_cost=0.1,
+                pessimistic_copies=8,
+            )
+            world = make_world(dict(world_interests), router)
+            message = make_message(source=0, size=100)
+            world.inject_message(message)
+            world.load_contact_trace(trace_of(
+                contact(10.0, 50.0, 0, 1),
+                contact(100.0, 150.0, 0, 2),
+            ))
+            world.run(200.0)
+            estimates[setting] = router.win_probability_estimate(
+                message.uuid
+            )
+        # Two copies out: partial sees 1/3; full discounts further for
+        # the competition's head start; none assumes the worst.
+        assert estimates["partial"] == pytest.approx(1.0 / 3.0)
+        assert estimates["full"] < estimates["partial"]
+        assert estimates["none"] == pytest.approx(1.0 / 9.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            TwoHopRewardRouter(information="rumour")
+        with pytest.raises(ConfigurationError):
+            TwoHopRewardRouter(reward=0.0)
+        with pytest.raises(ConfigurationError):
+            TwoHopRewardRouter(relay_cost=-1.0)

@@ -1,0 +1,85 @@
+"""Tests for reactive fragmentation (partial-transfer resumption)."""
+
+import pytest
+
+from tests.helpers import contact, make_message, trace_of
+from repro.network.node import Node
+from repro.network.world import World
+from repro.routing.epidemic import EpidemicRouter
+from repro.sim.engine import Engine
+
+
+def build_world(resume):
+    nodes = [
+        Node(0, [], buffer_capacity=1_000_000),
+        Node(1, ["flood"], buffer_capacity=1_000_000),
+    ]
+    return World(
+        Engine(), nodes, EpidemicRouter(),
+        link_speed=1_000.0, resume_partial_transfers=resume,
+    )
+
+
+class TestReactiveFragmentation:
+    def test_resumed_transfer_completes_in_split_contacts(self):
+        # A 10 kB message needs 10 s at 1 kB/s; two 6-second contacts
+        # suffice only when the second attempt resumes at byte 6000.
+        world = build_world(resume=True)
+        message = make_message(source=0, size=10_000, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 16.0, 0, 1),
+            contact(100.0, 106.0, 0, 1),
+        ))
+        world.run(200.0)
+        assert message.uuid in world.node(1).delivered
+        assert world.metrics.transfers_aborted == 1
+        assert world.metrics.transfers_completed == 1
+
+    def test_without_resume_restart_from_zero_fails(self):
+        world = build_world(resume=False)
+        message = make_message(source=0, size=10_000, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 16.0, 0, 1),
+            contact(100.0, 106.0, 0, 1),
+        ))
+        world.run(200.0)
+        assert message.uuid not in world.node(1).delivered
+        assert world.metrics.transfers_aborted == 2
+
+    def test_partial_progress_accumulates_across_attempts(self):
+        # Three 4-second contacts move 4 kB each; only their sum covers
+        # the 10 kB message.
+        world = build_world(resume=True)
+        message = make_message(source=0, size=10_000, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 14.0, 0, 1),
+            contact(100.0, 104.0, 0, 1),
+            contact(200.0, 204.0, 0, 1),
+        ))
+        world.run(300.0)
+        assert message.uuid in world.node(1).delivered
+
+    def test_progress_cleared_after_completion(self):
+        world = build_world(resume=True)
+        message = make_message(source=0, size=2_000, keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(contact(10.0, 20.0, 0, 1)))
+        world.run(100.0)
+        assert message.uuid in world.node(1).delivered
+        assert world._partial_bytes == {}
+
+    def test_queued_abort_records_no_progress(self):
+        # Two messages share one direction; the second never starts
+        # before the contact breaks, so it must not record progress.
+        world = build_world(resume=True)
+        first = make_message(source=0, size=4_000, keywords=("flood",))
+        second = make_message(source=0, size=4_000, keywords=("flood",))
+        world.inject_message(first)
+        world.inject_message(second)
+        world.load_contact_trace(trace_of(contact(10.0, 12.0, 0, 1)))
+        world.run(100.0)
+        assert world._partial_bytes.get((1, first.uuid), 0.0) > 0.0
+        assert (1, second.uuid) not in world._partial_bytes

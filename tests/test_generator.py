@@ -1,0 +1,109 @@
+"""Unit tests for the workload generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.messages.generator import (
+    DEFAULT_PROFILES,
+    MessageGenerator,
+    MessageProfile,
+)
+from repro.messages.keywords import KeywordUniverse
+from repro.messages.message import Priority
+
+
+@pytest.fixture
+def generator(universe, rng):
+    return MessageGenerator(universe, rng)
+
+
+class TestProfiles:
+    def test_default_fractions_sum_to_one(self):
+        assert sum(p.fraction for p in DEFAULT_PROFILES) == pytest.approx(1.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageProfile("bad", 1.5, Priority.HIGH, (0.0, 1.0), (1, 2))
+
+    def test_invalid_quality_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageProfile("bad", 0.5, Priority.HIGH, (0.9, 0.1), (1, 2))
+
+    def test_invalid_size_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageProfile("bad", 0.5, Priority.HIGH, (0.0, 1.0), (0, 2))
+
+    def test_fractions_must_sum_to_one(self, universe, rng):
+        lopsided = (
+            MessageProfile("a", 0.5, Priority.HIGH, (0.5, 1.0), (1, 2)),
+        )
+        with pytest.raises(ConfigurationError):
+            MessageGenerator(universe, rng, profiles=lopsided)
+
+
+class TestCreateMessage:
+    def test_message_fields_within_profile(self, universe, rng):
+        profile = MessageProfile(
+            "only", 1.0, Priority.HIGH, (0.6, 0.9), (100, 200)
+        )
+        generator = MessageGenerator(universe, rng, profiles=(profile,))
+        message = generator.create_message(3, 10.0)
+        assert message.source == 3
+        assert message.created_at == 10.0
+        assert message.priority is Priority.HIGH
+        assert 0.6 <= message.quality <= 0.9
+        assert 100 <= message.size <= 200
+
+    def test_annotations_are_subset_of_content(self, generator):
+        for _ in range(20):
+            message = generator.create_message(0, 0.0)
+            assert message.keywords <= message.content
+            assert len(message.keywords) >= 1
+
+    def test_content_keyword_count_in_range(self, universe, rng):
+        generator = MessageGenerator(universe, rng, content_keywords=(3, 5))
+        for _ in range(20):
+            message = generator.create_message(0, 0.0)
+            assert 3 <= len(message.content) <= 5
+
+    def test_low_quality_override(self, generator):
+        message = generator.create_message(0, 0.0, low_quality=True)
+        assert message.quality <= 0.2
+
+    def test_location_attached(self, generator):
+        message = generator.create_message(0, 0.0)
+        latitude, longitude = message.location
+        assert -90.0 <= latitude <= 90.0
+        assert -180.0 <= longitude <= 180.0
+
+    def test_profile_mix_roughly_respected(self, universe, rng):
+        generator = MessageGenerator(universe, rng)
+        priorities = [
+            generator.create_message(0, 0.0).priority for _ in range(300)
+        ]
+        high_share = priorities.count(Priority.HIGH) / len(priorities)
+        assert 0.35 <= high_share <= 0.65  # nominal 0.5
+
+
+class TestSchedule:
+    def test_one_message_per_interval(self, generator):
+        plan = generator.schedule([0, 1, 2], duration=600.0, interval=60.0)
+        assert len(plan) == 10
+
+    def test_times_sorted_and_in_range(self, generator):
+        plan = generator.schedule([0, 1], duration=500.0, interval=50.0)
+        times = [t for t, _ in plan]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= 500.0 for t in times)
+
+    def test_sources_drawn_from_population(self, generator):
+        plan = generator.schedule([4, 9], duration=1000.0, interval=10.0)
+        assert {source for _, source in plan} <= {4, 9}
+
+    def test_invalid_parameters_rejected(self, generator):
+        with pytest.raises(ConfigurationError):
+            generator.schedule([], duration=100.0, interval=10.0)
+        with pytest.raises(ConfigurationError):
+            generator.schedule([0], duration=0.0, interval=10.0)
+        with pytest.raises(ConfigurationError):
+            generator.schedule([0], duration=100.0, interval=0.0)

@@ -1,0 +1,178 @@
+"""Integration tests: multi-component scenarios from the thesis."""
+
+import pytest
+
+from tests.helpers import contact, make_message, make_world, trace_of
+from repro.core.incentive import IncentiveParams
+from repro.core.protocol import IncentiveChitChatRouter
+from repro.core.reputation import RatingModel
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_comparison, run_scenario
+from repro.messages.message import Priority
+
+
+def make_protocol(initial_tokens):
+    params = IncentiveParams(initial_tokens=initial_tokens)
+    return IncentiveChitChatRouter(
+        params=params,
+        rating_model=RatingModel(params, noise=0.0, confidence_low=1.0),
+    )
+
+
+class TestPaperIIDemo:
+    """The three-device Bluetooth demo of Paper II, Section 5.
+
+    Devices A(0), B(1), C(2): A holds messages B and C are interested
+    in; A-B are in range, B-C are in range, A-C are not.  B receives
+    messages until its tokens run out, earns tokens by serving C, and
+    only then can receive the remainder from A.
+    """
+
+    def build(self, initial_tokens=8.0, n_messages=12):
+        router = make_protocol(initial_tokens)
+        world = make_world(
+            {0: [], 1: ["flood"], 2: ["flood"]}, router,
+            link_speed=10_000.0,
+        )
+        messages = []
+        for index in range(n_messages):
+            message = make_message(
+                source=0, size=1_000, quality=0.8,
+                content=("flood",), keywords=("flood",),
+            )
+            world.inject_message(message)
+            messages.append(message)
+        return router, world, messages
+
+    def test_token_exhaustion_blocks_then_earning_unblocks(self):
+        router, world, messages = self.build()
+        world.load_contact_trace(trace_of(
+            contact(10.0, 500.0, 0, 1),     # A -> B until B runs dry
+            contact(600.0, 1100.0, 1, 2),   # B serves C, earning tokens
+            contact(1200.0, 1700.0, 0, 1),  # A -> B resumes
+        ))
+        world.run(2000.0)
+
+        received_by_b = sum(
+            1 for m in messages if m.uuid in world.node(1).delivered
+        )
+        received_by_c = sum(
+            1 for m in messages if m.uuid in world.node(2).delivered
+        )
+        # B could not afford everything in the first contact...
+        assert world.metrics.blocked_no_tokens > 0
+        # ...but earned from C and received more in the second A-B contact.
+        first_batch = sum(
+            1 for m in messages
+            if world.node(1).delivered.get(m.uuid, float("inf")) < 600.0
+        )
+        assert 0 < first_batch < received_by_b
+        assert received_by_c > 0
+        # Tokens are conserved across the whole demo.
+        assert router.ledger.total_supply() == pytest.approx(
+            router.ledger.total_endowment()
+        )
+
+    def test_a_and_c_never_talk_directly(self):
+        router, world, messages = self.build()
+        world.load_contact_trace(trace_of(
+            contact(10.0, 500.0, 0, 1),
+            contact(600.0, 1100.0, 1, 2),
+        ))
+        world.run(1500.0)
+        for message in messages:
+            if message.uuid in world.node(2).delivered:
+                # Any copy at C must have come through B.
+                assert world.link_between(0, 2) is None
+
+
+class TestSchemeOrdering:
+    """Cross-scheme sanity at tiny scale."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        config = ScenarioConfig.tiny()
+        return run_comparison(
+            config,
+            ["epidemic", "chitchat", "incentive", "direct", "two-hop"],
+            seed=2,
+        )
+
+    def test_epidemic_has_highest_traffic(self, results):
+        epidemic = results["epidemic"].traffic
+        for scheme, result in results.items():
+            assert epidemic >= result.traffic
+
+    def test_direct_contact_has_lowest_mdr(self, results):
+        direct = results["direct"].mdr
+        for scheme, result in results.items():
+            assert result.mdr >= direct - 1e-9
+
+    def test_chitchat_beats_direct_and_loses_to_epidemic(self, results):
+        assert (
+            results["epidemic"].mdr
+            >= results["chitchat"].mdr
+            >= results["direct"].mdr
+        )
+
+    def test_incentive_close_to_chitchat(self, results):
+        # "slightly lower message delivery ratio compared to ChitChat"
+        assert results["incentive"].mdr <= results["chitchat"].mdr + 0.05
+        assert results["incentive"].mdr >= results["chitchat"].mdr - 0.25
+
+
+class TestMaliciousDetectionEndToEnd:
+    def test_honest_nodes_learn_to_distrust_malicious(self):
+        config = ScenarioConfig.tiny(malicious_fraction=0.3)
+        result = run_scenario(
+            config, "incentive", seed=1,
+            sample_ratings=True, rating_sample_interval=300.0,
+        )
+        samples = result.metrics.rating_samples
+        assert samples
+        start = sum(samples[0][1].values()) / len(samples[0][1])
+        end = sum(samples[-1][1].values()) / len(samples[-1][1])
+        assert end < start
+
+    def test_malicious_nodes_rated_below_honest(self):
+        config = ScenarioConfig.tiny(malicious_fraction=0.3)
+        result = run_scenario(config, "incentive", seed=1)
+        reputation = result.router.reputation
+        observers = sorted(result.honest_ids)
+        malicious_scores = [
+            reputation.average_score_of(node, observers)
+            for node in sorted(result.malicious_ids)
+        ]
+        honest_scores = [
+            reputation.average_score_of(node, observers)
+            for node in sorted(result.honest_ids)
+        ]
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        assert mean(malicious_scores) < mean(honest_scores)
+
+
+class TestPriorityEffect:
+    def test_incentive_favours_high_priority_under_selfishness(self):
+        config = ScenarioConfig.tiny(selfish_fraction=0.4)
+        results = run_comparison(
+            config, ["chitchat", "incentive"], seed=4,
+        )
+        incentive = results["incentive"].metrics.mdr_by_priority()
+        # High-priority class should not be the worst-served class.
+        assert incentive[Priority.HIGH] >= incentive[Priority.LOW] - 0.15
+
+
+class TestEnergyAccountingEndToEnd:
+    def test_energy_tracks_traffic(self):
+        config = ScenarioConfig.tiny()
+        result = run_scenario(config, "chitchat", seed=1)
+        # Energy accounting is wired in the runner's world, which is not
+        # exposed on the result; re-run a bare scenario to check wiring.
+        router = make_protocol(50.0)
+        world = make_world({0: [], 1: ["flood"]}, router)
+        message = make_message(source=0, size=1_000, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(contact(10.0, 100.0, 0, 1)))
+        world.run(200.0)
+        assert world.energy.total_consumed() > 0.0

@@ -1,0 +1,83 @@
+"""Unit tests for the keyword universe."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.messages.keywords import DEFAULT_THEMES, KeywordUniverse
+
+
+class TestConstruction:
+    def test_size(self):
+        assert len(KeywordUniverse(200)) == 200
+
+    def test_small_pool_uses_theme_prefix(self):
+        universe = KeywordUniverse(5)
+        assert universe.keywords == DEFAULT_THEMES[:5]
+
+    def test_large_pool_pads_with_synthetic_keywords(self):
+        universe = KeywordUniverse(50)
+        assert "kw049" in universe
+        assert len(set(universe.keywords)) == 50
+
+    def test_custom_themes(self):
+        universe = KeywordUniverse(3, themes=("a", "b", "c", "d"))
+        assert universe.keywords == ("a", "b", "c")
+
+    def test_duplicate_themes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeywordUniverse(3, themes=("a", "a"))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeywordUniverse(0)
+
+    def test_membership_and_index(self):
+        universe = KeywordUniverse(10)
+        keyword = universe.keywords[3]
+        assert keyword in universe
+        assert universe.index_of(keyword) == 3
+        with pytest.raises(ConfigurationError):
+            universe.index_of("not-a-keyword")
+
+
+class TestSampling:
+    def test_sample_distinct(self, rng):
+        universe = KeywordUniverse(30)
+        picked = universe.sample(rng, 20)
+        assert len(picked) == 20
+        assert len(set(picked)) == 20
+        assert all(k in universe for k in picked)
+
+    def test_sample_respects_exclusions(self, rng):
+        universe = KeywordUniverse(10)
+        excluded = universe.keywords[:5]
+        picked = universe.sample(rng, 5, exclude=excluded)
+        assert set(picked) == set(universe.keywords[5:])
+
+    def test_oversample_rejected(self, rng):
+        universe = KeywordUniverse(5)
+        with pytest.raises(ConfigurationError):
+            universe.sample(rng, 6)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            KeywordUniverse(5).sample(rng, -1)
+
+    def test_sample_interests_returns_frozenset(self, rng):
+        interests = KeywordUniverse(30).sample_interests(rng, 7)
+        assert isinstance(interests, frozenset)
+        assert len(interests) == 7
+
+    def test_irrelevant_for_avoids_content(self, rng):
+        universe = KeywordUniverse(20)
+        content = list(universe.keywords[:5])
+        tags = universe.irrelevant_for(rng, content, 10)
+        assert not set(tags) & set(content)
+
+    def test_sampling_is_deterministic(self):
+        import numpy as np
+
+        universe = KeywordUniverse(30)
+        a = universe.sample(np.random.default_rng(1), 10)
+        b = universe.sample(np.random.default_rng(1), 10)
+        assert a == b

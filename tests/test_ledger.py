@@ -1,0 +1,144 @@
+"""Unit tests for the token ledger."""
+
+import pytest
+
+from repro.core.ledger import TokenLedger
+from repro.errors import (
+    ConfigurationError,
+    InsufficientTokensError,
+    LedgerError,
+    UnknownAccountError,
+)
+
+
+@pytest.fixture
+def ledger():
+    book = TokenLedger()
+    book.open_account(1, 100.0)
+    book.open_account(2, 100.0)
+    return book
+
+
+class TestAccounts:
+    def test_open_and_balance(self, ledger):
+        assert ledger.balance(1) == 100.0
+        assert ledger.initial_balance(1) == 100.0
+        assert ledger.has_account(1)
+        assert not ledger.has_account(3)
+
+    def test_duplicate_account_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.open_account(1, 50.0)
+
+    def test_negative_endowment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenLedger().open_account(1, -1.0)
+
+    def test_unknown_account_raises(self, ledger):
+        with pytest.raises(UnknownAccountError):
+            ledger.balance(99)
+        with pytest.raises(UnknownAccountError):
+            ledger.initial_balance(99)
+
+    def test_can_pay(self, ledger):
+        assert ledger.can_pay(1, 100.0)
+        assert not ledger.can_pay(1, 100.01)
+
+
+class TestTransfers:
+    def test_transfer_moves_tokens(self, ledger):
+        transaction = ledger.transfer(1, 2, 30.0, time=5.0, reason="award")
+        assert ledger.balance(1) == 70.0
+        assert ledger.balance(2) == 130.0
+        assert transaction.amount == 30.0
+        assert transaction.reason == "award"
+        assert transaction.time == 5.0
+
+    def test_insufficient_tokens_raise_and_leave_state_intact(self, ledger):
+        with pytest.raises(InsufficientTokensError):
+            ledger.transfer(1, 2, 150.0, time=0.0)
+        assert ledger.balance(1) == 100.0
+        assert ledger.balance(2) == 100.0
+        assert ledger.transactions == ()
+
+    def test_negative_amount_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.transfer(1, 2, -1.0, time=0.0)
+
+    def test_self_transfer_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.transfer(1, 1, 1.0, time=0.0)
+
+    def test_unknown_payee_rejected(self, ledger):
+        with pytest.raises(UnknownAccountError):
+            ledger.transfer(1, 99, 1.0, time=0.0)
+
+    def test_zero_transfer_recorded(self, ledger):
+        ledger.transfer(1, 2, 0.0, time=0.0, reason="zero-promise")
+        assert len(ledger.transactions) == 1
+
+    def test_total_supply_is_conserved(self, ledger):
+        ledger.transfer(1, 2, 25.0, time=0.0)
+        ledger.transfer(2, 1, 70.0, time=1.0)
+        assert ledger.total_supply() == ledger.total_endowment() == 200.0
+
+    def test_earnings(self, ledger):
+        ledger.transfer(1, 2, 25.0, time=0.0)
+        assert ledger.earnings(1) == -25.0
+        assert ledger.earnings(2) == 25.0
+
+    def test_volume_by_reason(self, ledger):
+        ledger.transfer(1, 2, 10.0, time=0.0, reason="award")
+        ledger.transfer(1, 2, 5.0, time=1.0, reason="award")
+        ledger.transfer(2, 1, 3.0, time=2.0, reason="prepay")
+        assert ledger.volume_by_reason() == {"award": 15.0, "prepay": 3.0}
+
+
+class TestEscrow:
+    def test_escrow_debits_payer_immediately(self, ledger):
+        ledger.escrow(1, 40.0, time=0.0, reason="award")
+        assert ledger.balance(1) == 60.0
+        assert ledger.escrowed_total() == 40.0
+        assert ledger.total_supply() == 200.0
+
+    def test_capture_pays_the_payee(self, ledger):
+        hold = ledger.escrow(1, 40.0, time=0.0, reason="award")
+        transaction = ledger.capture(hold, 2, time=1.0)
+        assert ledger.balance(2) == 140.0
+        assert ledger.escrowed_total() == 0.0
+        assert transaction.payer == 1
+        assert transaction.payee == 2
+        assert transaction.reason == "award"
+
+    def test_release_refunds_the_payer(self, ledger):
+        hold = ledger.escrow(1, 40.0, time=0.0)
+        ledger.release(hold, time=1.0)
+        assert ledger.balance(1) == 100.0
+        assert ledger.escrowed_total() == 0.0
+        # A released hold produces no transaction record.
+        assert ledger.transactions == ()
+
+    def test_escrow_insufficient_tokens(self, ledger):
+        with pytest.raises(InsufficientTokensError):
+            ledger.escrow(1, 150.0, time=0.0)
+
+    def test_double_settle_rejected(self, ledger):
+        hold = ledger.escrow(1, 10.0, time=0.0)
+        ledger.capture(hold, 2, time=1.0)
+        with pytest.raises(LedgerError):
+            ledger.capture(hold, 2, time=2.0)
+        with pytest.raises(LedgerError):
+            ledger.release(hold, time=2.0)
+
+    def test_escrowed_tokens_cannot_be_spent(self, ledger):
+        ledger.escrow(1, 90.0, time=0.0)
+        with pytest.raises(InsufficientTokensError):
+            ledger.transfer(1, 2, 20.0, time=0.0)
+
+    def test_conservation_across_mixed_operations(self, ledger):
+        hold_a = ledger.escrow(1, 30.0, time=0.0)
+        hold_b = ledger.escrow(2, 20.0, time=0.0)
+        ledger.capture(hold_a, 2, time=1.0)
+        ledger.release(hold_b, time=1.0)
+        ledger.transfer(2, 1, 5.0, time=2.0)
+        assert ledger.total_supply() == pytest.approx(200.0)

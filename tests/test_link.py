@@ -1,0 +1,128 @@
+"""Unit tests for contact links and transfers."""
+
+import pytest
+
+from tests.helpers import make_message
+from repro.errors import ConfigurationError, SimulationError
+from repro.network.link import Link
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def link(engine):
+    return Link(engine, 0, 1, speed=100.0, distance=50.0)
+
+
+class TestConstruction:
+    def test_endpoints_canonicalised(self, engine):
+        link = Link(engine, 5, 2, speed=10.0)
+        assert link.pair == (2, 5)
+
+    def test_peer_of(self, link):
+        assert link.peer_of(0) == 1
+        assert link.peer_of(1) == 0
+        with pytest.raises(ConfigurationError):
+            link.peer_of(9)
+
+    def test_self_link_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            Link(engine, 1, 1, speed=10.0)
+
+    def test_invalid_speed_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            Link(engine, 0, 1, speed=0.0)
+
+    def test_transfer_time(self, link):
+        assert link.transfer_time(make_message(size=250)) == pytest.approx(2.5)
+
+
+class TestTransfers:
+    def test_transfer_completes_after_duration(self, engine, link):
+        done = []
+        message = make_message(size=100)  # 1 second at 100 B/s
+        link.send(0, message, on_complete=lambda t: done.append(engine.now))
+        engine.run_until(0.5)
+        assert done == []
+        engine.run_until(1.0)
+        assert done == [1.0]
+
+    def test_transfers_in_one_direction_are_serial(self, engine, link):
+        done = []
+        link.send(0, make_message(size=100),
+                  on_complete=lambda t: done.append(("a", engine.now)))
+        link.send(0, make_message(size=100),
+                  on_complete=lambda t: done.append(("b", engine.now)))
+        engine.run_until(3.0)
+        assert done == [("a", 1.0), ("b", 2.0)]
+
+    def test_directions_are_independent(self, engine, link):
+        done = []
+        link.send(0, make_message(size=100),
+                  on_complete=lambda t: done.append(("fwd", engine.now)))
+        link.send(1, make_message(size=100),
+                  on_complete=lambda t: done.append(("rev", engine.now)))
+        engine.run_until(1.0)
+        assert sorted(done) == [("fwd", 1.0), ("rev", 1.0)]
+
+    def test_busy_and_queued(self, engine, link):
+        link.send(0, make_message(size=100), on_complete=lambda t: None)
+        link.send(0, make_message(size=100), on_complete=lambda t: None)
+        assert link.busy(0)
+        assert link.queued(0) == 1
+        assert not link.busy(1)
+
+    def test_completed_transfers_recorded(self, engine, link):
+        message = make_message(size=100)
+        transfer = link.send(0, message, on_complete=lambda t: None)
+        engine.run_until(1.0)
+        assert transfer.completed
+        assert link.completed_transfers == (transfer,)
+
+
+class TestClosure:
+    def test_close_aborts_in_flight_transfer(self, engine, link):
+        completed, aborted = [], []
+        link.send(
+            0, make_message(size=1_000),
+            on_complete=completed.append, on_abort=aborted.append,
+        )
+        engine.run_until(2.0)
+        casualties = link.close()
+        engine.run_until(20.0)
+        assert completed == []
+        assert len(aborted) == 1
+        assert casualties[0].aborted
+
+    def test_close_aborts_queued_transfers(self, engine, link):
+        aborted = []
+        link.send(0, make_message(size=1_000),
+                  on_complete=lambda t: None, on_abort=aborted.append)
+        link.send(0, make_message(size=1_000),
+                  on_complete=lambda t: None, on_abort=aborted.append)
+        link.close()
+        assert len(aborted) == 2
+
+    def test_send_on_closed_link_rejected(self, engine, link):
+        link.close()
+        with pytest.raises(SimulationError):
+            link.send(0, make_message(size=10), on_complete=lambda t: None)
+
+    def test_close_is_idempotent(self, engine, link):
+        link.send(0, make_message(size=100), on_complete=lambda t: None)
+        first = link.close()
+        second = link.close()
+        assert len(first) == 1
+        assert second == []
+
+    def test_completion_callback_closing_link_is_safe(self, engine, link):
+        # A delivery may exhaust a token balance and close the contact.
+        link.send(0, make_message(size=100),
+                  on_complete=lambda t: link.close())
+        link.send(0, make_message(size=100), on_complete=lambda t: None)
+        engine.run_until(5.0)
+        assert link.closed

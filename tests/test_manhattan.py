@@ -1,0 +1,82 @@
+"""Unit tests for Manhattan-grid mobility."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MobilityError
+from repro.mobility.contact import detect_contacts
+from repro.mobility.manhattan import ManhattanGrid
+
+AREA = (500.0, 500.0)
+BLOCK = 100.0
+
+
+def on_street(positions, block=BLOCK, tolerance=1e-6):
+    """Every node must sit on a horizontal or vertical street line."""
+    x_mod = np.minimum(positions[:, 0] % block, block - positions[:, 0] % block)
+    y_mod = np.minimum(positions[:, 1] % block, block - positions[:, 1] % block)
+    return ((x_mod <= tolerance) | (y_mod <= tolerance)).all()
+
+
+class TestManhattanGrid:
+    def test_initial_positions_on_intersections(self, rng):
+        model = ManhattanGrid(50, AREA, rng, block_size=BLOCK)
+        positions = model.positions
+        assert ((positions % BLOCK) < 1e-9).all()
+
+    def test_nodes_stay_on_streets(self, rng):
+        model = ManhattanGrid(30, AREA, rng, block_size=BLOCK)
+        for _ in range(50):
+            model.advance(17.0)
+            assert on_street(model.positions)
+
+    def test_positions_stay_inside_area(self, rng):
+        model = ManhattanGrid(30, AREA, rng, block_size=BLOCK)
+        for _ in range(100):
+            model.advance(25.0)
+            positions = model.positions
+            assert (positions >= -1e-9).all()
+            assert (positions[:, 0] <= AREA[0] + 1e-9).all()
+            assert (positions[:, 1] <= AREA[1] + 1e-9).all()
+
+    def test_nodes_move(self, rng):
+        model = ManhattanGrid(20, AREA, rng, block_size=BLOCK)
+        before = model.positions.copy()
+        model.advance(60.0)
+        moved = np.hypot(*(model.positions - before).T)
+        assert moved.mean() > 0.0
+
+    def test_displacement_bounded_by_speed(self, rng):
+        model = ManhattanGrid(
+            20, AREA, rng, block_size=BLOCK, speed_min=1.0, speed_max=1.0,
+        )
+        before = model.positions.copy()
+        model.advance(10.0)
+        # Street distance >= euclidean displacement.
+        moved = np.abs(model.positions - before).sum(axis=1)
+        assert (moved <= 10.0 + 1e-6).all()
+
+    def test_determinism(self):
+        a = ManhattanGrid(20, AREA, np.random.default_rng(5), block_size=BLOCK)
+        b = ManhattanGrid(20, AREA, np.random.default_rng(5), block_size=BLOCK)
+        a.advance(100.0)
+        b.advance(100.0)
+        assert (a.positions == b.positions).all()
+
+    def test_produces_contacts(self):
+        model = ManhattanGrid(
+            40, AREA, np.random.default_rng(2), block_size=BLOCK,
+        )
+        trace = detect_contacts(model, radius=80.0, duration=600.0,
+                                scan_interval=10.0)
+        assert len(trace) > 0
+
+    def test_invalid_construction(self, rng):
+        with pytest.raises(MobilityError):
+            ManhattanGrid(5, AREA, rng, block_size=0.0)
+        with pytest.raises(MobilityError):
+            ManhattanGrid(5, AREA, rng, block_size=1e6)
+        with pytest.raises(MobilityError):
+            ManhattanGrid(5, AREA, rng, speed_min=0.0)
+        with pytest.raises(MobilityError):
+            ManhattanGrid(5, AREA, rng, turn_probability=1.5)

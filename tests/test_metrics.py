@@ -1,0 +1,141 @@
+"""Unit tests for the metrics collector and report formatting."""
+
+import pytest
+
+from tests.helpers import make_message
+from repro.messages.message import Priority
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.reports import format_series, format_table
+
+
+class TestMdr:
+    def test_empty_collector(self):
+        metrics = MetricsCollector()
+        assert metrics.message_delivery_ratio() == 0.0
+        assert metrics.intended_pairs() == 0
+
+    def test_basic_mdr(self):
+        metrics = MetricsCollector()
+        message = make_message()
+        metrics.on_message_created(message, intended={1, 2})
+        metrics.on_delivered(message, 1, now=10.0)
+        assert metrics.intended_pairs() == 2
+        assert metrics.delivered_pairs() == 1
+        assert metrics.message_delivery_ratio() == 0.5
+
+    def test_duplicate_delivery_not_double_counted(self):
+        metrics = MetricsCollector()
+        message = make_message()
+        metrics.on_message_created(message, intended={1})
+        metrics.on_delivered(message, 1, now=10.0)
+        metrics.on_delivered(message, 1, now=20.0)
+        assert metrics.delivered_pairs() == 1
+
+    def test_bonus_deliveries_do_not_inflate_mdr(self):
+        metrics = MetricsCollector()
+        message = make_message()
+        metrics.on_message_created(message, intended={1})
+        metrics.on_delivered(message, 1, now=10.0)
+        metrics.on_delivered(message, 9, now=20.0)  # enrichment-created
+        assert metrics.message_delivery_ratio() == 1.0
+        assert metrics.bonus_deliveries() == 1
+
+    def test_delivery_for_unknown_message_ignored(self):
+        metrics = MetricsCollector()
+        metrics.on_delivered(make_message(), 1, now=0.0)
+        assert metrics.delivered_pairs() == 0
+
+    def test_mdr_by_priority(self):
+        metrics = MetricsCollector()
+        high = make_message(priority=Priority.HIGH)
+        low = make_message(priority=Priority.LOW)
+        metrics.on_message_created(high, intended={1, 2})
+        metrics.on_message_created(low, intended={1})
+        metrics.on_delivered(high, 1, now=1.0)
+        by_priority = metrics.mdr_by_priority()
+        assert by_priority[Priority.HIGH] == 0.5
+        assert by_priority[Priority.LOW] == 0.0
+        assert by_priority[Priority.MEDIUM] == 0.0
+
+
+class TestTrafficAndDelay:
+    def test_transfer_counters(self):
+        metrics = MetricsCollector()
+        message = make_message(size=500)
+        metrics.on_transfer_started(message)
+        metrics.on_transfer_completed(message)
+        metrics.on_transfer_aborted(message)
+        metrics.on_transfer_suppressed()
+        assert metrics.transfers_started == 1
+        assert metrics.transfers_completed == 1
+        assert metrics.transfers_aborted == 1
+        assert metrics.transfers_suppressed == 1
+        assert metrics.bytes_transferred == 500
+
+    def test_average_delay(self):
+        metrics = MetricsCollector()
+        message = make_message(created_at=10.0)
+        metrics.on_message_created(message, intended={1, 2})
+        metrics.on_delivered(message, 1, now=20.0)
+        metrics.on_delivered(message, 2, now=40.0)
+        assert metrics.average_delay() == pytest.approx(20.0)
+
+    def test_average_delay_empty(self):
+        assert MetricsCollector().average_delay() == 0.0
+
+    def test_delivered_quality_mean(self):
+        metrics = MetricsCollector()
+        good = make_message(quality=0.9)
+        bad = make_message(quality=0.1)
+        metrics.on_message_created(good, intended={1})
+        metrics.on_message_created(bad, intended={1})
+        metrics.on_delivered(good, 1, now=1.0)
+        assert metrics.delivered_quality_mean() == pytest.approx(0.9)
+
+    def test_summary_contains_headlines(self):
+        metrics = MetricsCollector()
+        summary = metrics.summary()
+        for key in ("mdr", "transfers_completed", "tokens_moved",
+                    "blocked_no_tokens", "average_delay"):
+            assert key in summary
+
+    def test_token_and_enrichment_counters(self):
+        metrics = MetricsCollector()
+        metrics.on_payment(2.5)
+        metrics.on_payment(1.5)
+        metrics.on_blocked_no_tokens()
+        metrics.on_enrichment(relevant=True)
+        metrics.on_enrichment(relevant=False)
+        assert metrics.token_payments == 2
+        assert metrics.tokens_moved == pytest.approx(4.0)
+        assert metrics.blocked_no_tokens == 1
+        assert metrics.enrichment_tags == 2
+        assert metrics.enrichment_relevant == 1
+
+    def test_rating_samples_are_stored_copies(self):
+        metrics = MetricsCollector()
+        ratings = {1: 2.0}
+        metrics.sample_ratings(10.0, ratings)
+        ratings[1] = 5.0
+        assert metrics.rating_samples == [(10.0, {1: 2.0})]
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["x", 1], ["long-name", 2.5]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+        assert "long-name" in text
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="Title")
+        assert text.splitlines()[0] == "Title"
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        text = format_series("series", [(0, 1.0)], x_label="t", y_label="v")
+        assert "series" in text
+        assert "t" in text and "v" in text

@@ -1,0 +1,166 @@
+"""Unit tests for the mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MobilityError
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.stationary import Stationary
+
+AREA = (1000.0, 800.0)
+
+
+def _in_area(positions, area=AREA):
+    return (
+        (positions[:, 0] >= 0).all()
+        and (positions[:, 0] <= area[0]).all()
+        and (positions[:, 1] >= 0).all()
+        and (positions[:, 1] <= area[1]).all()
+    )
+
+
+class TestRandomWaypoint:
+    def test_initial_positions_inside_area(self, rng):
+        model = RandomWaypoint(100, AREA, rng)
+        assert _in_area(model.positions)
+
+    def test_positions_stay_inside_area(self, rng):
+        model = RandomWaypoint(50, AREA, rng, pause_max=10.0)
+        for _ in range(100):
+            model.advance(30.0)
+            assert _in_area(model.positions)
+
+    def test_nodes_actually_move(self, rng):
+        model = RandomWaypoint(20, AREA, rng, pause_min=0.0, pause_max=0.0)
+        before = model.positions.copy()
+        model.advance(60.0)
+        moved = np.hypot(*(model.positions - before).T)
+        assert (moved > 0).all()
+
+    def test_displacement_bounded_by_max_speed(self, rng):
+        model = RandomWaypoint(
+            50, AREA, rng, speed_min=1.0, speed_max=2.0,
+            pause_min=0.0, pause_max=0.0,
+        )
+        before = model.positions.copy()
+        model.advance(10.0)
+        moved = np.hypot(*(model.positions - before).T)
+        # Straight-line displacement can never exceed speed_max * dt.
+        assert (moved <= 2.0 * 10.0 + 1e-9).all()
+
+    def test_zero_dt_is_noop(self, rng):
+        model = RandomWaypoint(10, AREA, rng)
+        before = model.positions.copy()
+        model.advance(0.0)
+        assert (model.positions == before).all()
+
+    def test_negative_dt_rejected(self, rng):
+        with pytest.raises(MobilityError):
+            RandomWaypoint(10, AREA, rng).advance(-1.0)
+
+    def test_determinism_under_same_seed(self):
+        a = RandomWaypoint(20, AREA, np.random.default_rng(5))
+        b = RandomWaypoint(20, AREA, np.random.default_rng(5))
+        a.advance(100.0)
+        b.advance(100.0)
+        assert (a.positions == b.positions).all()
+
+    def test_pausing_nodes_do_not_move(self, rng):
+        model = RandomWaypoint(
+            5, AREA, rng, speed_min=1.0, speed_max=1.0,
+            pause_min=1e6, pause_max=1e6,
+        )
+        # The longest possible first leg is the area diagonal (~1281 m at
+        # 1 m/s), so by t=2000 every node has arrived and is pausing.
+        model.advance(2000.0)
+        before = model.positions.copy()
+        model.advance(100.0)
+        assert np.allclose(model.positions, before)
+
+    def test_invalid_speed_range_rejected(self, rng):
+        with pytest.raises(MobilityError):
+            RandomWaypoint(5, AREA, rng, speed_min=2.0, speed_max=1.0)
+        with pytest.raises(MobilityError):
+            RandomWaypoint(5, AREA, rng, speed_min=0.0)
+
+    def test_invalid_pause_range_rejected(self, rng):
+        with pytest.raises(MobilityError):
+            RandomWaypoint(5, AREA, rng, pause_min=10.0, pause_max=1.0)
+
+    def test_invalid_population_rejected(self, rng):
+        with pytest.raises(MobilityError):
+            RandomWaypoint(0, AREA, rng)
+
+    def test_invalid_area_rejected(self, rng):
+        with pytest.raises(MobilityError):
+            RandomWaypoint(5, (0.0, 100.0), rng)
+
+    def test_positions_view_is_readonly(self, rng):
+        model = RandomWaypoint(5, AREA, rng)
+        with pytest.raises(ValueError):
+            model.positions[0, 0] = 1.0
+
+
+class TestRandomWalk:
+    def test_positions_stay_inside_area(self, rng):
+        model = RandomWalk(50, AREA, rng)
+        for _ in range(200):
+            model.advance(20.0)
+            assert _in_area(model.positions)
+
+    def test_nodes_move(self, rng):
+        model = RandomWalk(20, AREA, rng)
+        before = model.positions.copy()
+        model.advance(60.0)
+        moved = np.hypot(*(model.positions - before).T)
+        assert moved.mean() > 0
+
+    def test_determinism_under_same_seed(self):
+        a = RandomWalk(20, AREA, np.random.default_rng(5))
+        b = RandomWalk(20, AREA, np.random.default_rng(5))
+        for _ in range(10):
+            a.advance(15.0)
+            b.advance(15.0)
+        assert (a.positions == b.positions).all()
+
+    def test_invalid_leg_duration_rejected(self, rng):
+        with pytest.raises(MobilityError):
+            RandomWalk(5, AREA, rng, mean_leg_duration=0.0)
+
+    def test_zero_dt_is_noop(self, rng):
+        model = RandomWalk(10, AREA, rng)
+        before = model.positions.copy()
+        model.advance(0.0)
+        assert (model.positions == before).all()
+
+
+class TestStationary:
+    def test_nodes_never_move(self, rng):
+        model = Stationary(10, AREA, rng)
+        before = model.positions.copy()
+        model.advance(1e6)
+        assert (model.positions == before).all()
+
+    def test_explicit_positions(self, rng):
+        placed = [[10.0, 20.0], [30.0, 40.0]]
+        model = Stationary(2, AREA, rng, positions=placed)
+        assert (model.positions == np.array(placed)).all()
+
+    def test_wrong_shape_rejected(self, rng):
+        with pytest.raises(MobilityError):
+            Stationary(3, AREA, rng, positions=[[0.0, 0.0]])
+
+    def test_move_node_teleports(self, rng):
+        model = Stationary(2, AREA, rng, positions=[[0, 0], [1, 1]])
+        model.move_node(0, 500.0, 400.0)
+        assert tuple(model.positions[0]) == (500.0, 400.0)
+
+    def test_move_node_bounds_checked(self, rng):
+        model = Stationary(2, AREA, rng)
+        with pytest.raises(MobilityError):
+            model.move_node(5, 0.0, 0.0)
+
+    def test_positions_clipped_into_area(self, rng):
+        model = Stationary(1, AREA, rng, positions=[[-5.0, 9999.0]])
+        assert _in_area(model.positions)

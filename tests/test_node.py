@@ -1,0 +1,75 @@
+"""Unit tests for DTN node state."""
+
+import pytest
+
+from tests.helpers import make_message
+from repro.errors import ConfigurationError
+from repro.network.node import Node
+
+
+class TestConstruction:
+    def test_defaults(self):
+        node = Node(3, ["flood", "fire"])
+        assert node.node_id == 3
+        assert node.role == 1
+        assert node.interests == {"flood", "fire"}
+        assert node.buffer.capacity == 250_000_000
+
+    def test_invalid_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Node(-1, [])
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Node(0, [], role=0)
+
+
+class TestInterestPredicates:
+    def test_destination_when_direct_interest_matches_tag(self):
+        node = Node(0, ["flood"])
+        assert node.is_interested_in(make_message(keywords=("flood", "fire")))
+
+    def test_not_destination_without_overlap(self):
+        node = Node(0, ["shelter"])
+        assert not node.is_interested_in(make_message(keywords=("flood",)))
+
+    def test_matching_interests(self):
+        node = Node(0, ["flood", "fire", "shelter"])
+        message = make_message(content=("flood", "fire"),
+                               keywords=("flood", "fire"))
+        assert node.matching_interests(message) == {"flood", "fire"}
+
+
+class TestCustody:
+    def test_originate_records_and_buffers(self):
+        node = Node(2, [], buffer_capacity=10_000)
+        message = make_message(source=2, size=100)
+        node.originate(message, now=1.0)
+        assert message.uuid in node.generated
+        assert node.has_seen(message.uuid)
+        assert message.uuid in node.buffer
+
+    def test_originate_rejects_foreign_source(self):
+        node = Node(2, [])
+        with pytest.raises(ConfigurationError):
+            node.originate(make_message(source=5), now=0.0)
+
+    def test_accept_for_relay_marks_seen(self):
+        node = Node(1, [], buffer_capacity=10_000)
+        message = make_message(size=100)
+        node.accept_for_relay(message, now=2.0)
+        assert node.has_seen(message.uuid)
+        assert message.uuid in node.buffer
+
+    def test_first_delivery_recorded(self):
+        node = Node(1, ["flood"])
+        message = make_message(keywords=("flood",))
+        assert node.accept_delivery(message, now=5.0) is True
+        assert node.delivered[message.uuid] == 5.0
+
+    def test_duplicate_delivery_ignored(self):
+        node = Node(1, ["flood"])
+        message = make_message(keywords=("flood",))
+        node.accept_delivery(message, now=5.0)
+        assert node.accept_delivery(message.copy_for_transfer(), now=9.0) is False
+        assert node.delivered[message.uuid] == 5.0

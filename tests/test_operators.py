@@ -1,0 +1,127 @@
+"""Unit tests for the Paper I Section 4 operator functions."""
+
+import pytest
+
+from tests.helpers import contact, make_message, make_world, trace_of
+from repro.core.incentive import IncentiveParams
+from repro.core.operators import Operators
+from repro.core.protocol import IncentiveChitChatRouter
+from repro.core.reputation import RatingModel
+from repro.errors import ConfigurationError
+from repro.messages.message import Priority
+
+
+@pytest.fixture
+def bound():
+    params = IncentiveParams(initial_tokens=100.0)
+    router = IncentiveChitChatRouter(
+        params=params,
+        rating_model=RatingModel(params, noise=0.0, confidence_low=1.0),
+    )
+    world = make_world(
+        {0: ["flood"], 1: ["fire"], 2: []}, router,
+    )
+    return world, router, Operators(router)
+
+
+class TestAnnotateAndSubscribe:
+    def test_annotate_creates_and_injects(self, bound):
+        world, router, ops = bound
+        message = ops.annotate(
+            0, content=("flood", "fire"), labels=("flood",),
+            size=500, quality=0.9, priority=Priority.HIGH,
+        )
+        assert message.uuid in world.node(0).buffer
+        assert message.keywords == {"flood"}
+        assert message.priority is Priority.HIGH
+        assert world.metrics.record_for(message.uuid) is not None
+
+    def test_subscribe_adds_direct_interest(self, bound):
+        world, router, ops = bound
+        ops.subscribe(2, ["shelter"])
+        assert "shelter" in world.node(2).interests
+        assert router.table(2).is_direct("shelter")
+        assert router.table(2).weight("shelter") == 0.5
+
+
+class TestWeightOperators:
+    def test_decay_weights_returns_mapping(self, bound):
+        world, router, ops = bound
+        weights = ops.decay_weights(0)
+        assert weights == {"flood": 0.5}
+
+    def test_increment_weights_grows_from_peer(self, bound):
+        world, router, ops = bound
+        weights = ops.increment_weights(2, 0, elapsed=100.0)
+        assert weights.get("flood", 0.0) > 0.0
+
+
+class TestForwardingOperators:
+    def test_get_messages_to_forward(self, bound):
+        world, router, ops = bound
+        message = ops.annotate(2, content=("flood",), labels=("flood",),
+                               size=100)
+        assert [m.uuid for m in ops.get_messages_to_forward(2, 0)] == [
+            message.uuid
+        ]
+        assert ops.get_messages_to_forward(2, 1) == []
+
+    def test_decide_dest_or_relay(self, bound):
+        world, router, ops = bound
+        message = make_message(keywords=("flood",))
+        assert ops.decide_dest_or_relay(message, 0) == "destination"
+        assert ops.decide_dest_or_relay(message, 1) == "relay"
+
+    def test_decide_best_relay_prefers_strongest(self, bound):
+        world, router, ops = bound
+        message = make_message(keywords=("fire",))
+        assert ops.decide_best_relay([0, 1, 2], message) == 1
+        with pytest.raises(ConfigurationError):
+            ops.decide_best_relay([], message)
+
+    def test_compute_incentive_requires_connection(self, bound):
+        world, router, ops = bound
+        message = make_message(source=2, keywords=("flood",))
+        with pytest.raises(ConfigurationError):
+            ops.compute_incentive(message, 2, 0)
+
+    def test_compute_incentive_over_open_link(self, bound):
+        world, router, ops = bound
+        message = ops.annotate(2, content=("flood",), labels=("flood",),
+                               size=100)
+        values = []
+
+        def probe():
+            values.append(ops.compute_incentive(message, 2, 0))
+
+        world.engine.schedule_at(15.0, probe)
+        world.load_contact_trace(trace_of(contact(10.0, 20.0, 0, 2)))
+        world.run(30.0)
+        assert len(values) == 1
+        assert 0.0 < values[0] <= router.params.max_incentive
+
+
+class TestRatingOperators:
+    def test_rate_message_updates_book(self, bound):
+        world, router, ops = bound
+        message = make_message(source=2, quality=1.0,
+                               content=("flood",), keywords=("flood",))
+        rating = ops.rate_message(0, message)
+        assert rating == pytest.approx(5.0)
+        assert router.reputation.book(0).score(2) == pytest.approx(5.0)
+
+    def test_rate_node_returns_current_score(self, bound):
+        world, router, ops = bound
+        assert ops.rate_node(0, 2) == router.params.default_rating
+        router.reputation.book(0).rate_message(2, 1.0)
+        assert ops.rate_node(0, 2) == 1.0
+
+
+class TestEnrichOperator:
+    def test_enrich_adds_and_meters(self, bound):
+        world, router, ops = bound
+        message = make_message(content=("flood", "fire"), keywords=("flood",))
+        added = ops.enrich(2, message, ["fire", "flood", "car"])
+        assert added == ["fire", "car"]  # "flood" was a duplicate
+        assert world.metrics.enrichment_tags == 2
+        assert world.metrics.enrichment_relevant == 1

@@ -1,0 +1,79 @@
+"""Unit tests for periodic processes."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicProcess
+
+
+class TestPeriodicProcess:
+    def test_fires_on_interval(self):
+        engine = Engine()
+        ticks = []
+        process = PeriodicProcess(engine, 2.0, ticks.append, start_at=0.0)
+        process.start()
+        engine.run_until(6.0)
+        assert ticks == [0.0, 2.0, 4.0, 6.0]
+
+    def test_start_at_defaults_to_now(self):
+        engine = Engine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.step()
+        ticks = []
+        process = PeriodicProcess(engine, 1.0, ticks.append)
+        process.start()
+        engine.run_until(7.0)
+        assert ticks == [5.0, 6.0, 7.0]
+
+    def test_until_bound_respected(self):
+        engine = Engine()
+        ticks = []
+        process = PeriodicProcess(
+            engine, 1.0, ticks.append, start_at=0.0, until=2.5
+        )
+        process.start()
+        engine.run_until(10.0)
+        assert ticks == [0.0, 1.0, 2.0]
+        assert not process.running
+
+    def test_stop_cancels_future_ticks(self):
+        engine = Engine()
+        ticks = []
+        process = PeriodicProcess(engine, 1.0, ticks.append, start_at=0.0)
+        process.start()
+        engine.run_until(2.0)
+        process.stop()
+        engine.run_until(5.0)
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_stop_from_inside_callback(self):
+        engine = Engine()
+        ticks = []
+
+        def callback(now: float) -> None:
+            ticks.append(now)
+            if len(ticks) == 2:
+                process.stop()
+
+        process = PeriodicProcess(engine, 1.0, callback, start_at=0.0)
+        process.start()
+        engine.run_until(10.0)
+        assert ticks == [0.0, 1.0]
+
+    def test_double_start_rejected(self):
+        process = PeriodicProcess(Engine(), 1.0, lambda now: None)
+        process.start()
+        with pytest.raises(SchedulingError):
+            process.start()
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(SchedulingError):
+            PeriodicProcess(Engine(), 0.0, lambda now: None)
+
+    def test_tick_counter(self):
+        engine = Engine()
+        process = PeriodicProcess(engine, 1.0, lambda now: None, start_at=0.0)
+        process.start()
+        engine.run_until(4.0)
+        assert process.ticks == 5

@@ -1,0 +1,189 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bayesian_reputation import BayesianReputationSystem, BetaBelief
+from repro.core.incentive import IncentiveParams
+from repro.metrics.analysis import gini, summarize
+from repro.metrics.reports import ascii_chart
+from repro.mobility.manhattan import ManhattanGrid
+from repro.routing.tft import TitForTatRouter
+
+PARAMS = IncentiveParams()
+
+
+class TestBetaBeliefProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mean_stays_in_unit_interval(self, observations):
+        belief = BetaBelief()
+        for value in observations:
+            belief.observe(value)
+            assert 0.0 <= belief.mean <= 1.0
+            assert belief.alpha >= 1.0
+            assert belief.beta >= 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1, max_size=30,
+        ),
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fading_contracts_toward_prior(self, observations, factor):
+        belief = BetaBelief()
+        for value in observations:
+            belief.observe(value)
+        before = abs(belief.mean - 0.5)
+        belief.fade(factor)
+        after = abs(belief.mean - 0.5)
+        assert after <= before + 1e-12
+
+
+class TestBayesianSystemProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["rate", "merge"]),
+                st.integers(min_value=1, max_value=4),
+                st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scores_stay_on_scale(self, operations):
+        system = BayesianReputationSystem(PARAMS)
+        book = system.book(0)
+        for kind, subject, value in operations:
+            if kind == "rate":
+                book.rate_message(subject, value)
+            else:
+                book.merge_opinion(subject, value)
+            assert 0.0 <= book.score(subject) <= PARAMS.max_rating
+            assert 0.0 <= book.award_multiplier(subject, []) <= 1.0
+
+
+class TestGiniProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1, max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_gini_bounded(self, values):
+        coefficient = gini(values)
+        assert -1e-9 <= coefficient < 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+            min_size=2, max_size=30,
+        ),
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_gini_scale_invariant(self, values, scale):
+        assert gini(values) == pytest.approx(
+            gini([v * scale for v in values]), abs=1e-9,
+        )
+
+
+class TestSummarizeProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2, max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ci_brackets_mean(self, values):
+        summary = summarize(values)
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+
+class TestAsciiChartProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            min_size=1, max_size=20,
+        ),
+        st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bars_never_exceed_width(self, points, width):
+        chart = ascii_chart({"s": points}, width=width, y_max=1.0)
+        for line in chart.splitlines():
+            if "|" in line:
+                bar = line.split("|")[1]
+                assert len(bar) == width
+
+
+class TestManhattanProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=1, max_value=20),
+        st.floats(min_value=1.0, max_value=300.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_nodes_always_on_streets_and_in_area(self, seed, steps, dt):
+        area = (600.0, 600.0)
+        block = 100.0
+        model = ManhattanGrid(
+            10, area, np.random.default_rng(seed), block_size=block,
+        )
+        for _ in range(steps):
+            model.advance(dt)
+            positions = model.positions
+            assert (positions >= -1e-6).all()
+            assert (positions[:, 0] <= area[0] + 1e-6).all()
+            assert (positions[:, 1] <= area[1] + 1e-6).all()
+            x_offset = positions[:, 0] % block
+            y_offset = positions[:, 1] % block
+            on_x = np.minimum(x_offset, block - x_offset) < 1e-5
+            on_y = np.minimum(y_offset, block - y_offset) < 1e-5
+            assert (on_x | on_y).all()
+
+
+class TestTftProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=100, max_value=5_000),
+            ),
+            max_size=30,
+        ),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_allowance_rule_is_symmetric_in_accounting(
+        self, requests, epsilon
+    ):
+        """Direct unit check of the reciprocity inequality: whatever the
+        accept/reject history, the committed imbalance never exceeds
+        epsilon plus one message."""
+        router = TitForTatRouter(epsilon_bytes=epsilon)
+        for requester, size in requests:
+            carrier = 1 - requester
+            if router.within_allowance(carrier, requester, size):
+                key = (carrier, requester)
+                router._carried[key] = router._carried.get(key, 0) + size
+            imbalance = (
+                router.carried(carrier, requester)
+                - router.carried(requester, carrier)
+            )
+            assert imbalance <= epsilon + size

@@ -1,0 +1,341 @@
+"""Unit/integration tests for the incentive + reputation protocol."""
+
+import pytest
+
+from tests.helpers import contact, make_message, make_world, trace_of
+from repro.agents.behaviors import BehaviorProfile
+from repro.core.enrichment import EnrichmentPolicy
+from repro.core.incentive import IncentiveParams
+from repro.core.protocol import IncentiveChitChatRouter
+from repro.core.reputation import RatingModel
+from repro.errors import ConfigurationError
+from repro.messages.keywords import KeywordUniverse
+from repro.messages.message import Priority
+
+
+def make_protocol(**overrides):
+    params = overrides.pop("params", IncentiveParams(initial_tokens=100.0))
+    defaults = dict(
+        params=params,
+        rating_model=RatingModel(params, noise=0.0, confidence_low=1.0),
+    )
+    defaults.update(overrides)
+    return IncentiveChitChatRouter(**defaults)
+
+
+def deliver_once(router, *, tokens=100.0, interests=None, size=100):
+    """Run one source -> destination contact and return (world, message)."""
+    interests = interests if interests is not None else {0: [], 1: ["flood"]}
+    world = make_world(interests, router)
+    message = make_message(source=0, size=size, keywords=("flood",),
+                           content=("flood",))
+    world.inject_message(message)
+    world.load_contact_trace(trace_of(contact(10.0, 100.0, 0, 1)))
+    world.run(200.0)
+    return world, message
+
+
+class TestAccounts:
+    def test_accounts_open_with_endowment(self):
+        router = make_protocol()
+        world, _ = deliver_once(router)
+        assert router.ledger.initial_balance(0) == 100.0
+        assert router.ledger.initial_balance(1) == 100.0
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol(relay_rating_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            make_protocol(destination_rating_probability=-0.1)
+
+
+class TestDeliveryPayments:
+    def test_destination_pays_deliverer(self):
+        router = make_protocol()
+        world, message = deliver_once(router)
+        assert message.uuid in world.node(1).delivered
+        assert router.ledger.balance(1) < 100.0
+        assert router.ledger.balance(0) > 100.0
+        assert router.ledger.total_supply() == pytest.approx(200.0)
+
+    def test_payment_recorded_with_reason(self):
+        router = make_protocol()
+        deliver_once(router)
+        reasons = {t.reason for t in router.ledger.transactions}
+        assert "delivery-award" in reasons
+
+    def test_broke_destination_cannot_receive(self):
+        router = make_protocol(params=IncentiveParams(initial_tokens=0.0))
+        world, message = deliver_once(router)
+        assert message.uuid not in world.node(1).delivered
+        assert world.metrics.blocked_no_tokens >= 1
+        assert world.metrics.transfers_completed == 0
+
+    def test_first_deliverer_only_is_paid(self):
+        router = make_protocol()
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        # Source delivers directly at t=10; node 1 (who got a copy in a
+        # concurrent contact) meets the destination later: no second sale.
+        world.load_contact_trace(trace_of(
+            contact(10.0, 50.0, 0, 2),
+            contact(10.0, 50.0, 0, 1),
+            contact(100.0, 150.0, 1, 2),
+        ))
+        world.run(200.0)
+        awards = [
+            t for t in router.ledger.transactions
+            if t.reason == "delivery-award" and t.payer == 2
+        ]
+        assert len(awards) == 1
+
+    def test_award_scaled_by_reputation(self):
+        # A deliverer with rock-bottom reputation earns less than one
+        # with a perfect record for the identical message.
+        for score, bucket in ((0.5, "low"), (5.0, "high")):
+            router = make_protocol()
+            world = make_world({0: [], 1: ["flood"]}, router)
+            router.reputation.book(1).rate_message(0, score)
+            message = make_message(source=0, size=100, keywords=("flood",),
+                                   content=("flood",))
+            world.inject_message(message)
+            world.load_contact_trace(trace_of(contact(10.0, 100.0, 0, 1)))
+            world.run(200.0)
+            earned = router.ledger.balance(0) - 100.0
+            if bucket == "low":
+                low_earned = earned
+            else:
+                high_earned = earned
+        assert high_earned > low_earned > 0.0
+
+
+class TestRelayEconomics:
+    def test_relay_receives_promise_for_later_collection(self):
+        router = make_protocol()
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        # Give node 1 transient interest first so it qualifies as relay.
+        world.load_contact_trace(trace_of(
+            contact(10.0, 200.0, 1, 2),
+            contact(300.0, 400.0, 0, 1),
+        ))
+        world.run(500.0)
+        assert message.uuid in world.node(1).buffer
+        assert router.promise_held(1, message.uuid) > 0.0
+
+    def test_relay_prepays_above_threshold(self):
+        params = IncentiveParams(
+            initial_tokens=100.0, relay_threshold=0.05,
+            relay_prepay_fraction=0.5,
+        )
+        router = make_protocol(params=params)
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 200.0, 1, 2),
+            contact(300.0, 400.0, 0, 1),
+        ))
+        world.run(500.0)
+        prepays = [
+            t for t in router.ledger.transactions
+            if t.reason == "relay-prepay"
+        ]
+        assert len(prepays) == 1
+        assert prepays[0].payer == 1
+        assert prepays[0].payee == 0
+
+    def test_no_prepay_below_threshold(self):
+        params = IncentiveParams(initial_tokens=100.0, relay_threshold=0.99)
+        router = make_protocol(params=params)
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 200.0, 1, 2),
+            contact(300.0, 400.0, 0, 1),
+        ))
+        world.run(500.0)
+        assert not any(
+            t.reason == "relay-prepay" for t in router.ledger.transactions
+        )
+
+    def test_full_cycle_relay_earns_from_destination(self):
+        router = make_protocol()
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 200.0, 1, 2),     # 1 acquires transient interest
+            contact(300.0, 400.0, 0, 1),    # source -> relay
+            contact(500.0, 600.0, 1, 2),    # relay -> destination, paid
+        ))
+        world.run(700.0)
+        assert message.uuid in world.node(2).delivered
+        assert router.ledger.balance(1) > 100.0 - 1e-9  # earned net
+        assert router.ledger.balance(2) < 100.0          # paid
+        assert router.ledger.total_supply() == pytest.approx(300.0)
+
+
+class TestEnrichmentAndTagIncentives:
+    def _enriching_router(self, universe, malicious=False):
+        params = IncentiveParams(initial_tokens=100.0)
+        return IncentiveChitChatRouter(
+            params=params,
+            rating_model=RatingModel(params, noise=0.0, confidence_low=1.0),
+            enrichment=EnrichmentPolicy(
+                universe, honest_probability=1.0, malicious_probability=1.0,
+            ),
+        )
+
+    def test_honest_relay_adds_relevant_tags(self, universe):
+        router = self._enriching_router(universe)
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(
+            source=0, size=100,
+            content=("flood", "fire", "shelter"), keywords=("flood",),
+        )
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 200.0, 1, 2),
+            contact(300.0, 400.0, 0, 1),
+        ))
+        world.run(500.0)
+        copy = world.node(1).buffer.get(message.uuid)
+        added = copy.added_tags()
+        assert added
+        assert all(copy.is_relevant(a.keyword) for a in added)
+        assert world.metrics.enrichment_tags == len(added)
+        assert world.metrics.enrichment_relevant == len(added)
+
+    def test_malicious_relay_adds_irrelevant_tags(self, universe):
+        router = self._enriching_router(universe)
+        bad = BehaviorProfile(malicious=True)
+        world = make_world(
+            {0: [], 1: [], 2: ["flood"]}, router, behaviors={1: bad},
+        )
+        message = make_message(source=0, size=100,
+                               content=("flood",), keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 200.0, 1, 2),
+            contact(300.0, 400.0, 0, 1),
+        ))
+        world.run(500.0)
+        copy = world.node(1).buffer.get(message.uuid)
+        added = copy.added_tags()
+        assert added
+        assert all(not copy.is_relevant(a.keyword) for a in added)
+        assert world.metrics.enrichment_relevant == 0
+
+    def test_destination_pays_extra_for_matching_added_tags(self, universe):
+        # Same scenario twice: once with enrichment off, once with a
+        # relay that adds the tag the destination subscribes to.  The
+        # enriching deliverer must earn strictly more.
+        earnings = {}
+        for label, enrich in (("plain", None), ("enriched", True)):
+            params = IncentiveParams(initial_tokens=100.0)
+            router = IncentiveChitChatRouter(
+                params=params,
+                rating_model=RatingModel(params, noise=0.0,
+                                         confidence_low=1.0),
+                enrichment=(
+                    EnrichmentPolicy(universe, honest_probability=1.0)
+                    if enrich else None
+                ),
+            )
+            world = make_world({0: [], 1: [], 2: ["flood", "fire"]}, router)
+            message = make_message(
+                source=0, size=100,
+                content=("flood", "fire"), keywords=("flood",),
+            )
+            world.inject_message(message)
+            world.load_contact_trace(trace_of(
+                contact(10.0, 200.0, 1, 2),
+                contact(300.0, 400.0, 0, 1),
+                contact(500.0, 600.0, 1, 2),
+            ))
+            world.run(700.0)
+            assert message.uuid in world.node(2).delivered
+            earnings[label] = router.ledger.balance(1) - 100.0
+        assert earnings["enriched"] > earnings["plain"]
+
+
+class TestRatings:
+    def test_destination_rates_source(self):
+        router = make_protocol()
+        world, message = deliver_once(router)
+        book = router.reputation.book(1)
+        assert book.has_opinion(0)
+        # Perfect tags + quality 0.8 with noise-free rater.
+        assert book.score(0) == pytest.approx(0.5 * 5.0 + 0.5 * 4.0)
+
+    def test_relay_attaches_rating_to_copy(self):
+        router = make_protocol(relay_rating_probability=1.0)
+        world = make_world({0: [], 1: [], 2: ["flood"]}, router)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 200.0, 1, 2),
+            contact(300.0, 400.0, 0, 1),
+        ))
+        world.run(500.0)
+        copy = world.node(1).buffer.get(message.uuid)
+        assert 1 in copy.path_ratings
+
+    def test_reputation_gossip_on_contact(self):
+        router = make_protocol()
+        world = make_world({0: [], 1: [], 2: []}, router)
+        router.reputation.book(0).rate_message(9, 1.0)
+        world.load_contact_trace(trace_of(contact(10.0, 20.0, 0, 1)))
+        world.run(50.0)
+        assert router.reputation.book(1).score(9) == pytest.approx(1.0)
+
+    def test_malicious_nodes_get_flagged_after_delivery(self, universe):
+        params = IncentiveParams(initial_tokens=100.0)
+        router = IncentiveChitChatRouter(
+            params=params,
+            rating_model=RatingModel(params, noise=0.0, confidence_low=1.0),
+            enrichment=EnrichmentPolicy(
+                universe, honest_probability=0.0, malicious_probability=1.0,
+            ),
+        )
+        bad = BehaviorProfile(malicious=True)
+        world = make_world(
+            {0: [], 1: [], 2: ["flood"]}, router, behaviors={1: bad},
+        )
+        message = make_message(source=0, size=100,
+                               content=("flood",), keywords=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(
+            contact(10.0, 200.0, 1, 2),
+            contact(300.0, 400.0, 0, 1),
+            contact(500.0, 600.0, 1, 2),
+        ))
+        world.run(700.0)
+        # The destination judged node 1's irrelevant tags harshly.
+        assert router.reputation.book(2).score(1) == pytest.approx(0.0)
+
+
+class TestAbortSafety:
+    def test_aborted_transfer_releases_escrow(self):
+        router = make_protocol()
+        # 10 kB at 1 kB/s needs 10 s; the contact lasts 2 s.
+        world = make_world({0: [], 1: ["flood"]}, router)
+        message = make_message(source=0, size=10_000, keywords=("flood",),
+                               content=("flood",))
+        world.inject_message(message)
+        world.load_contact_trace(trace_of(contact(10.0, 12.0, 0, 1)))
+        world.run(100.0)
+        assert message.uuid not in world.node(1).delivered
+        assert router.ledger.balance(1) == pytest.approx(100.0)
+        assert router.ledger.escrowed_total() == 0.0
+        assert router.ledger.total_supply() == pytest.approx(200.0)

@@ -1,0 +1,189 @@
+"""Unit tests for the Distributed Reputation Model."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import make_message
+from repro.core.incentive import IncentiveParams
+from repro.core.reputation import (
+    RatingModel,
+    ReputationBook,
+    ReputationSystem,
+    intermediate_message_rating,
+    source_message_rating,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def params():
+    return IncentiveParams(alpha=0.7, max_rating=5.0, default_rating=3.0)
+
+
+class TestMessageRatingFormulas:
+    def test_source_rating_halves_tags_and_quality(self):
+        # R_i = 1/2 * (R_t * C/C_m) + 1/2 * R_q
+        value = source_message_rating(4.0, 2.5, 5.0, 3.0)
+        assert value == pytest.approx(0.5 * (4.0 * 0.5) + 0.5 * 3.0)
+
+    def test_intermediate_rating_uses_tags_only(self):
+        value = intermediate_message_rating(4.0, 2.5, 5.0)
+        assert value == pytest.approx(4.0 * 0.5)
+
+    def test_full_confidence_passes_tag_rating_through(self):
+        assert intermediate_message_rating(4.0, 5.0, 5.0) == pytest.approx(4.0)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            source_message_rating(4.0, 6.0, 5.0, 3.0)
+        with pytest.raises(ConfigurationError):
+            intermediate_message_rating(4.0, -1.0, 5.0)
+
+
+class TestReputationBook:
+    def test_unknown_subject_gets_default(self, params):
+        book = ReputationBook(0, params)
+        assert book.score(42) == params.default_rating
+        assert not book.has_opinion(42)
+
+    def test_rate_message_builds_running_average(self, params):
+        book = ReputationBook(0, params)
+        book.rate_message(5, 4.0)
+        book.rate_message(5, 2.0)
+        assert book.score(5) == pytest.approx(3.0)
+        assert book.own_average(5) == pytest.approx(3.0)
+        assert book.has_opinion(5)
+
+    def test_merge_opinion_alpha_weighting(self, params):
+        # r = (1 - alpha) * heard + alpha * own, alpha = 0.7
+        book = ReputationBook(0, params)
+        book.rate_message(5, 4.0)
+        book.merge_opinion(5, 1.0)
+        assert book.score(5) == pytest.approx(0.3 * 1.0 + 0.7 * 4.0)
+
+    def test_merge_without_prior_adopts_heard_score(self, params):
+        book = ReputationBook(0, params)
+        book.merge_opinion(5, 1.5)
+        assert book.score(5) == 1.5
+
+    def test_merge_about_self_ignored(self, params):
+        book = ReputationBook(0, params)
+        book.merge_opinion(0, 0.1)
+        assert book.score(0) == params.default_rating
+
+    def test_out_of_range_ratings_rejected(self, params):
+        book = ReputationBook(0, params)
+        with pytest.raises(ConfigurationError):
+            book.rate_message(5, 5.5)
+        with pytest.raises(ConfigurationError):
+            book.merge_opinion(5, -0.1)
+
+    def test_award_multiplier_blends_path_and_own(self, params):
+        book = ReputationBook(0, params)
+        book.rate_message(5, 5.0)  # own opinion: perfect
+        multiplier = book.award_multiplier(5, [2.5])  # path avg: half
+        assert multiplier == pytest.approx(0.3 * 0.5 + 0.7 * 1.0)
+
+    def test_award_multiplier_without_path_ratings(self, params):
+        book = ReputationBook(0, params)
+        book.rate_message(5, 4.0)
+        assert book.award_multiplier(5, []) == pytest.approx(4.0 / 5.0)
+
+    def test_award_multiplier_clamped_to_unit_interval(self, params):
+        book = ReputationBook(0, params)
+        assert 0.0 <= book.award_multiplier(9, [0.0]) <= 1.0
+        book.rate_message(9, 5.0)
+        assert book.award_multiplier(9, [5.0]) <= 1.0
+
+    def test_low_reputation_reduces_award(self, params):
+        book = ReputationBook(0, params)
+        book.rate_message(5, 0.5)
+        assert book.award_multiplier(5, []) < 0.5
+
+
+class TestReputationSystem:
+    def test_books_are_lazy_and_cached(self, params):
+        system = ReputationSystem(params)
+        assert system.book(1) is system.book(1)
+
+    def test_exchange_merges_both_ways(self, params):
+        system = ReputationSystem(params)
+        system.book(1).rate_message(9, 1.0)
+        system.book(2).rate_message(9, 5.0)
+        system.exchange(1, 2)
+        # Node 1: 0.3 * 5 + 0.7 * 1 = 2.2; node 2: 0.3 * 1 + 0.7 * 5 = 3.8
+        assert system.book(1).score(9) == pytest.approx(2.2)
+        assert system.book(2).score(9) == pytest.approx(3.8)
+
+    def test_exchange_skips_opinions_about_interlocutors(self, params):
+        system = ReputationSystem(params)
+        system.book(1).rate_message(2, 0.0)  # 1 thinks badly of 2
+        system.exchange(1, 2)
+        # 2 must not adopt 1's opinion about 2 itself.
+        assert not system.book(2).has_opinion(2)
+
+    def test_exchange_spreads_to_third_parties(self, params):
+        system = ReputationSystem(params)
+        system.book(1).rate_message(9, 1.0)
+        system.exchange(1, 2)
+        assert system.book(2).score(9) == pytest.approx(1.0)
+
+    def test_average_score_of(self, params):
+        system = ReputationSystem(params)
+        system.book(1).rate_message(9, 1.0)
+        system.book(2).rate_message(9, 3.0)
+        system.book(3)  # no opinion
+        assert system.average_score_of(9, [1, 2, 3]) == pytest.approx(2.0)
+
+    def test_average_score_defaults_when_nobody_knows(self, params):
+        system = ReputationSystem(params)
+        assert system.average_score_of(9, [1, 2]) == params.default_rating
+
+
+class TestRatingModel:
+    @pytest.fixture
+    def model(self, params):
+        return RatingModel(params, noise=0.0, confidence_low=1.0)
+
+    def test_truthful_source_gets_high_tag_rating(self, model, rng):
+        message = make_message(content=("flood", "fire"),
+                               keywords=("flood", "fire"))
+        rating = model.tag_rating(message, message.annotations, rng)
+        assert rating == pytest.approx(5.0)
+
+    def test_lying_annotator_gets_low_tag_rating(self, model, rng):
+        message = make_message(content=("flood",), keywords=("flood",))
+        message.annotate("car", added_by=7, added_at=1.0)
+        rating = model.tag_rating(message, message.annotations_by(7), rng)
+        assert rating == pytest.approx(0.0)
+
+    def test_quality_rating_tracks_quality(self, model, rng):
+        good = make_message(quality=1.0)
+        bad = make_message(quality=0.1)
+        assert model.quality_rating(good, rng) == pytest.approx(5.0)
+        assert model.quality_rating(bad, rng) == pytest.approx(0.5)
+
+    def test_rate_source_combines_quality_and_tags(self, model, rng):
+        message = make_message(quality=1.0, content=("flood",),
+                               keywords=("flood",))
+        assert model.rate_source(message, rng) == pytest.approx(5.0)
+
+    def test_rate_intermediate_judges_added_tags(self, model, rng):
+        message = make_message(content=("flood", "fire"),
+                               keywords=("flood",))
+        message.annotate("fire", added_by=3, added_at=1.0)   # truthful
+        message.annotate("car", added_by=4, added_at=2.0)    # lie
+        assert model.rate_intermediate(message, 3, rng) == pytest.approx(5.0)
+        assert model.rate_intermediate(message, 4, rng) == pytest.approx(0.0)
+
+    def test_noise_stays_within_scale(self, params, rng):
+        model = RatingModel(params, noise=2.0)
+        message = make_message(quality=0.9)
+        for _ in range(50):
+            assert 0.0 <= model.quality_rating(message, rng) <= 5.0
+
+    def test_invalid_model_params_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            RatingModel(params, noise=-1.0)
+        with pytest.raises(ConfigurationError):
+            RatingModel(params, confidence_low=1.5)

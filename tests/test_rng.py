@@ -1,0 +1,46 @@
+"""Unit tests for seeded random streams."""
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).get("mobility").random(10)
+        b = RandomStreams(7).get("mobility").random(10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(7).get("mobility").random(10)
+        b = RandomStreams(8).get("mobility").random(10)
+        assert (a != b).any()
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(7)
+        a = streams.get("mobility").random(10)
+        b = streams.get("workload").random(10)
+        assert (a != b).any()
+
+    def test_stream_independent_of_request_order(self):
+        first = RandomStreams(7)
+        first.get("aaa")
+        value_late = first.get("zzz").random()
+
+        second = RandomStreams(7)
+        value_early = second.get("zzz").random()
+        assert value_late == value_early
+
+    def test_get_returns_same_generator_instance(self):
+        streams = RandomStreams(7)
+        assert streams.get("x") is streams.get("x")
+
+    def test_spawn_shifts_seed(self):
+        base = RandomStreams(7)
+        spawned = base.spawn(3)
+        assert spawned.seed == 10
+        assert (
+            spawned.get("m").random()
+            == RandomStreams(10).get("m").random()
+        )
+
+    def test_seed_property(self):
+        assert RandomStreams(99).seed == 99

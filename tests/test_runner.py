@@ -1,0 +1,142 @@
+"""Tests for the experiment runner (tiny scenarios for speed)."""
+
+import pytest
+
+from repro.core.protocol import IncentiveChitChatRouter
+from repro.errors import ConfigurationError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import (
+    SCHEMES,
+    build_contact_trace,
+    make_router,
+    run_averaged,
+    run_comparison,
+    run_scenario,
+)
+from repro.experiments.sweeps import sweep
+from repro.messages.keywords import KeywordUniverse
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return ScenarioConfig.tiny()
+
+
+class TestMakeRouter:
+    def test_all_schemes_instantiate(self, tiny):
+        universe = KeywordUniverse(tiny.keyword_pool)
+        for scheme in SCHEMES:
+            router = make_router(scheme, tiny, universe)
+            assert router is not None
+
+    def test_unknown_scheme_rejected(self, tiny):
+        with pytest.raises(ConfigurationError):
+            make_router("carrier-pigeon", tiny, KeywordUniverse(30))
+
+    def test_no_enrichment_variant(self, tiny):
+        universe = KeywordUniverse(tiny.keyword_pool)
+        router = make_router("incentive-no-enrichment", tiny, universe)
+        assert isinstance(router, IncentiveChitChatRouter)
+        assert router.enrichment is None
+
+    def test_no_reputation_variant_never_rates(self, tiny):
+        universe = KeywordUniverse(tiny.keyword_pool)
+        router = make_router("incentive-no-reputation", tiny, universe)
+        assert router.relay_rating_probability == 0.0
+        assert router.destination_rating_probability == 0.0
+
+
+class TestRunScenario:
+    def test_run_produces_metrics(self, tiny):
+        result = run_scenario(tiny, "chitchat", seed=1)
+        assert result.scheme == "chitchat"
+        assert len(result.metrics.messages) > 0
+        assert 0.0 <= result.mdr <= 1.0
+        assert result.traffic >= 0
+
+    def test_same_seed_reproduces_exactly(self, tiny):
+        first = run_scenario(tiny, "incentive", seed=3)
+        second = run_scenario(tiny, "incentive", seed=3)
+        assert first.summary() == second.summary()
+
+    def test_different_seeds_differ(self, tiny):
+        first = run_scenario(tiny, "chitchat", seed=1)
+        second = run_scenario(tiny, "chitchat", seed=2)
+        assert first.summary() != second.summary()
+
+    def test_population_split_recorded(self, tiny):
+        config = tiny.replace(selfish_fraction=0.2, malicious_fraction=0.2)
+        result = run_scenario(config, "incentive", seed=1)
+        assert len(result.selfish_ids) == 4
+        assert len(result.malicious_ids) == 4
+        assert not result.selfish_ids & result.malicious_ids
+        total = (
+            len(result.selfish_ids) + len(result.malicious_ids)
+            + len(result.honest_ids)
+        )
+        assert total == config.n_nodes
+
+    def test_token_conservation_end_to_end(self, tiny):
+        result = run_scenario(tiny, "incentive", seed=1)
+        ledger = result.router.ledger
+        assert ledger.total_supply() == pytest.approx(
+            ledger.total_endowment()
+        )
+        assert ledger.escrowed_total() == pytest.approx(0.0)
+
+    def test_rating_sampling(self, tiny):
+        config = tiny.replace(malicious_fraction=0.2)
+        result = run_scenario(
+            config, "incentive", seed=1,
+            sample_ratings=True, rating_sample_interval=300.0,
+        )
+        assert len(result.metrics.rating_samples) >= 5
+        time0, ratings0 = result.metrics.rating_samples[0]
+        assert set(ratings0) == result.malicious_ids
+
+
+class TestComparisonAndAveraging:
+    def test_comparison_shares_contact_trace(self, tiny):
+        results = run_comparison(tiny, ["chitchat", "epidemic"], seed=1)
+        # Same workload on the same contacts: both register identical
+        # message populations.
+        chitchat = {r.uuid for r in results["chitchat"].metrics.messages}
+        epidemic = {r.uuid for r in results["epidemic"].metrics.messages}
+        assert len(chitchat) == len(epidemic) > 0
+
+    def test_epidemic_dominates_direct_contact(self, tiny):
+        results = run_comparison(tiny, ["epidemic", "direct"], seed=1)
+        assert results["epidemic"].mdr >= results["direct"].mdr
+        assert results["epidemic"].traffic >= results["direct"].traffic
+
+    def test_run_averaged(self, tiny):
+        averaged = run_averaged(tiny, "chitchat", seeds=[1, 2])
+        assert 0.0 <= averaged["mdr"] <= 1.0
+
+    def test_run_averaged_requires_seeds(self, tiny):
+        with pytest.raises(ConfigurationError):
+            run_averaged(tiny, "chitchat", seeds=[])
+
+    def test_sweep_records_grid(self, tiny):
+        records = sweep(
+            tiny,
+            lambda cfg, v: cfg.replace(selfish_fraction=v),
+            [0.0, 0.5],
+            schemes=["chitchat"],
+            seeds=[1],
+        )
+        assert len(records) == 2
+        assert [r["value"] for r in records] == [0.0, 0.5]
+        assert all("mdr" in r and "traffic" in r for r in records)
+
+
+class TestContactTraceBuilder:
+    def test_trace_respects_duration(self, tiny):
+        trace = build_contact_trace(tiny, seed=1)
+        assert trace.duration() <= tiny.duration
+        assert len(trace) > 0
+
+    def test_trace_deterministic(self, tiny):
+        a = build_contact_trace(tiny, seed=5)
+        b = build_contact_trace(tiny, seed=5)
+        assert [(c.start, c.pair) for c in a] == [(c.start, c.pair) for c in b]

@@ -1,0 +1,118 @@
+"""Unit tests for contact traces."""
+
+import pytest
+
+from repro.errors import MobilityError
+from repro.mobility.trace import Contact, ContactTrace
+
+
+class TestContact:
+    def test_duration(self):
+        assert Contact(1.0, 4.0, 0, 1).duration == 3.0
+
+    def test_pair_is_canonical(self):
+        assert Contact(0.0, 1.0, 5, 2).pair == (2, 5)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(MobilityError):
+            Contact(1.0, 1.0, 0, 1)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(MobilityError):
+            Contact(2.0, 1.0, 0, 1)
+
+    def test_self_contact_rejected(self):
+        with pytest.raises(MobilityError):
+            Contact(0.0, 1.0, 3, 3)
+
+
+class TestContactTrace:
+    def test_contacts_sorted_by_start(self):
+        trace = ContactTrace([
+            Contact(5.0, 6.0, 0, 1),
+            Contact(1.0, 2.0, 2, 3),
+        ])
+        assert [c.start for c in trace] == [1.0, 5.0]
+
+    def test_add_keeps_order(self):
+        trace = ContactTrace([Contact(5.0, 6.0, 0, 1)])
+        trace.add(Contact(1.0, 2.0, 0, 2))
+        assert [c.start for c in trace] == [1.0, 5.0]
+
+    def test_events_alternate_up_down(self):
+        trace = ContactTrace([Contact(0.0, 10.0, 0, 1)])
+        assert list(trace.events()) == [
+            (0.0, "up", (0, 1)),
+            (10.0, "down", (0, 1)),
+        ]
+
+    def test_simultaneous_down_sorts_before_up(self):
+        trace = ContactTrace([
+            Contact(0.0, 5.0, 0, 1),
+            Contact(5.0, 10.0, 0, 1),
+        ])
+        kinds = [kind for _, kind, _ in trace.events()]
+        assert kinds == ["up", "down", "up", "down"]
+
+    def test_duration_and_total_contact_time(self):
+        trace = ContactTrace([
+            Contact(0.0, 4.0, 0, 1),
+            Contact(2.0, 8.0, 1, 2),
+        ])
+        assert trace.duration() == 8.0
+        assert trace.total_contact_time() == 10.0
+
+    def test_empty_trace(self):
+        trace = ContactTrace()
+        assert len(trace) == 0
+        assert trace.duration() == 0.0
+        assert list(trace.events()) == []
+
+    def test_contacts_per_pair(self):
+        trace = ContactTrace([
+            Contact(0.0, 1.0, 0, 1),
+            Contact(2.0, 3.0, 0, 1),
+            Contact(0.0, 1.0, 1, 2),
+        ])
+        assert trace.contacts_per_pair() == {(0, 1): 2, (1, 2): 1}
+
+    def test_restricted_to(self):
+        trace = ContactTrace([
+            Contact(0.0, 1.0, 0, 1),
+            Contact(0.0, 1.0, 1, 2),
+            Contact(0.0, 1.0, 2, 3),
+        ])
+        sub = trace.restricted_to({1, 2})
+        assert [c.pair for c in sub] == [(1, 2)]
+
+    def test_indexing(self):
+        contact = Contact(0.0, 1.0, 0, 1)
+        trace = ContactTrace([contact])
+        assert trace[0] is contact
+
+
+class TestSerialisation:
+    def test_round_trip(self, tmp_path):
+        trace = ContactTrace([
+            Contact(0.0, 4.5, 0, 1),
+            Contact(2.25, 8.0, 1, 2),
+        ])
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = ContactTrace.load(path)
+        assert [(c.start, c.end, c.pair) for c in loaded] == [
+            (c.start, c.end, c.pair) for c in trace
+        ]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"start": 0.0, "end": 1.0, "a": 0, "b": 1}\n\n'
+        )
+        assert len(ContactTrace.load(path)) == 1
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"start": 0.0}\n')
+        with pytest.raises(MobilityError, match="trace.jsonl:1"):
+            ContactTrace.load(path)
