@@ -12,13 +12,35 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
+from repro.experiments import trace_cache
 from repro.experiments.config import ScenarioConfig
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shared_trace_cache(tmp_path_factory) -> trace_cache.TraceCache:
+    """One contact-trace cache shared by every benchmark in the session.
+
+    Many figure benchmarks re-derive traces for the same
+    ``(ScenarioConfig.small(), seed)`` points; caching them cuts the
+    suite's mobility cost to one detection per distinct point.  Honours
+    ``REPRO_TRACE_CACHE`` so CI can persist the cache across jobs;
+    otherwise a session-scoped temporary directory is used.
+    """
+    directory = os.environ.get(trace_cache.ENV_VAR) or tmp_path_factory.mktemp(
+        "trace-cache"
+    )
+    cache = trace_cache.TraceCache(directory)
+    previous = trace_cache.get_default_cache()
+    trace_cache.set_default_cache(cache)
+    yield cache
+    trace_cache.set_default_cache(previous)
 
 
 @pytest.fixture(scope="session")

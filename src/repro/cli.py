@@ -9,6 +9,12 @@ Usage::
 
 Pass ``--paper-scale`` to use the full Table 5.1 scenario (500 nodes,
 24 simulated hours — expect minutes of wall-clock per run).
+
+Pass ``--workers N`` to fan seed-averaged runs out over ``N`` processes
+(``--workers 0`` means one per CPU core; results are bit-identical to
+serial execution), and ``--trace-cache DIR`` to cache built contact
+traces on disk (also configurable via the ``REPRO_TRACE_CACHE``
+environment variable).
 """
 
 from __future__ import annotations
@@ -48,6 +54,11 @@ def _base_config(args: argparse.Namespace) -> ScenarioConfig:
     return ScenarioConfig.small()
 
 
+def _workers(args: argparse.Namespace) -> Optional[int]:
+    """Map the --workers flag to the runner argument (0 -> all cores)."""
+    return None if args.workers == 0 else args.workers
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     # Table 5.1 is the paper's parameter table; always print the
     # paper-scale values (the scaled bench config is a harness detail).
@@ -68,7 +79,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     seeds = tuple(range(1, args.seeds + 1))
     base = _base_config(args)
     for name in names:
-        result = _FIGURES[name](base, seeds=seeds)
+        result = _FIGURES[name](base, seeds=seeds, workers=_workers(args))
         print(result.format())
         print()
     return 0
@@ -124,7 +135,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     seeds = list(range(1, args.seeds + 1))
     series = {scheme: {"mdr": [], "traffic": []} for scheme in args.schemes}
     for seed in seeds:
-        results = run_comparison(config, args.schemes, seed=seed)
+        results = run_comparison(
+            config, args.schemes, seed=seed, workers=_workers(args)
+        )
         for scheme, result in results.items():
             series[scheme]["mdr"].append(result.mdr)
             series[scheme]["traffic"].append(float(result.traffic))
@@ -167,6 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--paper-scale", action="store_true",
         help="use the full Table 5.1 scenario (slow)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for seed-averaged runs "
+             "(1 = serial, 0 = one per CPU core; results are "
+             "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--trace-cache", metavar="DIR", default=None,
+        help="directory for the on-disk contact-trace cache "
+             "(defaults to $REPRO_TRACE_CACHE when set)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -231,6 +255,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 2
+    if args.trace_cache:
+        from repro.experiments.trace_cache import TraceCache, set_default_cache
+
+        try:
+            set_default_cache(TraceCache(args.trace_cache))
+        except OSError as exc:
+            print(
+                f"--trace-cache {args.trace_cache!r} is not a usable "
+                f"directory: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     return args.func(args)
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "ExperimentError",
     "SimulationError",
     "SchedulingError",
     "LedgerError",
@@ -29,6 +30,14 @@ class ReproError(Exception):
 
 class ConfigurationError(ReproError):
     """A scenario or component was configured with invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment run failed (e.g. a worker process crashed).
+
+    The message lists the failing ``(scheme, seed)`` combinations so a
+    single bad grid point cannot silently poison a whole sweep.
+    """
 
 
 class SimulationError(ReproError):

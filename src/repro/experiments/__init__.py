@@ -1,13 +1,28 @@
-"""Experiment harness: scenario configuration, runners, and one
-generator per paper figure/table."""
+"""Experiment harness: scenario configuration, runners (serial and
+multiprocess), a contact-trace cache, and one generator per paper
+figure/table."""
 
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import (
+    MetricsDigest,
+    RunDigest,
+    RunFailure,
+    RunSpec,
+    ensure_success,
+    run_specs,
+)
 from repro.experiments.runner import (
     RunResult,
     build_contact_trace,
     run_averaged,
     run_comparison,
     run_scenario,
+)
+from repro.experiments.trace_cache import (
+    TraceCache,
+    get_default_cache,
+    set_default_cache,
+    trace_cache_key,
 )
 from repro.experiments.figures import (
     FigureResult,
@@ -29,6 +44,16 @@ __all__ = [
     "run_comparison",
     "run_averaged",
     "sweep",
+    "RunSpec",
+    "RunDigest",
+    "RunFailure",
+    "MetricsDigest",
+    "run_specs",
+    "ensure_success",
+    "TraceCache",
+    "trace_cache_key",
+    "get_default_cache",
+    "set_default_cache",
     "FigureResult",
     "fig5_1_mdr_vs_selfish",
     "fig5_2_traffic_reduction",

@@ -90,19 +90,31 @@ def _averaged_runs(
     scheme: str,
     seeds: Sequence[int],
     traces: Dict[int, object],
+    *,
+    workers: Optional[int] = 1,
     **kwargs,
 ) -> List[RunResult]:
-    """Run ``scheme`` once per seed, reusing per-seed contact traces."""
-    results = []
+    """Run ``scheme`` once per seed, reusing per-seed contact traces.
+
+    With ``workers != 1`` the seeds fan out over a process pool and the
+    returned elements are picklable digests; their ``mdr``, ``traffic``
+    and ``metrics`` accessors match :class:`RunResult`.
+    """
     for seed in seeds:
-        trace = traces.get(seed)
-        if trace is None:
-            trace = build_contact_trace(config, seed)
-            traces[seed] = trace
-        results.append(
-            run_scenario(config, scheme, seed, trace=trace, **kwargs)
-        )
-    return results
+        if traces.get(seed) is None:
+            traces[seed] = build_contact_trace(config, seed)
+    if workers == 1:
+        return [
+            run_scenario(config, scheme, seed, trace=traces[seed], **kwargs)
+            for seed in seeds
+        ]
+    from repro.experiments.parallel import RunSpec, ensure_success, run_specs
+
+    specs = [
+        RunSpec(config, scheme, seed, {**kwargs, "trace": traces[seed]})
+        for seed in seeds
+    ]
+    return ensure_success(run_specs(specs, workers=workers))
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -117,6 +129,7 @@ def fig5_1_mdr_vs_selfish(
     *,
     selfish_grid: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    workers: Optional[int] = 1,
 ) -> FigureResult:
     """MDR for the incentive scheme vs ChitChat as selfishness rises.
 
@@ -137,7 +150,8 @@ def fig5_1_mdr_vs_selfish(
     for fraction in selfish_grid:
         point = config.replace(selfish_fraction=fraction)
         for scheme in ("chitchat", "incentive"):
-            runs = _averaged_runs(point, scheme, seeds, traces)
+            runs = _averaged_runs(point, scheme, seeds, traces,
+                                  workers=workers)
             result.series[scheme].append(
                 (fraction * 100.0, _mean([r.mdr for r in runs]))
             )
@@ -152,6 +166,7 @@ def fig5_2_traffic_reduction(
     *,
     selfish_grid: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    workers: Optional[int] = 1,
 ) -> FigureResult:
     """Percentage of traffic saved by the incentive scheme.
 
@@ -169,8 +184,10 @@ def fig5_2_traffic_reduction(
     traces: Dict[int, object] = {}
     for fraction in selfish_grid:
         point = config.replace(selfish_fraction=fraction)
-        chitchat = _averaged_runs(point, "chitchat", seeds, traces)
-        incentive = _averaged_runs(point, "incentive", seeds, traces)
+        chitchat = _averaged_runs(point, "chitchat", seeds, traces,
+                                  workers=workers)
+        incentive = _averaged_runs(point, "incentive", seeds, traces,
+                                   workers=workers)
         base_traffic = _mean([float(r.traffic) for r in chitchat])
         ours_traffic = _mean([float(r.traffic) for r in incentive])
         reduction = (
@@ -190,6 +207,7 @@ def fig5_3_initial_tokens(
     token_grid: Sequence[float] = (10.0, 30.0, 60.0, 120.0, 240.0),
     selfish_levels: Sequence[float] = (0.2, 0.4),
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    workers: Optional[int] = 1,
 ) -> FigureResult:
     """MDR of the incentive scheme as the endowment varies.
 
@@ -211,7 +229,8 @@ def fig5_3_initial_tokens(
             point = config.replace(
                 selfish_fraction=selfish
             ).with_tokens(tokens)
-            runs = _averaged_runs(point, "incentive", seeds, traces)
+            runs = _averaged_runs(point, "incentive", seeds, traces,
+                                  workers=workers)
             result.series[name].append(
                 (float(tokens), _mean([r.mdr for r in runs]))
             )
@@ -227,6 +246,7 @@ def fig5_4_malicious_ratings(
     malicious_levels: Sequence[float] = (0.1, 0.2, 0.3, 0.4),
     seeds: Sequence[int] = (1, 2),
     sample_interval: Optional[float] = None,
+    workers: Optional[int] = 1,
 ) -> FigureResult:
     """Average rating of malicious nodes among non-malicious observers.
 
@@ -250,11 +270,25 @@ def fig5_4_malicious_ratings(
     for level in malicious_levels:
         point = config.replace(malicious_fraction=level)
         per_time: Dict[float, List[float]] = {}
-        for seed in seeds:
-            run = run_scenario(
-                point, "incentive", seed,
-                sample_ratings=True, rating_sample_interval=interval,
+        sampling = dict(sample_ratings=True, rating_sample_interval=interval)
+        if workers == 1:
+            runs = [
+                run_scenario(point, "incentive", seed, **sampling)
+                for seed in seeds
+            ]
+        else:
+            from repro.experiments.parallel import (
+                RunSpec,
+                ensure_success,
+                run_specs,
             )
+
+            runs = ensure_success(run_specs(
+                [RunSpec(point, "incentive", seed, dict(sampling))
+                 for seed in seeds],
+                workers=workers,
+            ))
+        for run in runs:
             for time, ratings in run.metrics.rating_samples:
                 if ratings:
                     per_time.setdefault(time, []).append(
@@ -276,6 +310,7 @@ def fig5_5_mdr_vs_users(
     *,
     user_grid: Sequence[int] = (30, 60, 90),
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    workers: Optional[int] = 1,
 ) -> FigureResult:
     """MDR as the population grows in a fixed area.
 
@@ -295,7 +330,8 @@ def fig5_5_mdr_vs_users(
         point = config.replace(n_nodes=int(users))
         traces: Dict[int, object] = {}
         for scheme in ("chitchat", "incentive"):
-            runs = _averaged_runs(point, scheme, seeds, traces)
+            runs = _averaged_runs(point, scheme, seeds, traces,
+                                  workers=workers)
             result.series[scheme].append(
                 (float(users), _mean([r.mdr for r in runs]))
             )
@@ -310,6 +346,7 @@ def fig5_6_priority_mdr(
     *,
     selfish_levels: Sequence[float] = (0.2, 0.4),
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    workers: Optional[int] = 1,
 ) -> FigureResult:
     """MDR per priority class at 20 % and 40 % selfish nodes.
 
@@ -328,7 +365,8 @@ def fig5_6_priority_mdr(
     for selfish in selfish_levels:
         point = config.replace(selfish_fraction=selfish)
         for scheme in ("chitchat", "incentive"):
-            runs = _averaged_runs(point, scheme, seeds, traces)
+            runs = _averaged_runs(point, scheme, seeds, traces,
+                                  workers=workers)
             by_priority: Dict[Priority, List[float]] = {
                 p: [] for p in Priority
             }

@@ -1,0 +1,266 @@
+"""Parallel experiment execution.
+
+Every figure in the paper's evaluation averages five seeded runs, and
+the sweeps behind Figs. 5.1-5.6 multiply that by a parameter grid and
+several schemes.  Individual runs are completely independent — each one
+derives all of its randomness from its own
+:class:`~repro.sim.rng.RandomStreams` master seed — so they fan out over
+a :class:`~concurrent.futures.ProcessPoolExecutor` without changing a
+single draw: parallel results are **bit-identical** to serial ones.
+
+The unit of work is a picklable :class:`RunSpec`.  Workers return a
+:class:`RunDigest` — the run's summary dict plus the per-priority MDR
+split and rating samples the figure generators need — rather than the
+full :class:`~repro.experiments.runner.RunResult`, whose router graph is
+not worth shipping across process boundaries.  A crashed worker returns
+a :class:`RunFailure` naming the ``(scheme, seed)`` that died instead of
+poisoning the pool; :func:`ensure_success` turns failures into one
+:class:`~repro.errors.ExperimentError` listing every casualty.
+
+``workers=1`` (the default everywhere) bypasses the pool entirely and
+runs in-process; ``workers=None`` means ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback as traceback_module
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.trace_cache import (
+    TraceCache,
+    get_default_cache,
+    set_default_cache,
+)
+from repro.messages.message import Priority
+
+__all__ = [
+    "RunSpec",
+    "MetricsDigest",
+    "RunDigest",
+    "RunFailure",
+    "run_specs",
+    "ensure_success",
+    "resolve_workers",
+]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One picklable unit of work: a single ``(config, scheme, seed)`` run.
+
+    Attributes:
+        config: The scenario to simulate.
+        scheme: One of :data:`~repro.experiments.runner.SCHEMES`.
+        seed: Master seed for the run's :class:`RandomStreams`.
+        run_kwargs: Extra keyword arguments forwarded to
+            :func:`~repro.experiments.runner.run_scenario` (for example a
+            pre-built ``trace`` or ``sample_ratings=True``).
+    """
+
+    config: ScenarioConfig
+    scheme: str
+    seed: int
+    run_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """Human-readable tag used in failure reports."""
+        return f"({self.scheme}, seed={self.seed})"
+
+
+@dataclass(frozen=True)
+class MetricsDigest:
+    """The picklable slice of a run's metrics that experiments consume.
+
+    Mirrors the :class:`~repro.metrics.collector.MetricsCollector`
+    accessors the figure generators call, so digests and full results
+    are interchangeable in aggregation code.
+    """
+
+    summary_data: Dict[str, float]
+    mdr_by_priority_data: Dict[Priority, float]
+    rating_samples: Tuple[Tuple[float, Dict[int, float]], ...] = ()
+
+    def summary(self) -> Dict[str, float]:
+        """The run's headline metrics (a fresh copy)."""
+        return dict(self.summary_data)
+
+    def mdr_by_priority(self) -> Dict[Priority, float]:
+        """MDR split by priority class (Fig. 5.6)."""
+        return dict(self.mdr_by_priority_data)
+
+    def message_delivery_ratio(self) -> float:
+        """The run's overall MDR."""
+        return self.summary_data["mdr"]
+
+
+@dataclass(frozen=True)
+class RunDigest:
+    """A completed run, reduced to what crosses process boundaries."""
+
+    scheme: str
+    seed: int
+    metrics: MetricsDigest
+
+    @property
+    def mdr(self) -> float:
+        """Message delivery ratio of this run."""
+        return self.metrics.summary_data["mdr"]
+
+    @property
+    def traffic(self) -> int:
+        """Completed transfers (the paper's traffic measure)."""
+        return int(self.metrics.summary_data["transfers_completed"])
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics, identical to ``RunResult.summary()``."""
+        return self.metrics.summary()
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """A run that raised instead of completing.
+
+    Attributes:
+        scheme: The failing scheme.
+        seed: The failing seed.
+        error: ``"ExceptionType: message"`` of the failure.
+        traceback: Full worker-side traceback for debugging.
+    """
+
+    scheme: str
+    seed: int
+    error: str
+    traceback: str = ""
+
+    @property
+    def label(self) -> str:
+        """Human-readable tag used in failure reports."""
+        return f"({self.scheme}, seed={self.seed})"
+
+
+def digest_of(result) -> RunDigest:
+    """Reduce a :class:`RunResult` to its picklable digest."""
+    return RunDigest(
+        scheme=result.scheme,
+        seed=result.seed,
+        metrics=MetricsDigest(
+            summary_data=result.summary(),
+            mdr_by_priority_data=result.metrics.mdr_by_priority(),
+            rating_samples=tuple(
+                (time, dict(ratings))
+                for time, ratings in result.metrics.rating_samples
+            ),
+        ),
+    )
+
+
+def execute_spec(spec: RunSpec) -> Union[RunDigest, RunFailure]:
+    """Execute one spec, catching any failure into a :class:`RunFailure`.
+
+    This is the worker entry point; it must stay a module-level function
+    so the pool can pickle it.
+    """
+    from repro.experiments.runner import run_scenario
+
+    try:
+        result = run_scenario(
+            spec.config, spec.scheme, spec.seed, **spec.run_kwargs
+        )
+        return digest_of(result)
+    except Exception as exc:
+        return RunFailure(
+            scheme=spec.scheme,
+            seed=spec.seed,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback_module.format_exc(),
+        )
+
+
+def _worker_initializer(cache_dir: Optional[str]) -> None:
+    """Install the shared trace cache in a fresh worker process."""
+    if cache_dir:
+        set_default_cache(TraceCache(cache_dir))
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` argument: None means ``os.cpu_count()``."""
+    if workers is None:
+        return os.cpu_count() or 1
+    count = int(workers)
+    if count < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers!r}")
+    return count
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[TraceCache] = None,
+) -> List[Union[RunDigest, RunFailure]]:
+    """Execute ``specs``, preserving order, optionally in parallel.
+
+    Args:
+        specs: Units of work; results come back in the same order.
+        workers: Process count; ``1`` runs in-process (no pool, no
+            pickling), ``None`` uses every core.
+        cache: Trace cache shared with the workers; defaults to the
+            process-wide cache (``REPRO_TRACE_CACHE``).
+
+    Returns:
+        One :class:`RunDigest` or :class:`RunFailure` per spec.  Pool
+        -level breakage (e.g. a worker killed by the OOM killer) is also
+        reported as a :class:`RunFailure` for the spec that triggered it.
+    """
+    specs = list(specs)
+    worker_count = resolve_workers(workers)
+    if cache is None:
+        cache = get_default_cache()
+    if worker_count == 1 or len(specs) <= 1:
+        return [execute_spec(spec) for spec in specs]
+
+    cache_dir = str(cache.directory) if cache is not None else None
+    outcomes: List[Union[RunDigest, RunFailure]] = []
+    with ProcessPoolExecutor(
+        max_workers=min(worker_count, len(specs)),
+        initializer=_worker_initializer,
+        initargs=(cache_dir,),
+    ) as pool:
+        futures = [pool.submit(execute_spec, spec) for spec in specs]
+        for spec, future in zip(specs, futures):
+            try:
+                outcomes.append(future.result())
+            except Exception as exc:
+                # execute_spec never raises, so this is pool plumbing:
+                # a worker died hard or the spec failed to pickle.
+                outcomes.append(
+                    RunFailure(
+                        scheme=spec.scheme,
+                        seed=spec.seed,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+    return outcomes
+
+
+def ensure_success(
+    outcomes: Sequence[Union[RunDigest, RunFailure]]
+) -> List[RunDigest]:
+    """Return the digests, raising if any outcome is a failure.
+
+    Raises:
+        ExperimentError: Listing every failing ``(scheme, seed)``.
+    """
+    failures = [o for o in outcomes if isinstance(o, RunFailure)]
+    if failures:
+        details = "; ".join(f"{f.label}: {f.error}" for f in failures)
+        raise ExperimentError(
+            f"{len(failures)} of {len(outcomes)} runs failed: {details}"
+        )
+    return list(outcomes)  # type: ignore[arg-type]

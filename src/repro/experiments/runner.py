@@ -21,8 +21,10 @@ from repro.core.protocol import IncentiveChitChatRouter
 from repro.core.reputation import RatingModel
 from repro.errors import ConfigurationError
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.trace_cache import TraceCache, get_default_cache
 from repro.messages.generator import MessageGenerator
 from repro.messages.keywords import KeywordUniverse
+from repro.metrics.analysis import merge_summaries
 from repro.metrics.collector import MetricsCollector
 from repro.mobility.contact import detect_contacts
 from repro.mobility.manhattan import ManhattanGrid
@@ -119,8 +121,29 @@ class RunResult:
         return data
 
 
-def build_contact_trace(config: ScenarioConfig, seed: int) -> ContactTrace:
-    """Generate the scenario's contact trace under its mobility model."""
+def build_contact_trace(
+    config: ScenarioConfig,
+    seed: int,
+    *,
+    cache: Optional["TraceCache"] = None,
+) -> ContactTrace:
+    """Generate the scenario's contact trace under its mobility model.
+
+    Args:
+        config: The scenario (only its mobility-relevant fields matter).
+        seed: Master seed; the trace uses the ``"mobility"`` stream.
+        cache: A :class:`~repro.experiments.trace_cache.TraceCache` to
+            consult before detecting contacts (and to populate after).
+            Defaults to the process-wide cache configured via
+            ``REPRO_TRACE_CACHE`` / ``--trace-cache``; no caching when
+            neither is set.
+    """
+    if cache is None:
+        cache = get_default_cache()
+    if cache is not None:
+        cached = cache.get(config, seed)
+        if cached is not None:
+            return cached
     streams = RandomStreams(seed)
     rng = streams.get("mobility")
     if config.mobility == "random-waypoint":
@@ -152,12 +175,15 @@ def build_contact_trace(config: ScenarioConfig, seed: int) -> ContactTrace:
         )
     else:  # pragma: no cover - guarded by ScenarioConfig validation
         raise ConfigurationError(f"unknown mobility {config.mobility!r}")
-    return detect_contacts(
+    trace = detect_contacts(
         model,
         radius=config.transmission_radius,
         duration=config.duration,
         scan_interval=config.scan_interval,
     )
+    if cache is not None:
+        cache.put(config, seed, trace)
+    return trace
 
 
 def make_router(
@@ -377,28 +403,87 @@ def run_comparison(
     config: ScenarioConfig,
     schemes: Sequence[str],
     seed: int = 0,
+    *,
+    workers: Optional[int] = 1,
+    trace_cache: Optional[TraceCache] = None,
     **kwargs,
-) -> Dict[str, RunResult]:
-    """Run several schemes over the same contact trace and seed."""
-    trace = build_contact_trace(config, seed)
-    return {
-        scheme: run_scenario(config, scheme, seed, trace=trace, **kwargs)
+):
+    """Run several schemes over the same contact trace and seed.
+
+    Args:
+        config: The scenario.
+        schemes: Schemes to compare (each sees identical contacts).
+        seed: Shared master seed.
+        workers: ``1`` (default) runs in-process and returns full
+            :class:`RunResult` objects; any other value fans the schemes
+            out over a process pool and returns picklable
+            :class:`~repro.experiments.parallel.RunDigest` objects
+            (``mdr``, ``traffic`` and ``summary()`` behave identically).
+        trace_cache: Optional trace cache overriding the default.
+        **kwargs: Forwarded to :func:`run_scenario`.
+    """
+    trace = build_contact_trace(config, seed, cache=trace_cache)
+    if workers == 1:
+        return {
+            scheme: run_scenario(config, scheme, seed, trace=trace, **kwargs)
+            for scheme in schemes
+        }
+    from repro.experiments.parallel import RunSpec, ensure_success, run_specs
+
+    specs = [
+        RunSpec(config, scheme, seed, {**kwargs, "trace": trace})
         for scheme in schemes
-    }
+    ]
+    digests = ensure_success(
+        run_specs(specs, workers=workers, cache=trace_cache)
+    )
+    return dict(zip(schemes, digests))
 
 
 def run_averaged(
     config: ScenarioConfig,
     scheme: str,
     seeds: Sequence[int],
+    *,
+    workers: Optional[int] = 1,
+    trace_cache: Optional[TraceCache] = None,
     **kwargs,
 ) -> Dict[str, float]:
-    """Mean of the headline metrics over repeated seeded runs."""
+    """Mean of the headline metrics over repeated seeded runs.
+
+    Both execution paths collect one summary per seed, in seed order,
+    and average through :func:`~repro.metrics.analysis.merge_summaries`,
+    so ``workers=4`` is bit-identical to ``workers=1``.
+
+    Args:
+        config: The scenario.
+        scheme: One of :data:`SCHEMES`.
+        seeds: Master seeds to average over.
+        workers: ``1`` (default) runs in-process; ``None`` uses every
+            core; ``N`` fans seeds out over ``N`` worker processes.
+        trace_cache: Optional trace cache overriding the default.
+        **kwargs: Forwarded to :func:`run_scenario`.
+    """
+    seeds = list(seeds)
     if not seeds:
         raise ConfigurationError("seeds must be non-empty")
-    totals: Dict[str, float] = {}
-    for seed in seeds:
-        result = run_scenario(config, scheme, seed, **kwargs)
-        for key, value in result.summary().items():
-            totals[key] = totals.get(key, 0.0) + value
-    return {key: value / len(seeds) for key, value in totals.items()}
+    if workers == 1:
+        summaries = [
+            run_scenario(config, scheme, seed, **kwargs).summary()
+            for seed in seeds
+        ]
+    else:
+        from repro.experiments.parallel import (
+            RunSpec,
+            ensure_success,
+            run_specs,
+        )
+
+        specs = [
+            RunSpec(config, scheme, seed, dict(kwargs)) for seed in seeds
+        ]
+        digests = ensure_success(
+            run_specs(specs, workers=workers, cache=trace_cache)
+        )
+        summaries = [digest.summary() for digest in digests]
+    return merge_summaries(summaries)

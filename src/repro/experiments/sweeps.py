@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import RunResult, run_scenario
+from repro.experiments.runner import (
+    RunResult,
+    build_contact_trace,
+    run_scenario,
+)
+from repro.experiments.trace_cache import TraceCache
 
 __all__ = ["sweep"]
 
@@ -18,6 +23,8 @@ def sweep(
     *,
     schemes: Sequence[str] = ("incentive", "chitchat"),
     seeds: Sequence[int] = (0,),
+    workers: Optional[int] = 1,
+    trace_cache: Optional[TraceCache] = None,
     **run_kwargs,
 ) -> List[Dict[str, object]]:
     """Run a grid of ``values x schemes x seeds`` scenarios.
@@ -29,23 +36,70 @@ def sweep(
         values: Sweep grid.
         schemes: Schemes to run at every grid point.
         seeds: Seeds to average over at every grid point.
+        workers: ``1`` (default) runs the grid serially in-process; any
+            other value fans the *whole* grid out over a process pool.
+            In that mode the per-record ``results`` entries are
+            :class:`~repro.experiments.parallel.RunDigest` objects
+            (``mdr``/``traffic``/``summary()`` behave identically to
+            :class:`RunResult`).
+        trace_cache: Optional trace cache overriding the default; grid
+            points that only differ in non-mobility fields (selfish
+            fractions, token endowments, ...) share cached traces.
         **run_kwargs: Forwarded to :func:`run_scenario`.
 
     Returns:
         One record per ``(value, scheme)`` with the seed-averaged MDR
-        and traffic, plus the individual :class:`RunResult` objects.
+        and traffic, plus the individual per-seed results.
     """
     seeds = list(seeds)
     if not seeds:
         raise ConfigurationError("seeds must be non-empty")
+    values = list(values)
+
+    if workers == 1:
+        grouped: Dict[object, List[RunResult]] = {}
+        for index, value in enumerate(values):
+            config = vary(base, value)
+            point_kwargs = dict(run_kwargs)
+            for scheme in schemes:
+                runs = []
+                for seed in seeds:
+                    if trace_cache is not None and "trace" not in run_kwargs:
+                        point_kwargs["trace"] = build_contact_trace(
+                            config, seed, cache=trace_cache
+                        )
+                    runs.append(
+                        run_scenario(config, scheme, seed, **point_kwargs)
+                    )
+                grouped[(index, scheme)] = runs
+    else:
+        from repro.experiments.parallel import (
+            RunSpec,
+            ensure_success,
+            run_specs,
+        )
+
+        specs = []
+        order = []
+        for index, value in enumerate(values):
+            config = vary(base, value)
+            for scheme in schemes:
+                for seed in seeds:
+                    specs.append(
+                        RunSpec(config, scheme, seed, dict(run_kwargs))
+                    )
+                    order.append((index, scheme))
+        digests = ensure_success(
+            run_specs(specs, workers=workers, cache=trace_cache)
+        )
+        grouped = {}
+        for key, digest in zip(order, digests):
+            grouped.setdefault(key, []).append(digest)
+
     records: List[Dict[str, object]] = []
-    for value in values:
-        config = vary(base, value)
+    for index, value in enumerate(values):
         for scheme in schemes:
-            results: List[RunResult] = [
-                run_scenario(config, scheme, seed, **run_kwargs)
-                for seed in seeds
-            ]
+            results = grouped[(index, scheme)]
             records.append(
                 {
                     "value": value,

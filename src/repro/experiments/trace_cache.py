@@ -1,0 +1,192 @@
+"""On-disk contact-trace cache.
+
+Building the deterministic contact trace — advancing the mobility model
+and grid-hashing positions every ``scan_interval`` — dominates the cost
+of a paper-scale run (Table 5.1: 500 nodes over 24 simulated hours), and
+every figure re-derives the *same* traces for its ``(config, seed)``
+grid.  This module caches built traces as ``.npz`` files keyed by a hash
+of the mobility-relevant :class:`~repro.experiments.config.ScenarioConfig`
+fields plus the seed, so a trace is detected once and shared by every
+scheme, figure, benchmark, and worker process that needs it.
+
+The cache directory is LRU-bounded: entries are touched on every hit and
+the oldest entries are pruned once ``max_entries`` is exceeded.  Enable
+it globally through the ``REPRO_TRACE_CACHE`` environment variable (the
+CLI's ``--trace-cache`` flag and the benchmark harness set it up for
+you), or pass a :class:`TraceCache` explicitly to
+:func:`~repro.experiments.runner.build_contact_trace`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.experiments.config import ScenarioConfig
+from repro.mobility.trace import ContactTrace
+
+__all__ = [
+    "MOBILITY_FIELDS",
+    "TraceCache",
+    "trace_cache_key",
+    "cache_from_env",
+    "get_default_cache",
+    "set_default_cache",
+]
+
+#: Environment variable naming the shared cache directory.
+ENV_VAR = "REPRO_TRACE_CACHE"
+
+#: Bump when the trace build pipeline changes in a way that invalidates
+#: previously cached traces (detector semantics, npz layout, ...).
+CACHE_FORMAT_VERSION = 1
+
+#: The :class:`ScenarioConfig` fields that influence the contact trace.
+#: Everything else (selfish fractions, token endowments, workload knobs)
+#: is irrelevant to mobility, so sweeps over those fields share traces.
+MOBILITY_FIELDS = (
+    "n_nodes",
+    "area",
+    "duration",
+    "mobility",
+    "speed_range",
+    "pause_range",
+    "manhattan_block",
+    "scan_interval",
+    "transmission_radius",
+)
+
+
+def trace_cache_key(config: ScenarioConfig, seed: int) -> str:
+    """A stable content hash for the trace of ``(config, seed)``.
+
+    Only :data:`MOBILITY_FIELDS` participate, so two configs differing
+    in, say, ``selfish_fraction`` map to the same cached trace.
+    """
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "seed": int(seed),
+    }
+    for name in MOBILITY_FIELDS:
+        value = getattr(config, name)
+        payload[name] = list(value) if isinstance(value, tuple) else value
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class TraceCache:
+    """An LRU-bounded directory of ``.npz`` contact traces.
+
+    Example:
+        >>> cache = TraceCache("/tmp/traces", max_entries=64)  # doctest: +SKIP
+        >>> trace = cache.get(config, seed=1)                  # doctest: +SKIP
+
+    Writes are atomic (temp file + rename) so concurrent worker
+    processes can share one directory without torn entries.
+    """
+
+    def __init__(
+        self, directory: Union[str, Path], *, max_entries: int = 256
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, config: ScenarioConfig, seed: int) -> Path:
+        """The on-disk path the trace of ``(config, seed)`` maps to."""
+        return self.directory / f"{trace_cache_key(config, seed)}.npz"
+
+    def get(self, config: ScenarioConfig, seed: int) -> Optional[ContactTrace]:
+        """Load the cached trace, or None on a miss.
+
+        A hit refreshes the entry's mtime (the LRU clock); a corrupt
+        entry is dropped and reported as a miss.
+        """
+        path = self.path_for(config, seed)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            trace = ContactTrace.load_npz(path)
+        except Exception:
+            # Torn write from a crashed process: discard and rebuild.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        os.utime(path)
+        self.hits += 1
+        return trace
+
+    def put(self, config: ScenarioConfig, seed: int, trace: ContactTrace) -> None:
+        """Store ``trace`` under its content key and prune old entries."""
+        path = self.path_for(config, seed)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        trace.save_npz(tmp)
+        os.replace(tmp, path)
+        self.prune()
+
+    def entries(self) -> List[Path]:
+        """Cached entry paths, least-recently-used first."""
+        return sorted(
+            self.directory.glob("*.npz"),
+            key=lambda p: (p.stat().st_mtime, p.name),
+        )
+
+    def prune(self) -> int:
+        """Evict least-recently-used entries beyond ``max_entries``."""
+        entries = self.entries()
+        evicted = 0
+        for path in entries[: max(0, len(entries) - self.max_entries)]:
+            path.unlink(missing_ok=True)
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        """Remove every cached entry."""
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TraceCache({str(self.directory)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide default cache (REPRO_TRACE_CACHE)
+# ----------------------------------------------------------------------
+_UNSET = object()
+_default_cache: object = _UNSET
+
+
+def cache_from_env() -> Optional[TraceCache]:
+    """A cache for ``$REPRO_TRACE_CACHE``, or None when unset/empty."""
+    path = os.environ.get(ENV_VAR)
+    if not path:
+        return None
+    return TraceCache(path)
+
+
+def get_default_cache() -> Optional[TraceCache]:
+    """The process-wide cache, resolved lazily from the environment."""
+    global _default_cache
+    if _default_cache is _UNSET:
+        _default_cache = cache_from_env()
+    return _default_cache  # type: ignore[return-value]
+
+
+def set_default_cache(cache: Optional[TraceCache]) -> None:
+    """Install (or, with None, disable) the process-wide cache."""
+    global _default_cache
+    _default_cache = cache

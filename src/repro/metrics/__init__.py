@@ -6,6 +6,7 @@ from repro.metrics.analysis import (
     gini,
     latency_percentiles,
     mdr_over_time,
+    merge_summaries,
     summarize,
     welch_t_test,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "format_table",
     "format_series",
     "SeriesSummary",
+    "merge_summaries",
     "summarize",
     "welch_t_test",
     "delivery_latencies",

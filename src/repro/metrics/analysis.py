@@ -25,6 +25,7 @@ from repro.metrics.collector import MetricsCollector
 
 __all__ = [
     "SeriesSummary",
+    "merge_summaries",
     "summarize",
     "welch_t_test",
     "delivery_latencies",
@@ -32,6 +33,31 @@ __all__ = [
     "mdr_over_time",
     "gini",
 ]
+
+
+def merge_summaries(
+    summaries: Sequence[Dict[str, float]]
+) -> Dict[str, float]:
+    """Mean of per-run summary dicts (the paper's five-run averages).
+
+    Each key is summed where present and divided by the total number of
+    runs, so keys that only some runs report (``token_supply`` exists
+    only for incentive schemes) are treated as zero elsewhere.  Both the
+    serial and the multiprocess experiment runners aggregate through
+    this single function, in seed order, which keeps their results
+    bit-identical (floating-point addition is order-sensitive).
+
+    Raises:
+        ConfigurationError: For an empty sequence of summaries.
+    """
+    if not summaries:
+        raise ConfigurationError("cannot merge an empty list of summaries")
+    totals: Dict[str, float] = {}
+    for summary in summaries:
+        for key, value in summary.items():
+            totals[key] = totals.get(key, 0.0) + value
+    count = len(summaries)
+    return {key: value / count for key, value in totals.items()}
 
 
 @dataclass(frozen=True)

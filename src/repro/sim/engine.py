@@ -50,7 +50,14 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events in the queue (including cancelled ones)."""
+        """Number of events in the queue, **including cancelled ones**.
+
+        Cancellation is lazy: a cancelled event stays in the heap (still
+        counted here) until its firing time comes around, at which point
+        it is discarded without running and without incrementing
+        :attr:`events_fired`.  ``pending`` is therefore an upper bound
+        on the events that will actually fire.
+        """
         return len(self._queue)
 
     @property

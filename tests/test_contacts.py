@@ -2,11 +2,31 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import MobilityError
 from repro.mobility.contact import ContactDetector, detect_contacts, pairs_in_range
 from repro.mobility.stationary import Stationary
 from repro.mobility.random_waypoint import RandomWaypoint
+
+
+def brute_force_pairs(positions: np.ndarray, radius: float) -> set:
+    """O(n^2) reference for pairs_in_range.
+
+    Mirrors the grid hash's arithmetic exactly (squared component
+    differences against ``radius * radius``) so pairs sitting exactly on
+    the radius boundary compare identically in both implementations.
+    """
+    n = positions.shape[0]
+    radius_sq = radius * radius
+    pairs = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            delta = positions[i] - positions[j]
+            if delta[0] * delta[0] + delta[1] * delta[1] <= radius_sq:
+                pairs.add((i, j))
+    return pairs
 
 
 class TestPairsInRange:
@@ -44,6 +64,66 @@ class TestPairsInRange:
     def test_invalid_radius_rejected(self):
         with pytest.raises(MobilityError):
             pairs_in_range(np.zeros((2, 2)), 0.0)
+
+
+class TestPairsInRangeProperties:
+    """Grid-hash result == O(n^2) brute force, over adversarial inputs."""
+
+    # Coordinates and radii are quantised to multiples of 2**-10 so every
+    # delta, square and comparison below is exact in float64.  Unrestricted
+    # floats admit pathological magnitude spreads (e.g. 1.0 vs -1e-119 at
+    # radius 1.0) where the rounded pairwise distance equals the radius
+    # even though the true distance exceeds it — there the grid hash gives
+    # the real-arithmetic answer while any float reference disagrees.
+    _COORD = st.integers(
+        min_value=-10_240_000, max_value=10_240_000
+    ).map(lambda k: k / 1024.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        coords=st.lists(st.tuples(_COORD, _COORD), min_size=0, max_size=40),
+        radius=st.integers(min_value=512, max_value=512_000).map(
+            lambda k: k / 1024.0
+        ),
+    )
+    def test_matches_brute_force_on_random_inputs(self, coords, radius):
+        positions = np.array(coords, dtype=float).reshape(-1, 2)
+        assert pairs_in_range(positions, radius) == brute_force_pairs(
+            positions, radius
+        )
+
+    @pytest.mark.parametrize("loop_seed", range(8))
+    def test_matches_brute_force_with_boundary_pairs(self, loop_seed):
+        """Seeded sets salted with exact-radius, coincident and negative
+        points — the cases a naive cell hash gets wrong."""
+        rng = np.random.default_rng(1000 + loop_seed)
+        radius = float(rng.uniform(20.0, 120.0))
+        positions = rng.uniform(-400.0, 400.0, size=(30, 2))
+        anchor = positions[0]
+        salted = np.vstack([
+            positions,
+            anchor + np.array([radius, 0.0]),      # exactly at the boundary
+            anchor + np.array([0.0, -radius]),     # boundary, below
+            anchor,                                # coincident with anchor
+            np.array([-radius, -radius]),          # negative coordinates
+        ])
+        assert pairs_in_range(salted, radius) == brute_force_pairs(
+            salted, radius
+        )
+
+    def test_exact_boundary_pair_included(self):
+        positions = np.array([[0.0, 0.0], [0.0, 73.0]])
+        assert pairs_in_range(positions, 73.0) == {(0, 1)}
+
+    def test_coincident_points_pair(self):
+        positions = np.array([[5.0, -5.0], [5.0, -5.0], [5.0, -5.0]])
+        assert pairs_in_range(positions, 1.0) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_negative_coordinates_across_cell_origin(self):
+        # The pair straddles the (0, 0) cell corner; floor division on
+        # negatives must still land them in adjacent cells.
+        positions = np.array([[-0.5, -0.5], [0.5, 0.5]])
+        assert pairs_in_range(positions, 10.0) == {(0, 1)}
 
 
 class TestContactDetector:

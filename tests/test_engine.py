@@ -202,3 +202,84 @@ class TestCancellation:
         assert engine.pending == 1  # lazy deletion
         engine.run()
         assert engine.pending == 0
+
+
+class TestTieBreakAcrossRunBoundaries:
+    """Same-instant events must fire in (priority, insertion) order even
+    when scheduling is interleaved with ``run_until`` calls — a regression
+    guard for the heap's ``(time, priority, sequence)`` ordering."""
+
+    def test_priority_then_insertion_order_at_same_instant(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append("p1-first"), priority=1)
+        engine.schedule_at(5.0, lambda: fired.append("p0-first"), priority=0)
+        engine.run_until(3.0)  # clock advances, t=5 events untouched
+        # More events for the *same* instant, scheduled after a run.
+        engine.schedule_at(5.0, lambda: fired.append("p0-second"), priority=0)
+        engine.schedule_at(5.0, lambda: fired.append("p1-second"), priority=1)
+        engine.run_until(5.0)
+        assert fired == ["p0-first", "p0-second", "p1-first", "p1-second"]
+
+    def test_scheduling_at_now_after_run_until(self):
+        engine = Engine()
+        fired = []
+        engine.run_until(5.0)
+        # t == now is legal; insertion order breaks the tie.
+        engine.schedule_at(5.0, lambda: fired.append("a"))
+        engine.schedule_at(5.0, lambda: fired.append("b"))
+        engine.run_until(5.0)
+        assert fired == ["a", "b"]
+
+    def test_insertion_order_preserved_for_equal_priority(self):
+        engine = Engine()
+        fired = []
+        for tag in ("first", "second", "third"):
+            engine.schedule_at(2.0, lambda t=tag: fired.append(t), priority=7)
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+
+class TestCancellationAccounting:
+    """Cancelled events are skipped silently: they never run and never
+    count toward ``events_fired`` (lazy deletion, see ``Engine.pending``)."""
+
+    def test_run_skips_cancelled_without_counting(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append("keep-1"))
+        engine.schedule_at(2.0, lambda: fired.append("drop")).cancel()
+        engine.schedule_at(3.0, lambda: fired.append("keep-2"))
+        engine.run()
+        assert fired == ["keep-1", "keep-2"]
+        assert engine.events_fired == 2
+
+    def test_run_until_skips_cancelled_without_counting(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append("keep"))
+        dropped = engine.schedule_at(1.0, lambda: fired.append("drop"))
+        dropped.cancel()
+        engine.run_until(10.0)
+        assert fired == ["keep"]
+        assert engine.events_fired == 1
+        # The cancelled event was discarded when its time came around.
+        assert engine.pending == 0
+
+    def test_cancelled_event_does_not_advance_clock_observably(self):
+        engine = Engine()
+        engine.schedule_at(4.0, lambda: None).cancel()
+        engine.run_until(2.0)
+        assert engine.now == 2.0
+        assert engine.pending == 1  # still queued, fires (as a no-op) later
+        engine.run_until(10.0)
+        assert engine.pending == 0
+        assert engine.events_fired == 0
+
+    def test_step_reports_false_when_only_cancelled_remain(self):
+        engine = Engine()
+        engine.schedule_at(1.0, lambda: None).cancel()
+        engine.schedule_at(2.0, lambda: None).cancel()
+        assert engine.step() is False
+        assert engine.events_fired == 0
+        assert engine.pending == 0

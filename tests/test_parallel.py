@@ -1,0 +1,233 @@
+"""Tests for the parallel experiment runner and the contact-trace cache."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    RunDigest,
+    RunFailure,
+    RunSpec,
+    ScenarioConfig,
+    TraceCache,
+    build_contact_trace,
+    ensure_success,
+    run_averaged,
+    run_comparison,
+    run_specs,
+    sweep,
+    trace_cache_key,
+)
+from repro.experiments.parallel import execute_spec, resolve_workers
+from repro.experiments import runner as runner_module
+from repro.experiments import trace_cache as trace_cache_module
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return ScenarioConfig.tiny()
+
+
+def _trace_tuples(trace):
+    return [(c.start, c.end, c.pair) for c in trace]
+
+
+class TestRunSpecExecution:
+    def test_spec_is_picklable(self, tiny):
+        spec = RunSpec(tiny, "chitchat", 1, {"sample_ratings": True})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.scheme == "chitchat"
+        assert clone.run_kwargs == {"sample_ratings": True}
+
+    def test_execute_spec_returns_digest(self, tiny):
+        digest = execute_spec(RunSpec(tiny, "direct", 1))
+        assert isinstance(digest, RunDigest)
+        assert 0.0 <= digest.mdr <= 1.0
+        assert digest.traffic >= 0
+        assert digest.summary()["mdr"] == digest.mdr
+
+    def test_execute_spec_contains_failures(self, tiny):
+        failure = execute_spec(RunSpec(tiny, "carrier-pigeon", 7))
+        assert isinstance(failure, RunFailure)
+        assert failure.scheme == "carrier-pigeon"
+        assert failure.seed == 7
+        assert "ConfigurationError" in failure.error
+        assert "carrier-pigeon" in failure.traceback
+
+    def test_digest_matches_full_result(self, tiny):
+        from repro.experiments import run_scenario
+
+        result = run_scenario(tiny, "incentive", seed=2)
+        digest = execute_spec(RunSpec(tiny, "incentive", 2))
+        assert digest.summary() == result.summary()
+        assert digest.metrics.mdr_by_priority() == (
+            result.metrics.mdr_by_priority()
+        )
+
+
+class TestRunSpecs:
+    def test_pool_preserves_spec_order(self, tiny):
+        specs = [RunSpec(tiny, "direct", seed) for seed in (3, 1, 2)]
+        outcomes = run_specs(specs, workers=2)
+        assert [o.seed for o in outcomes] == [3, 1, 2]
+
+    def test_failed_spec_does_not_poison_pool(self, tiny):
+        specs = [
+            RunSpec(tiny, "bogus", 1),
+            RunSpec(tiny, "direct", 1),
+            RunSpec(tiny, "bogus", 2),
+        ]
+        outcomes = run_specs(specs, workers=2)
+        assert isinstance(outcomes[0], RunFailure)
+        assert isinstance(outcomes[1], RunDigest)
+        assert isinstance(outcomes[2], RunFailure)
+
+    def test_ensure_success_lists_every_casualty(self, tiny):
+        outcomes = run_specs(
+            [RunSpec(tiny, "bogus", 1), RunSpec(tiny, "bogus", 2)],
+            workers=1,
+        )
+        with pytest.raises(ExperimentError) as excinfo:
+            ensure_success(outcomes)
+        message = str(excinfo.value)
+        assert "(bogus, seed=1)" in message
+        assert "(bogus, seed=2)" in message
+
+    def test_run_averaged_raises_on_failure(self, tiny):
+        with pytest.raises(ExperimentError):
+            run_averaged(tiny, "bogus", [1, 2], workers=2)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers(None) >= 1
+        with pytest.raises(ExperimentError):
+            resolve_workers(0)
+
+
+class TestParallelEquivalence:
+    def test_run_comparison_digests_match_serial(self, tiny):
+        serial = run_comparison(tiny, ["chitchat", "epidemic"], seed=1)
+        parallel = run_comparison(
+            tiny, ["chitchat", "epidemic"], seed=1, workers=2
+        )
+        for scheme in ("chitchat", "epidemic"):
+            assert parallel[scheme].mdr == serial[scheme].mdr
+            assert parallel[scheme].traffic == serial[scheme].traffic
+            assert parallel[scheme].summary() == serial[scheme].summary()
+
+    def test_sweep_parallel_matches_serial(self, tiny):
+        def vary(cfg, value):
+            return cfg.replace(selfish_fraction=value)
+
+        serial = sweep(tiny, vary, [0.0, 0.5], schemes=["chitchat"],
+                       seeds=[1], workers=1)
+        parallel = sweep(tiny, vary, [0.0, 0.5], schemes=["chitchat"],
+                         seeds=[1], workers=2)
+        assert [(r["value"], r["scheme"], r["mdr"], r["traffic"])
+                for r in serial] == [
+            (r["value"], r["scheme"], r["mdr"], r["traffic"])
+            for r in parallel
+        ]
+
+
+class TestTraceCacheKey:
+    def test_key_stable_for_equal_configs(self, tiny):
+        assert trace_cache_key(tiny, 1) == trace_cache_key(
+            ScenarioConfig.tiny(), 1
+        )
+
+    def test_key_ignores_non_mobility_fields(self, tiny):
+        behavioural = tiny.replace(
+            selfish_fraction=0.4, malicious_fraction=0.2
+        ).with_tokens(999.0)
+        assert trace_cache_key(tiny, 1) == trace_cache_key(behavioural, 1)
+
+    def test_key_sensitive_to_mobility_fields_and_seed(self, tiny):
+        base = trace_cache_key(tiny, 1)
+        assert trace_cache_key(tiny, 2) != base
+        assert trace_cache_key(tiny.replace(n_nodes=21), 1) != base
+        assert trace_cache_key(
+            tiny.replace(transmission_radius=99.0), 1
+        ) != base
+        assert trace_cache_key(tiny.replace(mobility="manhattan"), 1) != base
+
+
+class TestTraceCache:
+    def test_round_trip_is_exact(self, tiny, tmp_path):
+        cache = TraceCache(tmp_path)
+        built = build_contact_trace(tiny, 1, cache=cache)
+        loaded = cache.get(tiny, 1)
+        assert _trace_tuples(loaded) == _trace_tuples(built)
+
+    def test_cache_hit_skips_contact_detection(self, tiny, tmp_path,
+                                               monkeypatch):
+        """The issue's acceptance criterion: a hit never re-detects."""
+        cache = TraceCache(tmp_path)
+        build_contact_trace(tiny, 1, cache=cache)  # populate
+
+        calls = []
+        real_detect = runner_module.detect_contacts
+
+        def counting_detect(*args, **kwargs):
+            calls.append(1)
+            return real_detect(*args, **kwargs)
+
+        monkeypatch.setattr(
+            runner_module, "detect_contacts", counting_detect
+        )
+        trace = build_contact_trace(tiny, 1, cache=cache)
+        assert calls == []
+        assert cache.hits == 1
+        assert len(trace) > 0
+
+    def test_corrupt_entry_is_rebuilt(self, tiny, tmp_path):
+        cache = TraceCache(tmp_path)
+        build_contact_trace(tiny, 1, cache=cache)
+        cache.path_for(tiny, 1).write_bytes(b"not an npz file")
+        assert cache.get(tiny, 1) is None
+        rebuilt = build_contact_trace(tiny, 1, cache=cache)
+        assert len(rebuilt) > 0
+        assert cache.get(tiny, 1) is not None
+
+    def test_lru_eviction_keeps_newest(self, tiny, tmp_path):
+        import os
+
+        cache = TraceCache(tmp_path, max_entries=2)
+        for index, seed in enumerate([1, 2, 3]):
+            build_contact_trace(tiny, seed, cache=cache)
+            # Stamp strictly increasing mtimes: filesystem resolution
+            # can be too coarse for back-to-back writes.
+            os.utime(cache.path_for(tiny, seed), (index, index))
+        assert len(cache) == 2
+        assert cache.get(tiny, 1) is None  # oldest evicted
+        assert cache.get(tiny, 3) is not None
+
+    def test_max_entries_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceCache(tmp_path, max_entries=0)
+
+    def test_default_cache_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(trace_cache_module.ENV_VAR, str(tmp_path))
+        trace_cache_module.set_default_cache(None)
+        try:
+            # Force lazy re-resolution from the (patched) environment.
+            trace_cache_module._default_cache = trace_cache_module._UNSET
+            cache = trace_cache_module.get_default_cache()
+            assert cache is not None
+            assert cache.directory == tmp_path
+        finally:
+            trace_cache_module.set_default_cache(None)
+
+    def test_workers_share_cache_directory(self, tiny, tmp_path):
+        cache = TraceCache(tmp_path)
+        outcomes = run_specs(
+            [RunSpec(tiny, "direct", 1), RunSpec(tiny, "direct", 2)],
+            workers=2,
+            cache=cache,
+        )
+        ensure_success(outcomes)
+        # Each worker built and published its seed's trace.
+        assert cache.get(tiny, 1) is not None
+        assert cache.get(tiny, 2) is not None

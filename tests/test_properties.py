@@ -261,3 +261,68 @@ class TestContactProperties:
             if float(np.hypot(*(positions[i] - positions[j]))) <= radius
         }
         assert pairs_in_range(positions, radius) == expected
+
+
+# ----------------------------------------------------------------------
+# End-to-end token conservation: a full incentive run never leaks credit
+# ----------------------------------------------------------------------
+class TestEndToEndTokenConservation:
+    """The credit economy is closed: tokens only move, never mint/burn.
+
+    After any incentive run, every token must be accounted for as either
+    a live balance or an unsettled escrow hold ("recorded sinks"), and
+    the whole must reconcile with the initial endowment — the guard
+    against silent leaks in award/escrow/refund plumbing.
+    """
+
+    @pytest.mark.parametrize(
+        "seed, selfish, malicious",
+        [
+            (1, 0.0, 0.0),
+            (2, 0.3, 0.0),
+            (3, 0.0, 0.3),
+            (4, 0.2, 0.2),
+        ],
+    )
+    def test_supply_plus_sinks_reconcile_with_endowment(
+        self, seed, selfish, malicious
+    ):
+        from repro.experiments import ScenarioConfig, run_scenario
+
+        config = ScenarioConfig.tiny(
+            selfish_fraction=selfish, malicious_fraction=malicious
+        )
+        result = run_scenario(config, "incentive", seed=seed)
+        ledger = result.router.ledger
+
+        # Total supply (balances + escrow) equals the endowment.
+        assert ledger.total_supply() == pytest.approx(
+            ledger.total_endowment(), abs=1e-6
+        )
+        # Accounts open lazily (a node that never joins the protocol is
+        # never endowed), but every opened account starts with exactly
+        # the configured endowment.
+        balances = ledger.balances()
+        assert 0 < len(balances) <= config.n_nodes
+        for node in balances:
+            assert ledger.initial_balance(node) == pytest.approx(
+                config.incentive.initial_tokens
+            )
+
+        # Per-account reconciliation against the transaction log: what
+        # an account holds is its endowment plus settled net flow minus
+        # whatever it still has locked in escrow.
+        net = {node: 0.0 for node in ledger.balances()}
+        for txn in ledger.transactions:
+            net[txn.payer] -= txn.amount
+            net[txn.payee] += txn.amount
+        held = {
+            node: ledger.initial_balance(node) + net[node]
+            - ledger.balance(node)
+            for node in net
+        }
+        for node, amount in held.items():
+            assert amount >= -1e-9, f"node {node} holds negative escrow"
+        assert sum(held.values()) == pytest.approx(
+            ledger.escrowed_total(), abs=1e-6
+        )

@@ -116,3 +116,42 @@ class TestSerialisation:
         path.write_text('{"start": 0.0}\n')
         with pytest.raises(MobilityError, match="trace.jsonl:1"):
             ContactTrace.load(path)
+
+
+class TestNpzSerialisation:
+    def test_round_trip_is_bit_exact(self, tmp_path):
+        # Values chosen to be awkward in decimal: npz stores raw float64
+        # columns, so they must survive without any rounding at all.
+        trace = ContactTrace([
+            Contact(0.1 + 0.2, 1.0 / 3.0 + 7.0, 0, 1),
+            Contact(2.25, 8.0000000001, 1, 2),
+        ])
+        path = tmp_path / "trace.npz"
+        trace.save_npz(path)
+        loaded = ContactTrace.load_npz(path)
+        assert [(c.start, c.end, c.pair) for c in loaded] == [
+            (c.start, c.end, c.pair) for c in trace
+        ]
+
+    def test_exact_path_is_used(self, tmp_path):
+        # numpy's savez appends ".npz" when given a bare filename; the
+        # trace writer must honour the requested path verbatim.
+        path = tmp_path / "trace.cache"
+        ContactTrace([Contact(0.0, 1.0, 0, 1)]).save_npz(path)
+        assert path.exists()
+        assert len(ContactTrace.load_npz(path)) == 1
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        ContactTrace().save_npz(path)
+        assert len(ContactTrace.load_npz(path)) == 0
+
+    def test_malformed_file_raises_mobility_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"definitely not an npz archive")
+        with pytest.raises(MobilityError):
+            ContactTrace.load_npz(path)
+
+    def test_missing_file_raises_mobility_error(self, tmp_path):
+        with pytest.raises(MobilityError):
+            ContactTrace.load_npz(tmp_path / "absent.npz")
