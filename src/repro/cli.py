@@ -6,6 +6,7 @@ Usage::
     repro-dtn figure 5.1     # regenerate one figure (scaled grid)
     repro-dtn figure all     # regenerate every figure
     repro-dtn run --scheme incentive --selfish 0.2 --seed 1
+    repro-dtn faults --losses 0 0.1 0.3 --churn --retransmissions 2
 
 Pass ``--paper-scale`` to use the full Table 5.1 scenario (500 nodes,
 24 simulated hours — expect minutes of wall-clock per run).
@@ -170,6 +171,76 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.faults import fault_sweep
+
+    config = _base_config(args)
+    if args.nodes is not None:
+        config = config.replace(n_nodes=args.nodes)
+    if args.duration is not None:
+        config = config.replace(duration=args.duration)
+    seeds = list(range(1, args.seeds + 1))
+    records = fault_sweep(
+        config,
+        loss_levels=args.losses,
+        schemes=args.schemes,
+        seeds=seeds,
+        corruption_fraction=args.corruption_fraction,
+        churn_mean_uptime=args.mean_uptime if args.churn else 0.0,
+        churn_mean_downtime=args.mean_downtime,
+        churn_policy=args.churn_policy,
+        max_retransmissions=args.retransmissions,
+        retransmit_backoff=args.retransmit_backoff,
+        workers=_workers(args),
+    )
+    rows = [
+        [
+            f"{record['value']:.2f}",
+            record["scheme"],
+            f"{record['mdr']:.4f}",
+            f"{record['overhead']:.2f}",
+            f"{record['transfers_lost']:.0f}",
+            f"{record['node_crashes']:.0f}",
+            f"{record['retransmissions']:.0f}",
+            f"{record['stranded_escrow']:.4f}",
+            f"{record['double_payments']:.0f}",
+            f"{record['duplicate_settlements']:.0f}",
+        ]
+        for record in records
+    ]
+    churn_note = (
+        f"churn up={args.mean_uptime:.0f}s/down={args.mean_downtime:.0f}s "
+        f"({args.churn_policy})" if args.churn else "no churn"
+    )
+    print(format_table(
+        ["loss", "scheme", "MDR", "overhead", "lost", "crashes",
+         "retx", "stranded", "double-pay", "blocked-dup"],
+        rows,
+        title=f"fault sweep, {len(seeds)} seed(s), {churn_note}, "
+              f"retx budget {args.retransmissions}",
+    ))
+    violations = [
+        record for record in records
+        if record["double_payments"] > 0
+        or record["stranded_escrow"] > 1e-9
+        or record["supply_error"] > 1e-6
+    ]
+    if violations:
+        for record in violations:
+            print(
+                f"INTEGRITY VIOLATION at loss={record['value']:.2f} "
+                f"scheme={record['scheme']}: "
+                f"double_payments={record['double_payments']:.0f}, "
+                f"stranded_escrow={record['stranded_escrow']:.6f}, "
+                f"supply_error={record['supply_error']:.6g}",
+                file=sys.stderr,
+            )
+        return 1
+    print("ledger integrity: supply conserved, escrow drained, "
+          "0 double payments at every grid point")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -230,6 +301,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of seeds to average (default 3)",
     )
     compare.set_defaults(func=_cmd_compare)
+
+    faults = commands.add_parser(
+        "faults",
+        help="robustness sweep: delivery and ledger integrity under "
+             "link loss, corruption and node churn",
+    )
+    faults.add_argument(
+        "--losses", type=float, nargs="+",
+        default=[0.0, 0.1, 0.2, 0.3], metavar="P",
+        help="per-transfer fault probabilities to sweep "
+             "(default: 0.0 0.1 0.2 0.3)",
+    )
+    faults.add_argument(
+        "--corruption-fraction", type=float, default=0.0, metavar="F",
+        help="portion of each loss level attributed to corruption "
+             "instead of loss (default 0)",
+    )
+    faults.add_argument(
+        "--schemes", nargs="+", choices=SCHEMES,
+        default=["incentive", "chitchat"],
+        help="schemes to compare (default: incentive chitchat)",
+    )
+    faults.add_argument(
+        "--seeds", type=int, default=1,
+        help="number of seeds to average (default 1)",
+    )
+    faults.add_argument(
+        "--churn", action="store_true",
+        help="also crash/restart nodes (exponential outage windows)",
+    )
+    faults.add_argument(
+        "--mean-uptime", type=float, default=1_800.0, metavar="S",
+        help="mean exponential uptime between crashes (default 1800 s)",
+    )
+    faults.add_argument(
+        "--mean-downtime", type=float, default=600.0, metavar="S",
+        help="mean exponential outage length (default 600 s)",
+    )
+    faults.add_argument(
+        "--churn-policy", choices=("wipe", "persist"), default="wipe",
+        help="what a restart recovers: wipe loses the buffer and dedup "
+             "memory, persist keeps both (default wipe)",
+    )
+    faults.add_argument(
+        "--retransmissions", type=int, default=0, metavar="N",
+        help="retry budget per (receiver, message) for loss/corruption "
+             "aborts (default 0 = off)",
+    )
+    faults.add_argument(
+        "--retransmit-backoff", type=float, default=30.0, metavar="S",
+        help="base backoff before the first retry, doubling per retry "
+             "(default 30 s)",
+    )
+    faults.add_argument(
+        "--nodes", type=int, default=None,
+        help="override the scenario's node count (smoke tests)",
+    )
+    faults.add_argument(
+        "--duration", type=float, default=None,
+        help="override the simulated duration in seconds (smoke tests)",
+    )
+    faults.set_defaults(func=_cmd_faults)
 
     trace = commands.add_parser(
         "trace", help="generate and save a contact trace",

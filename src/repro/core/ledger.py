@@ -6,12 +6,25 @@ burns them mid-run — so the total supply is invariant, which a property
 test enforces.  A node that cannot pay is simply refused: that refusal
 is the paper's congestion-control lever ("a device with no incentive to
 offer cannot act as a destination").
+
+Under fault injection (lossy links, node churn) the same logical
+settlement can be attempted more than once — a retransmitted delivery,
+or a crashed node re-receiving a copy whose receipt it already paid
+for.  *Settlement keys* make those paths idempotent: a transfer or
+escrow capture tagged with a key settles at most once; a duplicate
+attempt moves no tokens (a duplicate capture refunds its escrow to the
+payer) and is counted in :attr:`TokenLedger.duplicate_settlements`,
+which robustness sweeps assert stays at the number of *blocked*
+duplicates while actual double-payments stay at zero.  Escrow holds may
+also carry an expiry time so tokens promised to a transfer that never
+resolves (a crashed holder, a hung exchange) are reclaimable via
+:meth:`TokenLedger.expire_holds` instead of stranding forever.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import (
     ConfigurationError,
@@ -33,6 +46,8 @@ class Transaction:
         payee: Receiving node id.
         amount: Tokens moved (> 0).
         reason: Audit tag, e.g. ``"delivery-award"`` or ``"relay-prepay"``.
+        settlement_key: Optional idempotence key this settlement was
+            recorded under (``None`` for unkeyed transfers).
     """
 
     time: float
@@ -40,6 +55,7 @@ class Transaction:
     payee: int
     amount: float
     reason: str
+    settlement_key: Optional[str] = None
 
 
 class TokenLedger:
@@ -59,7 +75,11 @@ class TokenLedger:
         self._initial: Dict[int, float] = {}
         self._transactions: List[Transaction] = []
         self._holds: Dict[int, Tuple[int, float, str]] = {}
+        self._hold_expiries: Dict[int, float] = {}
         self._next_hold = 1
+        self._settled: Set[str] = set()
+        #: Settlement attempts blocked by an already-settled key.
+        self.duplicate_settlements = 0
 
     # ------------------------------------------------------------------
     # Accounts
@@ -109,6 +129,15 @@ class TokenLedger:
     # ------------------------------------------------------------------
     # Transfers
     # ------------------------------------------------------------------
+    def was_settled(self, settlement_key: str) -> bool:
+        """Whether ``settlement_key`` has already settled."""
+        return settlement_key in self._settled
+
+    @property
+    def settled_keys(self) -> Tuple[str, ...]:
+        """All settlement keys recorded so far (unordered snapshot)."""
+        return tuple(self._settled)
+
     def transfer(
         self,
         payer: int,
@@ -117,11 +146,15 @@ class TokenLedger:
         *,
         time: float,
         reason: str = "",
-    ) -> Transaction:
+        settlement_key: Optional[str] = None,
+    ) -> Optional[Transaction]:
         """Move ``amount`` tokens from ``payer`` to ``payee``.
 
         Zero-amount transfers are recorded (they document a settled
-        promise of zero); negative amounts are rejected.
+        promise of zero); negative amounts are rejected.  When
+        ``settlement_key`` is given and was already settled, the
+        transfer is an idempotent no-op: no tokens move, ``None`` is
+        returned, and :attr:`duplicate_settlements` is incremented.
 
         Raises:
             InsufficientTokensError: If the payer cannot cover ``amount``.
@@ -136,13 +169,19 @@ class TokenLedger:
             )
         payer_balance = self.balance(payer)
         self.balance(payee)  # validate the payee account exists
+        if settlement_key is not None and settlement_key in self._settled:
+            self.duplicate_settlements += 1
+            return None
         if payer_balance < amount:
             raise InsufficientTokensError(str(payer), amount, payer_balance)
         self._balances[payer] = payer_balance - amount
         self._balances[payee] += amount
+        if settlement_key is not None:
+            self._settled.add(settlement_key)
         transaction = Transaction(
             time=float(time), payer=payer, payee=payee,
             amount=float(amount), reason=reason,
+            settlement_key=settlement_key,
         )
         self._transactions.append(transaction)
         return transaction
@@ -151,7 +190,13 @@ class TokenLedger:
     # Escrow
     # ------------------------------------------------------------------
     def escrow(
-        self, payer: int, amount: float, *, time: float, reason: str = ""
+        self,
+        payer: int,
+        amount: float,
+        *,
+        time: float,
+        reason: str = "",
+        expires_at: Optional[float] = None,
     ) -> int:
         """Debit ``payer`` and hold the tokens in escrow.
 
@@ -159,6 +204,12 @@ class TokenLedger:
         escrow keeps the tokens out of circulation until the transfer
         either completes (:meth:`capture`) or aborts (:meth:`release`),
         so a refund can never fail because the payee already spent it.
+
+        Args:
+            expires_at: Optional absolute time after which
+                :meth:`expire_holds` may reclaim the hold for the
+                payer — the safety valve against escrow stranded by a
+                holder that died mid-exchange.
 
         Returns:
             A hold id for :meth:`capture` / :meth:`release`.
@@ -175,16 +226,38 @@ class TokenLedger:
         hold_id = self._next_hold
         self._next_hold += 1
         self._holds[hold_id] = (payer, float(amount), reason)
+        if expires_at is not None:
+            self._hold_expiries[hold_id] = float(expires_at)
         return hold_id
 
-    def capture(self, hold_id: int, payee: int, *, time: float) -> Transaction:
-        """Pay escrowed tokens out to ``payee`` (the transfer landed)."""
+    def capture(
+        self,
+        hold_id: int,
+        payee: int,
+        *,
+        time: float,
+        settlement_key: Optional[str] = None,
+    ) -> Optional[Transaction]:
+        """Pay escrowed tokens out to ``payee`` (the transfer landed).
+
+        When ``settlement_key`` is given and was already settled, the
+        capture is idempotent: the hold is *refunded to the payer*
+        instead of paying the payee twice, ``None`` is returned, and
+        :attr:`duplicate_settlements` is incremented.
+        """
         payer, amount, reason = self._pop_hold(hold_id)
         self.balance(payee)  # validate the payee account exists
+        if settlement_key is not None and settlement_key in self._settled:
+            self._balances[payer] += amount
+            self.duplicate_settlements += 1
+            return None
         self._balances[payee] += amount
+        if settlement_key is not None:
+            self._settled.add(settlement_key)
         transaction = Transaction(
             time=float(time), payer=payer, payee=payee,
             amount=amount, reason=reason,
+            settlement_key=settlement_key,
         )
         self._transactions.append(transaction)
         return transaction
@@ -194,7 +267,38 @@ class TokenLedger:
         payer, amount, _reason = self._pop_hold(hold_id)
         self._balances[payer] += amount
 
+    def expire_holds(self, now: float) -> float:
+        """Release every hold whose expiry time has passed.
+
+        Returns:
+            Total tokens returned to their payers.
+        """
+        due = sorted(
+            hold_id for hold_id, expires_at in self._hold_expiries.items()
+            if expires_at <= now and hold_id in self._holds
+        )
+        reclaimed = 0.0
+        for hold_id in due:
+            _payer, amount, _reason = self._holds[hold_id]
+            self.release(hold_id, time=now)
+            reclaimed += amount
+        return reclaimed
+
+    def release_all(self, *, time: float) -> float:
+        """Release every outstanding hold (end-of-run escrow drain).
+
+        Returns:
+            Total tokens returned to their payers.
+        """
+        reclaimed = 0.0
+        for hold_id in sorted(self._holds):
+            _payer, amount, _reason = self._holds[hold_id]
+            self.release(hold_id, time=time)
+            reclaimed += amount
+        return reclaimed
+
     def _pop_hold(self, hold_id: int) -> Tuple[int, float, str]:
+        self._hold_expiries.pop(hold_id, None)
         try:
             return self._holds.pop(hold_id)
         except KeyError:

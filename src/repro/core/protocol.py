@@ -43,7 +43,7 @@ from repro.core.incentive import (
 )
 from repro.core.ledger import TokenLedger
 from repro.core.reputation import RatingModel, ReputationSystem
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LedgerError
 from repro.messages.message import Message
 from repro.network.link import Link, Transfer
 from repro.network.node import Node
@@ -71,6 +71,11 @@ class IncentiveChitChatRouter(ChitChatRouter):
         collusion: When True, malicious raters give *perfect* ratings to
             fellow malicious nodes (collusive praise) instead of random
             noise — the attack model studied by the ablation benches.
+        escrow_timeout: Seconds after which an uncaptured escrow hold is
+            reclaimable by its payer (see
+            :meth:`~repro.core.ledger.TokenLedger.expire_holds`).  A
+            safety valve against holds stranded by faults the abort
+            path never saw; ``None`` (default) disables the timeout.
         **chitchat_kwargs: Passed through to :class:`ChitChatRouter`.
     """
 
@@ -88,6 +93,7 @@ class IncentiveChitChatRouter(ChitChatRouter):
         relay_rating_probability: float = 0.5,
         destination_rating_probability: float = 1.0,
         collusion: bool = False,
+        escrow_timeout: Optional[float] = None,
         **chitchat_kwargs,
     ):
         super().__init__(**chitchat_kwargs)
@@ -112,6 +118,11 @@ class IncentiveChitChatRouter(ChitChatRouter):
         self.relay_rating_probability = float(relay_rating_probability)
         self.destination_rating_probability = float(destination_rating_probability)
         self.collusion = bool(collusion)
+        if escrow_timeout is not None and escrow_timeout <= 0:
+            raise ConfigurationError(
+                f"escrow_timeout must be > 0 or None, got {escrow_timeout!r}"
+            )
+        self.escrow_timeout = escrow_timeout
 
         # Promise a holder expects to collect at a destination:
         # (holder_id, uuid) -> tokens.
@@ -119,8 +130,10 @@ class IncentiveChitChatRouter(ChitChatRouter):
         # Promise riding on an in-flight transfer: id(transfer) -> tokens.
         self._transfer_promises: Dict[int, float] = {}
         # Escrowed payments per in-flight transfer:
-        # id(transfer) -> (hold_id, payee, amount).
-        self._pending_payments: Dict[int, Tuple[int, int, float]] = {}
+        # id(transfer) -> (hold_id, payee, amount, settlement_key).
+        self._pending_payments: Dict[
+            int, Tuple[int, int, float, str]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Accounts
@@ -243,12 +256,26 @@ class IncentiveChitChatRouter(ChitChatRouter):
         )
 
     def _exchange(self, link: Link) -> None:
+        self._expire_stale_holds()
         # RTSR+DR module: reputations travel with the interest exchange.
         self.reputation.exchange(link.a, link.b)
         for sender_id in link.pair:
             receiver_id = link.peer_of(sender_id)
             for message, role in self.select_messages(sender_id, receiver_id):
                 self._offer(link, sender_id, receiver_id, message, role)
+
+    def _hold_expiry(self) -> Optional[float]:
+        if self.escrow_timeout is None:
+            return None
+        return self.world.now + self.escrow_timeout
+
+    def _expire_stale_holds(self) -> None:
+        """Reclaim escrow whose timeout lapsed (fault safety valve)."""
+        if self.escrow_timeout is None:
+            return
+        reclaimed = self.ledger.expire_holds(self.world.now)
+        if reclaimed > 0:
+            self.world.metrics.on_escrow_reclaimed(reclaimed)
 
     def _offer(
         self,
@@ -257,46 +284,48 @@ class IncentiveChitChatRouter(ChitChatRouter):
         receiver_id: int,
         message: Message,
         role: str,
-    ) -> None:
+    ) -> Optional[Transfer]:
         sender = self.world.node(sender_id)
         receiver = self.world.node(receiver_id)
         self.ensure_account(sender_id)
         self.ensure_account(receiver_id)
         if not self.world.can_send(link, sender_id, message):
-            return
+            return None
         if role == "destination":
-            self._offer_to_destination(link, sender, receiver, message)
-        else:
-            self._offer_to_relay(link, sender, receiver, message)
+            return self._offer_to_destination(link, sender, receiver, message)
+        return self._offer_to_relay(link, sender, receiver, message)
 
     def _offer_to_destination(
         self, link: Link, sender: Node, receiver: Node, message: Message
-    ) -> None:
+    ) -> Optional[Transfer]:
         """Settle the award, then transfer (Section 3.3 data flow)."""
         award = self.compute_award(sender, receiver, message, link)
         if not self.ledger.can_pay(receiver.node_id, award):
             self.world.metrics.on_blocked_no_tokens()
-            return
+            return None
         transfer = self.world.send_message(link, sender.node_id, message)
         if transfer is None:  # pragma: no cover - guarded by can_send
-            return
+            return None
         if award > 0:
             hold = self.ledger.escrow(
                 receiver.node_id, award,
                 time=self.world.now, reason="delivery-award",
+                expires_at=self._hold_expiry(),
             )
             self._pending_payments[id(transfer)] = (
                 hold, sender.node_id, award,
+                f"award:{message.uuid}:{receiver.node_id}",
             )
+        return transfer
 
     def _offer_to_relay(
         self, link: Link, sender: Node, receiver: Node, message: Message
-    ) -> None:
+    ) -> Optional[Transfer]:
         """Forward to a relay, pre-paying above the relay threshold."""
         if self.best_relay_only and not self._is_best_relay(
             sender.node_id, receiver.node_id, message
         ):
-            return
+            return None
         promise = self.compute_promise(
             sender, receiver, message, link, deliverer_is_relay=True
         )
@@ -308,19 +337,22 @@ class IncentiveChitChatRouter(ChitChatRouter):
             prepay = self.params.relay_prepay_fraction * promise
             if not self.ledger.can_pay(receiver.node_id, prepay):
                 self.world.metrics.on_blocked_no_tokens()
-                return
+                return None
         transfer = self.world.send_message(link, sender.node_id, message)
         if transfer is None:  # pragma: no cover - guarded by can_send
-            return
+            return None
         self._transfer_promises[id(transfer)] = promise
         if prepay > 0:
             hold = self.ledger.escrow(
                 receiver.node_id, prepay,
                 time=self.world.now, reason="relay-prepay",
+                expires_at=self._hold_expiry(),
             )
             self._pending_payments[id(transfer)] = (
                 hold, sender.node_id, prepay,
+                f"prepay:{message.uuid}:{receiver.node_id}",
             )
+        return transfer
 
     def _is_best_relay(
         self, sender_id: int, candidate_id: int, message: Message
@@ -345,9 +377,18 @@ class IncentiveChitChatRouter(ChitChatRouter):
     def on_message_received(self, transfer: Transfer, link: Link) -> None:
         pending = self._pending_payments.pop(id(transfer), None)
         if pending is not None:
-            hold, payee, amount = pending
-            self.ledger.capture(hold, payee, time=self.world.now)
-            self.world.metrics.on_payment(amount)
+            hold, payee, amount, settlement_key = pending
+            try:
+                transaction = self.ledger.capture(
+                    hold, payee,
+                    time=self.world.now, settlement_key=settlement_key,
+                )
+            except LedgerError:
+                # The hold timed out and was reclaimed by expire_holds;
+                # the payee goes unpaid for this (very late) landing.
+                transaction = None
+            if transaction is not None:
+                self.world.metrics.on_payment(amount)
         promise = self._transfer_promises.pop(id(transfer), 0.0)
         receiver = self.world.node(transfer.receiver)
         message = transfer.message
@@ -357,8 +398,8 @@ class IncentiveChitChatRouter(ChitChatRouter):
         rng = self._rng()
 
         if role == "destination":
-            self.world.deliver(receiver, message)
-            if rng.random() < self.destination_rating_probability:
+            delivered = self.world.deliver(receiver, message)
+            if delivered and rng.random() < self.destination_rating_probability:
                 self._rate_as_recipient(receiver, message, rng)
             if self.destinations_also_relay:
                 if self.world.accept_relay(receiver, message) and promise > 0:
@@ -478,5 +519,39 @@ class IncentiveChitChatRouter(ChitChatRouter):
         self._transfer_promises.pop(id(transfer), None)
         pending = self._pending_payments.pop(id(transfer), None)
         if pending is not None:
-            hold, _payee, _amount = pending
-            self.ledger.release(hold, time=self.world.now)
+            hold, _payee, _amount, _key = pending
+            try:
+                self.ledger.release(hold, time=self.world.now)
+            except LedgerError:
+                pass  # already reclaimed by the escrow timeout
+        super().on_transfer_aborted(transfer, link)
+
+    def _reoffer(
+        self, link: Link, sender_id: int, receiver_id: int, message: Message
+    ) -> Optional[Transfer]:
+        """Retransmission runs the full payment pipeline again.
+
+        The prior attempt's escrow was released on abort, so the retry
+        re-escrows under the *same* settlement key — if the payment
+        meanwhile settled via another path, the idempotent capture
+        refunds it instead of double-paying.
+        """
+        role = self.classify(receiver_id, message)
+        return self._offer(link, sender_id, receiver_id, message, role)
+
+    # ------------------------------------------------------------------
+    # End of run: drain escrow so conservation is exact
+    # ------------------------------------------------------------------
+    def finalize(self, now: float) -> None:
+        """Release every outstanding hold back to its payer.
+
+        With no faults injected there is nothing left to release (every
+        transfer completed or aborted and settled its own escrow), so
+        this is a no-op for golden runs; under fault mixes it guarantees
+        ``escrowed_total`` drains to exactly zero.
+        """
+        reclaimed = self.ledger.release_all(time=now)
+        if reclaimed > 0:
+            self.world.metrics.on_escrow_reclaimed(reclaimed)
+        self._pending_payments.clear()
+        self._transfer_promises.clear()

@@ -3,6 +3,7 @@ multiprocess), a contact-trace cache, and one generator per paper
 figure/table."""
 
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.faults import fault_grid_configs, fault_sweep
 from repro.experiments.parallel import (
     MetricsDigest,
     RunDigest,
@@ -44,6 +45,8 @@ __all__ = [
     "run_comparison",
     "run_averaged",
     "sweep",
+    "fault_grid_configs",
+    "fault_sweep",
     "RunSpec",
     "RunDigest",
     "RunFailure",

@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 
 from repro.core.incentive import IncentiveParams
 from repro.errors import ConfigurationError
+from repro.faults import FaultConfig
 from repro.messages.generator import DEFAULT_PROFILES, MessageProfile
 
 __all__ = ["ScenarioConfig"]
@@ -87,6 +88,16 @@ class ScenarioConfig:
     malicious_enrich_probability: float = 0.8
     best_relay_only: bool = True
 
+    # Robustness knobs (all off by default: fault-free runs stay
+    # bit-identical to the committed golden results)
+    #: Fault-injection configuration; ``None`` (or an all-zero config)
+    #: disables the fault subsystem entirely.
+    faults: Optional[FaultConfig] = None
+    #: Retry budget per (receiver, message) for loss/corruption aborts.
+    max_retransmissions: int = 0
+    #: Base backoff before the first retry, seconds (doubles per retry).
+    retransmit_backoff: float = 30.0
+
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ConfigurationError("n_nodes must be >= 2")
@@ -108,6 +119,10 @@ class ScenarioConfig:
             raise ConfigurationError("selfish_fraction must be in [0, 1]")
         if not 0.0 <= self.malicious_fraction <= 1.0:
             raise ConfigurationError("malicious_fraction must be in [0, 1]")
+        if self.max_retransmissions < 0:
+            raise ConfigurationError("max_retransmissions must be >= 0")
+        if self.retransmit_backoff <= 0:
+            raise ConfigurationError("retransmit_backoff must be > 0")
 
     # ------------------------------------------------------------------
     # Presets

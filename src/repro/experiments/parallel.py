@@ -23,7 +23,9 @@ runs in-process; ``workers=None`` means ``os.cpu_count()``.
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import time
 import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -85,10 +87,15 @@ class MetricsDigest:
     summary_data: Dict[str, float]
     mdr_by_priority_data: Dict[Priority, float]
     rating_samples: Tuple[Tuple[float, Dict[int, float]], ...] = ()
+    fault_summary_data: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, float]:
         """The run's headline metrics (a fresh copy)."""
         return dict(self.summary_data)
+
+    def fault_summary(self) -> Dict[str, float]:
+        """Robustness counters (``RunResult.fault_summary`` mirror)."""
+        return dict(self.fault_summary_data)
 
     def mdr_by_priority(self) -> Dict[Priority, float]:
         """MDR split by priority class (Fig. 5.6)."""
@@ -101,11 +108,17 @@ class MetricsDigest:
 
 @dataclass(frozen=True)
 class RunDigest:
-    """A completed run, reduced to what crosses process boundaries."""
+    """A completed run, reduced to what crosses process boundaries.
+
+    Attributes:
+        attempts: How many executions this digest took (1 = first try;
+            2 or 3 mean the run initially failed and a retry succeeded).
+    """
 
     scheme: str
     seed: int
     metrics: MetricsDigest
+    attempts: int = 1
 
     @property
     def mdr(self) -> float:
@@ -121,6 +134,10 @@ class RunDigest:
         """Headline metrics, identical to ``RunResult.summary()``."""
         return self.metrics.summary()
 
+    def fault_summary(self) -> Dict[str, float]:
+        """Robustness counters, identical to ``RunResult.fault_summary()``."""
+        return self.metrics.fault_summary()
+
 
 @dataclass(frozen=True)
 class RunFailure:
@@ -131,12 +148,15 @@ class RunFailure:
         seed: The failing seed.
         error: ``"ExceptionType: message"`` of the failure.
         traceback: Full worker-side traceback for debugging.
+        attempts: Total executions tried (including retries) before
+            giving up.
     """
 
     scheme: str
     seed: int
     error: str
     traceback: str = ""
+    attempts: int = 1
 
     @property
     def label(self) -> str:
@@ -156,6 +176,7 @@ def digest_of(result) -> RunDigest:
                 (time, dict(ratings))
                 for time, ratings in result.metrics.rating_samples
             ),
+            fault_summary_data=result.fault_summary(),
         ),
     )
 
@@ -198,13 +219,43 @@ def resolve_workers(workers: Optional[int]) -> int:
     return count
 
 
+def _result_or_failure(future, spec: RunSpec) -> Union[RunDigest, RunFailure]:
+    """Unwrap a future, mapping pool plumbing errors to RunFailure."""
+    try:
+        return future.result()
+    except Exception as exc:
+        # execute_spec never raises, so this is pool plumbing:
+        # a worker died hard or the spec failed to pickle.
+        return RunFailure(
+            scheme=spec.scheme,
+            seed=spec.seed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _backoff(retry_backoff: float, round_index: int) -> None:
+    """Sleep before retry round ``round_index`` (exponential)."""
+    delay = retry_backoff * (2 ** round_index)
+    if delay > 0:
+        time.sleep(delay)
+
+
 def run_specs(
     specs: Sequence[RunSpec],
     *,
     workers: Optional[int] = None,
     cache: Optional[TraceCache] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.5,
 ) -> List[Union[RunDigest, RunFailure]]:
     """Execute ``specs``, preserving order, optionally in parallel.
+
+    Failed specs are retried up to ``max_retries`` times with
+    exponential backoff — transient breakage (a worker killed by the
+    OOM killer, a torn cache entry) heals on a clean re-run, while a
+    deterministic bug simply fails again and is reported once retries
+    are exhausted.  Each outcome records how many executions it took in
+    its ``attempts`` field.
 
     Args:
         specs: Units of work; results come back in the same order.
@@ -212,41 +263,69 @@ def run_specs(
             pickling), ``None`` uses every core.
         cache: Trace cache shared with the workers; defaults to the
             process-wide cache (``REPRO_TRACE_CACHE``).
+        max_retries: Extra executions allowed per failing spec (0
+            disables retrying).
+        retry_backoff: Base sleep before the first retry, seconds;
+            doubles each round.  ``0`` retries immediately (tests).
 
     Returns:
-        One :class:`RunDigest` or :class:`RunFailure` per spec.  Pool
-        -level breakage (e.g. a worker killed by the OOM killer) is also
-        reported as a :class:`RunFailure` for the spec that triggered it.
+        One :class:`RunDigest` or :class:`RunFailure` per spec.
     """
     specs = list(specs)
     worker_count = resolve_workers(workers)
+    if max_retries < 0:
+        raise ExperimentError(
+            f"max_retries must be >= 0, got {max_retries!r}"
+        )
+    if retry_backoff < 0:
+        raise ExperimentError(
+            f"retry_backoff must be >= 0, got {retry_backoff!r}"
+        )
     if cache is None:
         cache = get_default_cache()
     if worker_count == 1 or len(specs) <= 1:
-        return [execute_spec(spec) for spec in specs]
+        outcomes: List[Union[RunDigest, RunFailure]] = []
+        for spec in specs:
+            attempts = 0
+            while True:
+                attempts += 1
+                outcome = execute_spec(spec)
+                if isinstance(outcome, RunDigest) or attempts > max_retries:
+                    break
+                _backoff(retry_backoff, attempts - 1)
+            outcomes.append(dataclasses.replace(outcome, attempts=attempts))
+        return outcomes
 
     cache_dir = str(cache.directory) if cache is not None else None
-    outcomes: List[Union[RunDigest, RunFailure]] = []
+    attempts_used = [1] * len(specs)
     with ProcessPoolExecutor(
         max_workers=min(worker_count, len(specs)),
         initializer=_worker_initializer,
         initargs=(cache_dir,),
     ) as pool:
         futures = [pool.submit(execute_spec, spec) for spec in specs]
-        for spec, future in zip(specs, futures):
-            try:
-                outcomes.append(future.result())
-            except Exception as exc:
-                # execute_spec never raises, so this is pool plumbing:
-                # a worker died hard or the spec failed to pickle.
-                outcomes.append(
-                    RunFailure(
-                        scheme=spec.scheme,
-                        seed=spec.seed,
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                )
-    return outcomes
+        outcomes = [
+            _result_or_failure(future, spec)
+            for spec, future in zip(specs, futures)
+        ]
+        for round_index in range(max_retries):
+            failed = [
+                i for i, outcome in enumerate(outcomes)
+                if isinstance(outcome, RunFailure)
+            ]
+            if not failed:
+                break
+            _backoff(retry_backoff, round_index)
+            retry_futures = {
+                i: pool.submit(execute_spec, specs[i]) for i in failed
+            }
+            for i, future in retry_futures.items():
+                outcomes[i] = _result_or_failure(future, specs[i])
+                attempts_used[i] += 1
+    return [
+        dataclasses.replace(outcome, attempts=attempts)
+        for outcome, attempts in zip(outcomes, attempts_used)
+    ]
 
 
 def ensure_success(

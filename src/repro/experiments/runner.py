@@ -120,6 +120,38 @@ class RunResult:
             )
         return data
 
+    def fault_summary(self) -> Dict[str, float]:
+        """Robustness counters, kept separate from :meth:`summary`.
+
+        Fault-free runs must stay bit-identical to the committed golden
+        summaries, so fault/ledger-integrity counters live here:
+        everything from
+        :meth:`~repro.metrics.collector.MetricsCollector.fault_summary`
+        plus, for token schemes, the stranded escrow left after
+        finalize (must be 0), the duplicate settlements blocked by
+        idempotence keys, and the conservation error of the total
+        supply (must be 0).
+        """
+        data = self.metrics.fault_summary()
+        ledger = getattr(self.router, "ledger", None)
+        if ledger is not None and ledger.total_endowment() > 0:
+            data["stranded_escrow"] = ledger.escrowed_total()
+            data["duplicate_settlements"] = float(
+                ledger.duplicate_settlements
+            )
+            data["supply_error"] = (
+                ledger.total_supply() - ledger.total_endowment()
+            )
+            # Actual double-payments: settlement keys that paid out more
+            # than once.  The idempotence machinery exists to pin this
+            # at exactly zero under every fault mix.
+            keyed = [
+                t.settlement_key for t in ledger.transactions
+                if t.settlement_key is not None
+            ]
+            data["double_payments"] = float(len(keyed) - len(set(keyed)))
+        return data
+
 
 def build_contact_trace(
     config: ScenarioConfig,
@@ -197,6 +229,8 @@ def make_router(
     chitchat_kwargs = dict(
         beta=config.chitchat_beta,
         growth_scale=config.chitchat_growth_scale,
+        max_retransmissions=config.max_retransmissions,
+        retransmit_backoff=config.retransmit_backoff,
     )
     if scheme == "chitchat":
         return ChitChatRouter(**chitchat_kwargs)
@@ -347,6 +381,7 @@ def run_scenario(
         nominal_distance=config.transmission_radius,
         battery_capacity=config.battery_capacity,
         resume_partial_transfers=config.resume_partial_transfers,
+        faults=config.faults,
     )
     generator = MessageGenerator(
         universe,
@@ -387,6 +422,9 @@ def run_scenario(
         sampler.start()
 
     metrics = world.run(config.duration)
+    # Settle the books: any escrow still held by transfers the fault
+    # processes orphaned is returned to its payer (no-op when fault-free).
+    router.finalize(world.now)
     return RunResult(
         scheme=scheme,
         seed=seed,

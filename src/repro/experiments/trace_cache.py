@@ -15,6 +15,14 @@ it globally through the ``REPRO_TRACE_CACHE`` environment variable (the
 CLI's ``--trace-cache`` flag and the benchmark harness set it up for
 you), or pass a :class:`TraceCache` explicitly to
 :func:`~repro.experiments.runner.build_contact_trace`.
+
+Every entry is stored with a ``.sha256`` sidecar holding the digest of
+the ``.npz`` bytes.  A hit re-hashes the file and compares: a mismatch
+(bit rot, a partially synced network filesystem, manual tampering)
+deletes the entry and reports a miss, so a corrupt trace can never be
+fed into a simulation — the run silently rebuilds from the mobility
+model instead.  Entries written by older versions without a sidecar are
+still accepted (and their load-time parse remains the only guard).
 """
 
 from __future__ import annotations
@@ -98,38 +106,79 @@ class TraceCache:
         self.max_entries = int(max_entries)
         self.hits = 0
         self.misses = 0
+        #: Entries dropped because their bytes no longer matched their
+        #: recorded sha256 digest (or failed to parse).
+        self.corrupt = 0
 
     def path_for(self, config: ScenarioConfig, seed: int) -> Path:
         """The on-disk path the trace of ``(config, seed)`` maps to."""
         return self.directory / f"{trace_cache_key(config, seed)}.npz"
 
+    def digest_path_for(self, path: Path) -> Path:
+        """The sha256 sidecar path of an entry."""
+        return path.with_name(f"{path.name}.sha256")
+
+    @staticmethod
+    def _sha256_of(path: Path) -> str:
+        digest = hashlib.sha256()
+        with path.open("rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+        return digest.hexdigest()
+
+    def _quarantine(self, path: Path) -> None:
+        """Delete a corrupt entry (and sidecar) so it rebuilds cleanly."""
+        path.unlink(missing_ok=True)
+        self.digest_path_for(path).unlink(missing_ok=True)
+        self.corrupt += 1
+        self.misses += 1
+
     def get(self, config: ScenarioConfig, seed: int) -> Optional[ContactTrace]:
         """Load the cached trace, or None on a miss.
 
-        A hit refreshes the entry's mtime (the LRU clock); a corrupt
-        entry is dropped and reported as a miss.
+        A hit refreshes the entry's mtime (the LRU clock).  Before
+        loading, the entry's bytes are verified against its ``.sha256``
+        sidecar; a mismatching or unparseable entry is deleted and
+        reported as a (corrupt) miss.
         """
         path = self.path_for(config, seed)
         if not path.exists():
             self.misses += 1
             return None
+        digest_path = self.digest_path_for(path)
+        if digest_path.exists():
+            try:
+                expected = digest_path.read_text().strip()
+            except OSError:
+                expected = ""
+            if self._sha256_of(path) != expected:
+                self._quarantine(path)
+                return None
         try:
             trace = ContactTrace.load_npz(path)
         except Exception:
             # Torn write from a crashed process: discard and rebuild.
-            path.unlink(missing_ok=True)
-            self.misses += 1
+            self._quarantine(path)
             return None
         os.utime(path)
+        if digest_path.exists():
+            os.utime(digest_path)
         self.hits += 1
         return trace
 
     def put(self, config: ScenarioConfig, seed: int, trace: ContactTrace) -> None:
-        """Store ``trace`` under its content key and prune old entries."""
+        """Store ``trace`` (plus its sha256 sidecar) and prune old entries."""
         path = self.path_for(config, seed)
         tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
         trace.save_npz(tmp)
+        sha = self._sha256_of(tmp)
         os.replace(tmp, path)
+        digest_path = self.digest_path_for(path)
+        digest_tmp = digest_path.with_name(
+            f"{digest_path.name}.tmp-{os.getpid()}"
+        )
+        digest_tmp.write_text(sha + "\n")
+        os.replace(digest_tmp, digest_path)
         self.prune()
 
     def entries(self) -> List[Path]:
@@ -145,13 +194,15 @@ class TraceCache:
         evicted = 0
         for path in entries[: max(0, len(entries) - self.max_entries)]:
             path.unlink(missing_ok=True)
+            self.digest_path_for(path).unlink(missing_ok=True)
             evicted += 1
         return evicted
 
     def clear(self) -> None:
-        """Remove every cached entry."""
+        """Remove every cached entry (and sidecar)."""
         for path in self.entries():
             path.unlink(missing_ok=True)
+            self.digest_path_for(path).unlink(missing_ok=True)
 
     def __len__(self) -> int:
         return len(self.entries())

@@ -69,6 +69,18 @@ class MetricsCollector:
         self.blocked_no_tokens = 0
         self.enrichment_tags = 0
         self.enrichment_relevant = 0
+        # Fault-injection counters (repro.faults); all stay 0 in
+        # fault-free runs and are reported via :meth:`fault_summary`
+        # (kept out of :meth:`summary` so fault-free outputs remain
+        # bit-identical to pre-fault-subsystem golden results).
+        self.transfers_lost = 0
+        self.transfers_corrupted = 0
+        self.node_crashes = 0
+        self.node_restarts = 0
+        self.blackouts = 0
+        self.creations_skipped_offline = 0
+        self.retransmissions = 0
+        self.escrow_reclaimed = 0.0
         #: ``(time, {node_id: rating})`` samples (Fig. 5.4 style series).
         self.rating_samples: List[Tuple[float, Dict[int, float]]] = []
 
@@ -132,6 +144,33 @@ class MetricsCollector:
         self.enrichment_tags += 1
         if relevant:
             self.enrichment_relevant += 1
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (no-ops in fault-free runs)
+    # ------------------------------------------------------------------
+    def on_transfer_lost(self) -> None:
+        self.transfers_lost += 1
+
+    def on_transfer_corrupted(self) -> None:
+        self.transfers_corrupted += 1
+
+    def on_node_crash(self) -> None:
+        self.node_crashes += 1
+
+    def on_node_restart(self) -> None:
+        self.node_restarts += 1
+
+    def on_blackout(self) -> None:
+        self.blackouts += 1
+
+    def on_creation_skipped_offline(self) -> None:
+        self.creations_skipped_offline += 1
+
+    def on_retransmission(self) -> None:
+        self.retransmissions += 1
+
+    def on_escrow_reclaimed(self, amount: float) -> None:
+        self.escrow_reclaimed += amount
 
     def sample_ratings(self, now: float, ratings: Dict[int, float]) -> None:
         """Store a time sample of per-node ratings (Fig. 5.4 series)."""
@@ -220,4 +259,23 @@ class MetricsCollector:
             "enrichment_tags": float(self.enrichment_tags),
             "enrichment_relevant": float(self.enrichment_relevant),
             "average_delay": self.average_delay(),
+        }
+
+    def fault_summary(self) -> Dict[str, float]:
+        """Fault-injection counters, separate from :meth:`summary`.
+
+        Kept out of the headline summary so fault-free runs stay
+        bit-identical to the committed golden results.
+        """
+        return {
+            "transfers_lost": float(self.transfers_lost),
+            "transfers_corrupted": float(self.transfers_corrupted),
+            "node_crashes": float(self.node_crashes),
+            "node_restarts": float(self.node_restarts),
+            "blackouts": float(self.blackouts),
+            "creations_skipped_offline": float(
+                self.creations_skipped_offline
+            ),
+            "retransmissions": float(self.retransmissions),
+            "escrow_reclaimed": self.escrow_reclaimed,
         }

@@ -51,6 +51,10 @@ class Transfer:
     started_at: Optional[float] = None
     completed: bool = False
     aborted: bool = False
+    #: Why the transfer aborted: ``"mobility"`` (the contact broke),
+    #: ``"loss"`` / ``"corruption"`` (link-layer fault), ``"churn"``
+    #: (an endpoint crashed) or ``"blackout"`` (battery depleted).
+    abort_reason: Optional[str] = None
     _handle: Optional[EventHandle] = field(default=None, repr=False)
 
 
@@ -64,6 +68,11 @@ class Link:
         speed: Transfer speed in bytes per second (> 0).
         distance: Physical distance between the endpoints in metres
             (used by the energy model via the protocol layer).
+        fault_hook: Optional per-transfer fault oracle.  Called when a
+            transfer is about to complete; returning a reason string
+            (``"loss"``, ``"corruption"``) aborts the transfer with
+            that :attr:`Transfer.abort_reason` instead of completing
+            it.  ``None`` (the default) keeps the ideal-link behaviour.
     """
 
     def __init__(
@@ -74,6 +83,7 @@ class Link:
         *,
         speed: float,
         distance: float = 0.0,
+        fault_hook: Optional[Callable[[Transfer], Optional[str]]] = None,
     ):
         if a == b:
             raise ConfigurationError(f"link endpoints must differ, got {a}")
@@ -87,6 +97,7 @@ class Link:
         self.distance = float(distance)
         self.opened_at = engine.now
         self.closed = False
+        self._fault_hook = fault_hook
         # Per-direction state: key is the sending node id.
         self._active: Dict[int, Optional[Transfer]] = {self.a: None, self.b: None}
         self._queues: Dict[int, Deque[Transfer]] = {
@@ -191,18 +202,49 @@ class Link:
     def _finish(self, transfer: Transfer) -> None:
         if self.closed or transfer.aborted:
             return
+        if self._fault_hook is not None:
+            verdict = self._fault_hook(transfer)
+            if verdict is not None:
+                # The bytes were sent but the frame was lost/mangled:
+                # abort with the fault reason, on a link that stays
+                # open (so a retransmission can go out immediately).
+                transfer.aborted = True
+                transfer.abort_reason = verdict
+                self._active[transfer.sender] = None
+                if transfer.on_abort is not None:
+                    transfer.on_abort(transfer)
+                self._start_next(transfer.sender)
+                return
         transfer.completed = True
         self._active[transfer.sender] = None
         self._completed.append(transfer)
         transfer.on_complete(transfer)
-        # The completion callback may have closed the link.
-        if not self.closed:
-            queue = self._queues[transfer.sender]
-            if queue and self._active[transfer.sender] is None:
-                self._start(queue.popleft())
+        self._start_next(transfer.sender)
 
-    def close(self) -> List[Transfer]:
+    def _start_next(self, sender: int) -> None:
+        """Dequeue the next transfer unless a callback already did.
+
+        Completion/abort callbacks may close the link or call
+        :meth:`send` re-entrantly (retransmission); both are guarded.
+        """
+        if self.closed:
+            return
+        queue = self._queues[sender]
+        if queue and self._active[sender] is None:
+            self._start(queue.popleft())
+
+    def close(self, reason: str = "mobility") -> List[Transfer]:
         """Tear the link down, aborting in-flight and queued transfers.
+
+        All per-direction state is cleared *before* any ``on_abort``
+        callback fires, so a callback that re-entrantly calls
+        :meth:`close` is a no-op and one that calls :meth:`send` fails
+        cleanly (the link is already closed) without corrupting queues
+        or firing callbacks twice.
+
+        Args:
+            reason: Recorded as each casualty's
+                :attr:`Transfer.abort_reason` (default ``"mobility"``).
 
         Returns:
             The transfers that were cut off (in-flight first).
@@ -215,6 +257,7 @@ class Link:
             active = self._active[sender]
             if active is not None:
                 active.aborted = True
+                active.abort_reason = reason
                 if active._handle is not None:
                     active._handle.cancel()
                 casualties.append(active)
@@ -222,6 +265,7 @@ class Link:
             while self._queues[sender]:
                 waiting = self._queues[sender].popleft()
                 waiting.aborted = True
+                waiting.abort_reason = reason
                 casualties.append(waiting)
         for transfer in casualties:
             if transfer.on_abort is not None:

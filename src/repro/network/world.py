@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import BufferError_, ConfigurationError, SimulationError
+from repro.faults import FaultConfig, FaultInjector
 from repro.messages.generator import MessageGenerator
 from repro.messages.message import Message
 from repro.metrics.collector import MetricsCollector
@@ -59,6 +60,12 @@ class World:
             transfer of the same message to the same receiver only moves
             the remainder.  Off by default — ONE's (and the paper's)
             baseline behaviour restarts aborted transfers from zero.
+        faults: Optional :class:`~repro.faults.FaultConfig`.  When set
+            and enabled, a :class:`~repro.faults.FaultInjector` drives
+            link-layer loss/corruption, node churn, and battery
+            recharge against this world.  ``None`` (or an all-zero
+            config) is bit-identical to the pre-fault behaviour: no
+            fault RNG streams are created and no events scheduled.
     """
 
     def __init__(
@@ -76,6 +83,7 @@ class World:
         nominal_distance: float = 100.0,
         battery_capacity: Optional[float] = None,
         resume_partial_transfers: bool = False,
+        faults: Optional[FaultConfig] = None,
     ):
         if link_speed <= 0:
             raise ConfigurationError(f"link_speed must be > 0, got {link_speed!r}")
@@ -115,6 +123,20 @@ class World:
         self._in_flight: Set[Tuple[int, str]] = set()
         self._generator: Optional[MessageGenerator] = None
 
+        # Fault injection: only instantiated when a fault process is
+        # actually enabled, so fault-free runs schedule no extra events
+        # and create no extra RNG streams (bit-identical behaviour).
+        self.faults: Optional[FaultInjector] = None
+        if faults is not None and faults.enabled:
+            self.faults = FaultInjector(self, faults)
+            if faults.recharging and battery_capacity is not None:
+                self._recharge_process = PeriodicProcess(
+                    engine, faults.recharge_interval, self._recharge,
+                    start_at=engine.now + faults.recharge_interval,
+                    label="battery-recharge",
+                )
+                self._recharge_process.start()
+
         router.bind(self)
         if ttl is not None:
             self._ttl_process = PeriodicProcess(
@@ -130,6 +152,14 @@ class World:
     def now(self) -> float:
         """Current simulation time."""
         return self.engine.now
+
+    def schedule_in(self, delay: float, callback, *, label: str = ""):
+        """Schedule ``callback`` ``delay`` seconds from now.
+
+        Exposed for routers (retransmission backoff timers); returns
+        the engine's cancellable event handle.
+        """
+        return self.engine.schedule_in(delay, callback, label=label)
 
     def node(self, node_id: int) -> Node:
         """The node with ``node_id``.
@@ -280,12 +310,24 @@ class World:
     def _drain_battery(self, node_id: int, joules: float) -> None:
         if self.battery_capacity is None:
             return
-        self._battery[node_id] = max(
-            0.0, self._battery.get(node_id, 0.0) - joules
-        )
+        before = self._battery.get(node_id, 0.0)
+        self._battery[node_id] = max(0.0, before - joules)
+        # Under fault injection a depleted battery is a blackout: the
+        # node drops its links on the spot instead of merely refusing
+        # new contacts.  (Without the injector the legacy semantics —
+        # existing links survive — are preserved.)
+        if (
+            self.faults is not None
+            and before > 0.0
+            and self._battery[node_id] <= 0.0
+        ):
+            self._disconnect_node(node_id, reason="blackout")
+            self.metrics.on_blackout()
 
     def _behavior_allows_contact(self, node: Node) -> bool:
         if self._battery_dead(node.node_id):
+            return False
+        if self.faults is not None and self.faults.is_down(node.node_id):
             return False
         behavior = node.behavior
         if behavior is None:
@@ -307,9 +349,13 @@ class World:
             return
         if not self._behavior_allows_contact(self._nodes[b]):
             return
+        fault_hook = None
+        if self.faults is not None and self.faults.config.lossy:
+            fault_hook = self.faults.transfer_verdict
         link = Link(
             self.engine, a, b,
             speed=self.link_speed, distance=self.nominal_distance,
+            fault_hook=fault_hook,
         )
         self._links[pair] = link
         self._links_by_node[a].append(link)
@@ -325,6 +371,52 @@ class World:
         self._links_by_node[b].remove(link)
         link.close()
         self.router.on_contact_end(link)
+
+    # ------------------------------------------------------------------
+    # Faults: churn, blackouts, recharge (driven by the FaultInjector)
+    # ------------------------------------------------------------------
+    def _disconnect_node(self, node_id: int, reason: str) -> None:
+        """Force-close every link ``node_id`` participates in."""
+        for link in list(self._links_by_node.get(node_id, [])):
+            if link.closed:
+                continue
+            self._links.pop(link.pair, None)
+            self._links_by_node[link.a].remove(link)
+            self._links_by_node[link.b].remove(link)
+            link.close(reason=reason)
+            self.router.on_contact_end(link)
+
+    def on_node_crashed(self, node_id: int, *, wipe_state: bool) -> None:
+        """A churn crash: drop links and (optionally) volatile state.
+
+        With ``wipe_state`` the buffer contents are lost and the dedup
+        ``seen`` memory resets to what survives in durable records
+        (originated and delivered messages), so a restarted node can
+        re-receive relayed copies — the scenario idempotent settlement
+        exists for.  Delivery receipts and reputation books are kept:
+        they live in the (conceptually replicated) ledger layer.
+        """
+        self._disconnect_node(node_id, reason="churn")
+        node = self._nodes[node_id]
+        if wipe_state:
+            for message in node.buffer.messages():
+                node.buffer.discard(message.uuid)
+                self.router.on_message_dropped(node_id, message)
+            node.seen = set(node.delivered) | set(node.generated)
+        self.metrics.on_node_crash()
+
+    def on_node_restarted(self, node_id: int) -> None:
+        """A churn restart: the node resumes forming contacts."""
+        self.metrics.on_node_restart()
+
+    def _recharge(self, now: float) -> None:
+        if self.battery_capacity is None or self.faults is None:
+            return
+        amount = self.faults.config.recharge_amount
+        for node_id in self._battery:
+            self._battery[node_id] = min(
+                self.battery_capacity, self._battery[node_id] + amount
+            )
 
     # ------------------------------------------------------------------
     # Transfers
@@ -350,13 +442,35 @@ class World:
     def _transfer_aborted(self, transfer: Transfer, link: Link) -> None:
         key = (transfer.receiver, transfer.message.uuid)
         self._in_flight.discard(key)
-        if self.resume_partial_transfers and transfer.started_at is not None:
+        faulted = transfer.abort_reason in ("loss", "corruption")
+        if (
+            self.resume_partial_transfers
+            and transfer.started_at is not None
+            and not faulted
+        ):
+            # Reactive fragmentation only credits bytes that actually
+            # survived: a lost/corrupt frame leaves nothing to resume.
             elapsed = max(self.now - transfer.started_at, 0.0)
             moved_now = min(elapsed * link.speed, float(transfer.message.size))
             already = self._partial_bytes.get(key, 0.0)
             self._partial_bytes[key] = min(
                 already + moved_now, float(transfer.message.size)
             )
+        if faulted:
+            # The full transfer duration elapsed before the fault was
+            # detected, so both radios spent the energy regardless.
+            tx_energy = self.energy.transmit_energy(transfer.duration)
+            rx_energy = self.energy.receive_energy(
+                transfer.duration, link.distance
+            )
+            self.energy.charge(transfer.sender, tx_energy)
+            self.energy.charge(transfer.receiver, rx_energy)
+            self._drain_battery(transfer.sender, tx_energy)
+            self._drain_battery(transfer.receiver, rx_energy)
+            if transfer.abort_reason == "loss":
+                self.metrics.on_transfer_lost()
+            else:
+                self.metrics.on_transfer_corrupted()
         self.metrics.on_transfer_aborted(transfer.message)
         self.router.on_transfer_aborted(transfer, link)
 
@@ -382,6 +496,11 @@ class World:
             )
 
     def _create_scheduled_message(self, source: int) -> None:
+        if self.faults is not None and self.faults.is_down(source):
+            # A crashed device originates nothing; the message simply
+            # never exists (it is not counted against MDR).
+            self.metrics.on_creation_skipped_offline()
+            return
         node = self.node(source)
         low_quality = False
         behavior = node.behavior

@@ -57,6 +57,9 @@ class RoutingContext(Protocol):
     def accept_relay(self, receiver: Node, message: Message) -> bool:
         """Buffer a message for relaying; False if the buffer refused."""
 
+    def schedule_in(self, delay: float, callback, *, label: str = ""):
+        """Schedule ``callback`` after ``delay`` seconds (backoff timers)."""
+
 
 class Router(abc.ABC):
     """Base class for routing protocols.
@@ -111,6 +114,15 @@ class Router(abc.ABC):
 
     def on_message_dropped(self, node_id: int, message: Message) -> None:
         """A buffered message was evicted to make room for another."""
+
+    def finalize(self, now: float) -> None:
+        """The run is over; settle or release any outstanding state.
+
+        Called once by the experiment runner after the engine drains.
+        Protocols holding escrow use this to drain every remaining hold
+        back to its payer so token conservation is exact at the end of
+        even the most fault-ridden run.
+        """
 
     # ------------------------------------------------------------------
     # Shared helpers

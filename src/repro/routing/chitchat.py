@@ -235,9 +235,20 @@ class ChitChatRouter(Router):
             its buffer to serve further destinations (multicast
             dissemination, as the paper's "share with multiple
             destinations" implies).
+        max_retransmissions: Retry budget per ``(receiver, message)``
+            for transfers aborted by link-layer loss or corruption
+            (never for mobility/churn aborts — the contact is gone).
+            ``0`` (the default) disables retransmission entirely, which
+            keeps fault-free runs bit-identical to the committed golden
+            results.
+        retransmit_backoff: Base delay before the first retry, seconds;
+            doubles with each further attempt for the same copy.
     """
 
     name = "chitchat"
+
+    #: Abort reasons eligible for retransmission (link survived).
+    RETRYABLE_ABORTS = ("loss", "corruption")
 
     def __init__(
         self,
@@ -246,6 +257,8 @@ class ChitChatRouter(Router):
         growth_scale: float = 0.01,
         growth_elapsed_cap: float = 600.0,
         destinations_also_relay: bool = True,
+        max_retransmissions: int = 0,
+        retransmit_backoff: float = 30.0,
     ):
         super().__init__()
         if beta <= 0:
@@ -258,11 +271,23 @@ class ChitChatRouter(Router):
             raise ConfigurationError(
                 f"growth_elapsed_cap must be > 0, got {growth_elapsed_cap!r}"
             )
+        if max_retransmissions < 0:
+            raise ConfigurationError(
+                f"max_retransmissions must be >= 0, got {max_retransmissions!r}"
+            )
+        if retransmit_backoff <= 0:
+            raise ConfigurationError(
+                f"retransmit_backoff must be > 0, got {retransmit_backoff!r}"
+            )
         self.beta = float(beta)
         self.growth_scale = float(growth_scale)
         self.growth_elapsed_cap = float(growth_elapsed_cap)
         self.destinations_also_relay = bool(destinations_also_relay)
+        self.max_retransmissions = int(max_retransmissions)
+        self.retransmit_backoff = float(retransmit_backoff)
         self._tables: Dict[int, InterestTable] = {}
+        # Retransmission attempts used per (receiver_id, message uuid).
+        self._retry_counts: Dict[Tuple[int, str], int] = {}
 
     # ------------------------------------------------------------------
     # RTSR state
@@ -402,6 +427,56 @@ class ChitChatRouter(Router):
             if not self.world.accept_relay(receiver, message):
                 return
         self._forward_onward(receiver.node_id, message)
+
+    # ------------------------------------------------------------------
+    # Bounded retransmission with exponential backoff
+    # ------------------------------------------------------------------
+    def on_transfer_aborted(self, transfer: Transfer, link: Link) -> None:
+        self._maybe_retransmit(transfer)
+
+    def _maybe_retransmit(self, transfer: Transfer) -> None:
+        """Schedule a backed-off retry for a loss/corruption abort."""
+        if self.max_retransmissions <= 0:
+            return
+        if transfer.abort_reason not in self.RETRYABLE_ABORTS:
+            return
+        key = (transfer.receiver, transfer.message.uuid)
+        used = self._retry_counts.get(key, 0)
+        if used >= self.max_retransmissions:
+            return
+        self._retry_counts[key] = used + 1
+        delay = self.retransmit_backoff * (2 ** used)
+        sender_id, receiver_id = transfer.sender, transfer.receiver
+        uuid = transfer.message.uuid
+        self.world.schedule_in(
+            delay,
+            lambda: self._retransmit(sender_id, receiver_id, uuid),
+            label=f"retransmit {uuid} {sender_id}->{receiver_id}",
+        )
+
+    def _retransmit(self, sender_id: int, receiver_id: int, uuid: str) -> None:
+        """Fire a scheduled retry if it is still worth sending."""
+        link = self.world.link_between(sender_id, receiver_id)
+        if link is None or link.closed:
+            return
+        sender = self.world.node(sender_id)
+        message = sender.buffer.get(uuid)
+        if message is None:  # the copy expired or was evicted meanwhile
+            return
+        if self.world.node(receiver_id).has_seen(uuid):
+            return  # another path got it there first
+        if self._reoffer(link, sender_id, receiver_id, message) is not None:
+            self.world.metrics.on_retransmission()
+
+    def _reoffer(
+        self, link: Link, sender_id: int, receiver_id: int, message: Message
+    ) -> Optional[Transfer]:
+        """Re-queue one copy for a retransmission attempt.
+
+        Overridden by the incentive router to run the full payment
+        pipeline (escrow, prepay) rather than a bare send.
+        """
+        return self.world.send_message(link, sender_id, message)
 
     def _forward_onward(self, holder_id: int, message: Message) -> None:
         """Offer a freshly received message on the holder's other links."""

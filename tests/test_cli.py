@@ -73,3 +73,49 @@ class TestExecution:
     def test_unknown_figure_is_an_error(self, capsys):
         assert main(["figure", "9.9"]) == 2
         assert "unknown figure" in capsys.readouterr().err
+
+
+class TestFaults:
+    def test_faults_command_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.losses == [0.0, 0.1, 0.2, 0.3]
+        assert args.schemes == ["incentive", "chitchat"]
+        assert args.retransmissions == 0
+        assert not args.churn
+
+    def test_faults_flags_parse(self):
+        args = build_parser().parse_args(
+            ["faults", "--losses", "0", "0.2", "--churn",
+             "--churn-policy", "persist", "--retransmissions", "2",
+             "--nodes", "16", "--duration", "900"]
+        )
+        assert args.losses == [0.0, 0.2]
+        assert args.churn and args.churn_policy == "persist"
+        assert args.retransmissions == 2
+        assert args.nodes == 16
+        assert args.duration == 900.0
+
+    def test_bad_churn_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["faults", "--churn-policy", "amnesia"]
+            )
+
+    def test_faults_sweep_runs_clean(self, capsys):
+        code = main(
+            ["faults", "--losses", "0", "0.25", "--retransmissions", "1",
+             "--nodes", "14", "--duration", "900"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ledger integrity" in out
+        assert "incentive" in out and "chitchat" in out
+
+    def test_faults_sweep_with_churn(self, capsys):
+        code = main(
+            ["faults", "--losses", "0.2", "--churn",
+             "--mean-uptime", "400", "--mean-downtime", "200",
+             "--nodes", "14", "--duration", "900"]
+        )
+        assert code == 0
+        assert "ledger integrity" in capsys.readouterr().out

@@ -1,0 +1,415 @@
+"""Tests for the fault-injection subsystem and protocol robustness.
+
+Covers the three fault processes (link loss/corruption, node churn,
+energy blackouts), bounded retransmission, idempotent settlement, and
+the token-conservation guarantees the robustness sweep asserts.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import fault_grid_configs, fault_sweep
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.faults import CHURN_POLICIES, FaultConfig, FaultInjector
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return ScenarioConfig.tiny()
+
+
+@pytest.fixture(scope="module")
+def clean_run(tiny):
+    """A fault-free incentive run, shared by the equivalence tests."""
+    return run_scenario(tiny, "incentive", seed=1)
+
+
+class TestFaultConfig:
+    def test_defaults_are_disabled(self):
+        config = FaultConfig()
+        assert not config.enabled
+        assert not config.lossy
+        assert not config.churning
+        assert not config.recharging
+
+    def test_loss_enables(self):
+        assert FaultConfig(loss_probability=0.1).enabled
+        assert FaultConfig(corruption_probability=0.1).lossy
+
+    def test_churn_enables(self):
+        config = FaultConfig(mean_uptime=600.0)
+        assert config.churning and config.enabled
+
+    def test_recharge_enables(self):
+        config = FaultConfig(recharge_interval=60.0, recharge_amount=5.0)
+        assert config.recharging and config.enabled
+
+    def test_probability_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(loss_probability=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(corruption_probability=1.1)
+
+    def test_probability_sum_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(loss_probability=0.6, corruption_probability=0.5)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(mean_uptime=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(recharge_interval=-1.0)
+
+    def test_churn_policy_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(mean_uptime=10.0, churn_policy="amnesia")
+        for policy in CHURN_POLICIES:
+            FaultConfig(mean_uptime=10.0, churn_policy=policy)
+
+    def test_churn_needs_positive_downtime(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(mean_uptime=10.0, mean_downtime=0.0)
+
+
+class TestZeroFaultEquivalence:
+    """An all-zero FaultConfig must be bit-identical to no faults."""
+
+    def test_summary_identical(self, tiny, clean_run):
+        faulted = run_scenario(
+            tiny.replace(faults=FaultConfig()), "incentive", seed=1
+        )
+        assert faulted.summary() == clean_run.summary()
+
+    def test_no_injector_created(self, tiny):
+        result = run_scenario(
+            tiny.replace(faults=FaultConfig()), "chitchat", seed=1
+        )
+        # The world drops a disabled config entirely (no injector, no
+        # extra RNG streams, no crash events).
+        assert result.metrics.fault_summary() == {
+            key: 0.0 for key in result.metrics.fault_summary()
+        }
+
+    def test_retransmission_off_is_identical(self, tiny, clean_run):
+        # A nonzero retry budget with no faults never fires.
+        result = run_scenario(
+            tiny.replace(max_retransmissions=2), "incentive", seed=1
+        )
+        assert result.summary() == clean_run.summary()
+
+    def test_finalize_is_noop_when_clean(self, clean_run):
+        fault_data = clean_run.fault_summary()
+        assert fault_data["escrow_reclaimed"] == 0.0
+        assert fault_data["stranded_escrow"] == 0.0
+
+
+class TestLossInjection:
+    @pytest.fixture(scope="class")
+    def lossy_run(self, tiny):
+        config = tiny.replace(
+            faults=FaultConfig(
+                loss_probability=0.2, corruption_probability=0.05
+            )
+        )
+        return run_scenario(config, "incentive", seed=1)
+
+    def test_losses_and_corruptions_counted(self, lossy_run):
+        fault_data = lossy_run.fault_summary()
+        assert fault_data["transfers_lost"] > 0
+        assert fault_data["transfers_corrupted"] > 0
+
+    def test_delivery_degrades(self, tiny, clean_run, lossy_run):
+        assert lossy_run.mdr < clean_run.mdr
+
+    def test_loss_draws_do_not_perturb_other_streams(self, tiny):
+        """Messages are created identically with and without faults."""
+        clean = run_scenario(tiny, "chitchat", seed=3)
+        lossy = run_scenario(
+            tiny.replace(faults=FaultConfig(loss_probability=0.3)),
+            "chitchat", seed=3,
+        )
+        assert (
+            lossy.summary()["messages_created"]
+            == clean.summary()["messages_created"]
+        )
+
+    def test_deterministic_under_faults(self, tiny):
+        config = tiny.replace(
+            faults=FaultConfig(loss_probability=0.2, mean_uptime=500.0)
+        )
+        first = run_scenario(config, "incentive", seed=5)
+        second = run_scenario(config, "incentive", seed=5)
+        assert first.summary() == second.summary()
+        assert first.fault_summary() == second.fault_summary()
+
+
+class TestChurn:
+    @pytest.fixture(scope="class")
+    def churny_run(self, tiny):
+        config = tiny.replace(
+            faults=FaultConfig(mean_uptime=400.0, mean_downtime=200.0)
+        )
+        return run_scenario(config, "incentive", seed=1)
+
+    def test_crashes_and_restarts_counted(self, churny_run):
+        fault_data = churny_run.fault_summary()
+        assert fault_data["node_crashes"] > 0
+        assert fault_data["node_restarts"] > 0
+        # Every restart follows a crash.
+        assert (
+            fault_data["node_restarts"] <= fault_data["node_crashes"]
+        )
+
+    def test_offline_sources_skip_creation(self, churny_run):
+        assert churny_run.fault_summary()["creations_skipped_offline"] > 0
+
+    def test_policies_differ(self, tiny):
+        """Wipe loses buffered relays that persist keeps."""
+        results = {}
+        for policy in CHURN_POLICIES:
+            config = tiny.replace(
+                faults=FaultConfig(
+                    mean_uptime=300.0, mean_downtime=300.0,
+                    churn_policy=policy,
+                )
+            )
+            results[policy] = run_scenario(config, "chitchat", seed=2)
+        # Same churn schedule either way (same stream, same draws)...
+        assert (
+            results["wipe"].fault_summary()["node_crashes"]
+            == results["persist"].fault_summary()["node_crashes"]
+        )
+        # ...but the wiped state changes what travels afterwards.
+        assert (
+            results["wipe"].summary() != results["persist"].summary()
+        )
+
+
+class TestBlackouts:
+    def test_battery_depletion_blacks_out(self, tiny):
+        config = tiny.replace(
+            battery_capacity=2.0,  # joules: dies after a few transfers
+            faults=FaultConfig(
+                recharge_interval=300.0, recharge_amount=1.0
+            ),
+        )
+        result = run_scenario(config, "chitchat", seed=1)
+        assert result.fault_summary()["blackouts"] > 0
+
+    def test_recharge_requires_battery(self, tiny):
+        # A recharge process without batteries is a configured no-op.
+        config = tiny.replace(
+            faults=FaultConfig(
+                recharge_interval=300.0, recharge_amount=1.0
+            ),
+        )
+        result = run_scenario(config, "chitchat", seed=1)
+        assert result.fault_summary()["blackouts"] == 0.0
+
+
+class TestRetransmission:
+    def test_retries_fire_and_recover_deliveries(self, tiny):
+        faults = FaultConfig(loss_probability=0.3)
+        without = run_scenario(
+            tiny.replace(faults=faults), "incentive", seed=1
+        )
+        with_retx = run_scenario(
+            tiny.replace(faults=faults, max_retransmissions=2),
+            "incentive", seed=1,
+        )
+        assert with_retx.fault_summary()["retransmissions"] > 0
+        assert with_retx.mdr >= without.mdr
+
+    def test_mobility_aborts_never_retried(self, tiny):
+        # No loss faults: every abort is mobility/churn, so the retry
+        # machinery must stay silent even with a budget.
+        config = tiny.replace(
+            faults=FaultConfig(mean_uptime=400.0, mean_downtime=200.0),
+            max_retransmissions=3,
+        )
+        result = run_scenario(config, "chitchat", seed=1)
+        assert result.fault_summary()["retransmissions"] == 0.0
+
+    def test_budget_validated(self, tiny):
+        with pytest.raises(ConfigurationError):
+            tiny.replace(max_retransmissions=-1)
+        with pytest.raises(ConfigurationError):
+            tiny.replace(retransmit_backoff=0.0)
+
+
+#: Fault mixes the conservation tests sweep (loss, corruption, uptime,
+#: policy, retransmissions).
+FAULT_MIXES = [
+    (0.1, 0.0, 0.0, "wipe", 0),
+    (0.3, 0.1, 0.0, "wipe", 2),
+    (0.0, 0.0, 300.0, "wipe", 0),
+    (0.2, 0.0, 400.0, "wipe", 1),
+    (0.2, 0.05, 400.0, "persist", 2),
+]
+
+
+class TestLedgerIntegrityUnderFaults:
+    """The tentpole guarantees: conservation, drained escrow, no
+    double payment — under every fault mix."""
+
+    @pytest.fixture(scope="class", params=FAULT_MIXES)
+    def faulted_run(self, request, tiny):
+        loss, corruption, uptime, policy, retx = request.param
+        config = tiny.replace(
+            faults=FaultConfig(
+                loss_probability=loss,
+                corruption_probability=corruption,
+                mean_uptime=uptime,
+                mean_downtime=200.0,
+                churn_policy=policy,
+            ),
+            max_retransmissions=retx,
+        )
+        return run_scenario(config, "incentive", seed=4)
+
+    def test_supply_conserved(self, faulted_run):
+        ledger = faulted_run.router.ledger
+        assert ledger.total_supply() == pytest.approx(
+            ledger.total_endowment(), abs=1e-6
+        )
+
+    def test_escrow_drains_to_zero(self, faulted_run):
+        assert faulted_run.router.ledger.escrowed_total() == 0.0
+
+    def test_no_settlement_key_pays_twice(self, faulted_run):
+        keyed = [
+            t.settlement_key
+            for t in faulted_run.router.ledger.transactions
+            if t.settlement_key is not None
+        ]
+        assert len(keyed) == len(set(keyed))
+        assert faulted_run.fault_summary()["double_payments"] == 0.0
+
+    def test_no_balance_goes_negative(self, faulted_run):
+        balances = faulted_run.router.ledger.balances()
+        assert min(balances.values()) >= -1e-9
+
+
+class TestWipeChurnExercisesIdempotence:
+    def test_duplicate_settlements_blocked(self, tiny):
+        """Wipe churn lets relays re-receive copies they already paid
+        for; the settlement key blocks the second prepay."""
+        config = tiny.replace(
+            faults=FaultConfig(
+                loss_probability=0.15,
+                mean_uptime=400.0, mean_downtime=200.0,
+                churn_policy="wipe",
+            )
+        )
+        result = run_scenario(config, "incentive", seed=1)
+        ledger = result.router.ledger
+        assert ledger.duplicate_settlements > 0
+        # ...and despite the duplicates, no key paid twice.
+        assert result.fault_summary()["double_payments"] == 0.0
+        assert ledger.total_supply() == pytest.approx(
+            ledger.total_endowment(), abs=1e-6
+        )
+
+
+class TestFaultInjectorUnit:
+    def test_is_down_tracks_crashes(self, tiny):
+        config = tiny.replace(
+            faults=FaultConfig(mean_uptime=100.0, mean_downtime=1e9)
+        )
+        result = run_scenario(config, "chitchat", seed=1)
+        world_faults = result.metrics  # crashes happened, nobody restarts
+        assert world_faults.node_crashes > 0
+        assert world_faults.node_restarts == 0
+
+    def test_verdict_distribution(self, streams):
+        class _World:
+            pass
+
+        world = _World()
+        world.streams = streams
+        world.node_ids = lambda: []
+        injector = FaultInjector(
+            world, FaultConfig(loss_probability=0.3,
+                               corruption_probability=0.2)
+        )
+
+        class _Transfer:
+            pass
+
+        verdicts = [
+            injector.transfer_verdict(_Transfer()) for _ in range(4000)
+        ]
+        losses = verdicts.count("loss") / len(verdicts)
+        corruptions = verdicts.count("corruption") / len(verdicts)
+        assert losses == pytest.approx(0.3, abs=0.03)
+        assert corruptions == pytest.approx(0.2, abs=0.03)
+
+
+class TestFaultSweep:
+    def test_grid_configs(self, tiny):
+        configs = fault_grid_configs(
+            tiny, (0.0, 0.5), corruption_fraction=0.2,
+            max_retransmissions=1,
+        )
+        assert configs[0].faults is None  # genuinely fault-free
+        assert configs[1].faults.loss_probability == pytest.approx(0.4)
+        assert configs[1].faults.corruption_probability == pytest.approx(0.1)
+        assert all(c.max_retransmissions == 1 for c in configs)
+
+    def test_bad_levels_rejected(self, tiny):
+        with pytest.raises(ConfigurationError):
+            fault_grid_configs(tiny, (1.5,))
+        with pytest.raises(ConfigurationError):
+            fault_grid_configs(tiny, (0.1,), corruption_fraction=2.0)
+
+    @pytest.fixture(scope="class")
+    def sweep_records(self, tiny):
+        fast = tiny.replace(n_nodes=14, duration=900.0)
+        return fault_sweep(
+            fast,
+            loss_levels=(0.0, 0.25),
+            schemes=("incentive", "chitchat"),
+            seeds=(1,),
+            max_retransmissions=1,
+        )
+
+    def test_record_per_grid_point(self, sweep_records):
+        assert len(sweep_records) == 4
+        assert {r["scheme"] for r in sweep_records} == {
+            "incentive", "chitchat"
+        }
+
+    def test_integrity_holds_across_grid(self, sweep_records):
+        for record in sweep_records:
+            assert record["double_payments"] == 0.0
+            assert record["stranded_escrow"] == 0.0
+            assert record["supply_error"] < 1e-6
+
+    def test_faults_fired_at_nonzero_levels(self, sweep_records):
+        lossy = [r for r in sweep_records if r["value"] > 0]
+        assert all(r["transfers_lost"] > 0 for r in lossy)
+        clean = [r for r in sweep_records if r["value"] == 0]
+        assert all(r["transfers_lost"] == 0 for r in clean)
+
+    def test_parallel_sweep_matches_serial(self, tiny, sweep_records,
+                                           tmp_path):
+        from repro.experiments import TraceCache
+
+        fast = tiny.replace(n_nodes=14, duration=900.0)
+        parallel_records = fault_sweep(
+            fast,
+            loss_levels=(0.0, 0.25),
+            schemes=("incentive", "chitchat"),
+            seeds=(1,),
+            max_retransmissions=1,
+            workers=2,
+            trace_cache=TraceCache(tmp_path),
+        )
+        for serial, parallel in zip(sweep_records, parallel_records):
+            assert serial["mdr"] == parallel["mdr"]
+            assert serial["overhead"] == parallel["overhead"]
+            assert (
+                serial["duplicate_settlements"]
+                == parallel["duplicate_settlements"]
+            )

@@ -142,3 +142,160 @@ class TestEscrow:
         ledger.release(hold_b, time=1.0)
         ledger.transfer(2, 1, 5.0, time=2.0)
         assert ledger.total_supply() == pytest.approx(200.0)
+
+
+class TestSettlementKeys:
+    """Idempotent settlement: a key can pay out at most once."""
+
+    def test_transfer_records_key(self, ledger):
+        transaction = ledger.transfer(
+            1, 2, 10.0, time=0.0, settlement_key="award:m1:2"
+        )
+        assert transaction.settlement_key == "award:m1:2"
+        assert ledger.was_settled("award:m1:2")
+        assert "award:m1:2" in ledger.settled_keys
+
+    def test_duplicate_transfer_is_noop(self, ledger):
+        ledger.transfer(1, 2, 10.0, time=0.0, settlement_key="k")
+        duplicate = ledger.transfer(1, 2, 10.0, time=1.0,
+                                    settlement_key="k")
+        assert duplicate is None
+        assert ledger.balance(1) == 90.0
+        assert ledger.balance(2) == 110.0
+        assert ledger.duplicate_settlements == 1
+        assert len(ledger.transactions) == 1
+
+    def test_capture_records_key(self, ledger):
+        hold = ledger.escrow(1, 10.0, time=0.0)
+        transaction = ledger.capture(hold, 2, time=1.0,
+                                     settlement_key="prepay:m1:2")
+        assert transaction.settlement_key == "prepay:m1:2"
+        assert ledger.was_settled("prepay:m1:2")
+
+    def test_duplicate_capture_refunds_payer(self, ledger):
+        first = ledger.escrow(1, 10.0, time=0.0)
+        ledger.capture(first, 2, time=1.0, settlement_key="k")
+        # A retried delivery escrows again for the same settlement: the
+        # duplicate capture must refund the payer, not pay the payee.
+        second = ledger.escrow(1, 10.0, time=2.0)
+        duplicate = ledger.capture(second, 2, time=3.0,
+                                   settlement_key="k")
+        assert duplicate is None
+        assert ledger.balance(1) == 90.0
+        assert ledger.balance(2) == 110.0
+        assert ledger.escrowed_total() == 0.0
+        assert ledger.duplicate_settlements == 1
+        assert ledger.total_supply() == pytest.approx(200.0)
+
+    def test_unkeyed_operations_unaffected(self, ledger):
+        ledger.transfer(1, 2, 5.0, time=0.0)
+        ledger.transfer(1, 2, 5.0, time=1.0)
+        assert ledger.balance(2) == 110.0
+        assert ledger.duplicate_settlements == 0
+
+    def test_duplicate_checked_after_validation(self, ledger):
+        ledger.transfer(1, 2, 5.0, time=0.0, settlement_key="k")
+        with pytest.raises(UnknownAccountError):
+            ledger.transfer(1, 99, 5.0, time=1.0, settlement_key="k")
+
+
+class TestEscrowExpiry:
+    def test_expired_hold_released(self, ledger):
+        ledger.escrow(1, 25.0, time=0.0, expires_at=10.0)
+        assert ledger.expire_holds(9.9) == 0.0
+        assert ledger.expire_holds(10.0) == 25.0
+        assert ledger.balance(1) == 100.0
+        assert ledger.escrowed_total() == 0.0
+
+    def test_unexpiring_holds_survive(self, ledger):
+        ledger.escrow(1, 25.0, time=0.0)  # no expires_at
+        assert ledger.expire_holds(1e9) == 0.0
+        assert ledger.escrowed_total() == 25.0
+
+    def test_expired_hold_cannot_be_captured(self, ledger):
+        hold = ledger.escrow(1, 25.0, time=0.0, expires_at=10.0)
+        ledger.expire_holds(10.0)
+        with pytest.raises(LedgerError):
+            ledger.capture(hold, 2, time=11.0)
+
+    def test_release_all_drains_everything(self, ledger):
+        ledger.escrow(1, 10.0, time=0.0)
+        ledger.escrow(2, 20.0, time=0.0, expires_at=1e9)
+        assert ledger.release_all(time=100.0) == 30.0
+        assert ledger.escrowed_total() == 0.0
+        assert ledger.balance(1) == 100.0
+        assert ledger.balance(2) == 100.0
+        assert ledger.release_all(time=101.0) == 0.0
+
+
+class TestConservationUnderRandomFaultMixes:
+    """Property-style: whatever interleaving of payments, retries,
+    escrows, expiries, and releases a faulty network produces, the
+    supply is conserved and no settlement key pays twice."""
+
+    ACCOUNTS = range(10)
+
+    def _random_workout(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        book = TokenLedger()
+        for account in self.ACCOUNTS:
+            book.open_account(account, 50.0)
+        open_holds = []
+        now = 0.0
+        for step in range(400):
+            now += float(rng.random())
+            op = rng.integers(0, 5)
+            payer, payee = rng.choice(len(self.ACCOUNTS), 2,
+                                      replace=False)
+            amount = float(rng.integers(1, 10))
+            # Keys repeat deliberately: retried settlements are the norm
+            # under faults, and only the first attempt may pay.
+            key = f"settle:{int(rng.integers(0, 60))}"
+            try:
+                if op == 0:
+                    book.transfer(int(payer), int(payee), amount,
+                                  time=now, settlement_key=key)
+                elif op == 1:
+                    expires = (now + float(rng.integers(1, 5))
+                               if rng.random() < 0.5 else None)
+                    open_holds.append(
+                        (book.escrow(int(payer), amount, time=now,
+                                     expires_at=expires), int(payee), key)
+                    )
+                elif op == 2 and open_holds:
+                    hold, holder, hold_key = open_holds.pop()
+                    book.capture(hold, holder, time=now,
+                                 settlement_key=hold_key)
+                elif op == 3 and open_holds:
+                    hold, _, _ = open_holds.pop()
+                    book.release(hold, time=now)
+                elif op == 4:
+                    book.expire_holds(now)
+            except InsufficientTokensError:
+                pass
+            except LedgerError:
+                pass  # hold already expired out from under us
+        book.release_all(time=now + 1.0)
+        return book
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_invariants_hold(self, seed):
+        book = self._random_workout(seed)
+        assert book.total_supply() == pytest.approx(
+            book.total_endowment(), abs=1e-9
+        )
+        assert book.escrowed_total() == 0.0
+        assert all(b >= 0 for b in book.balances().values())
+        keyed = [t.settlement_key for t in book.transactions
+                 if t.settlement_key is not None]
+        assert len(keyed) == len(set(keyed))
+
+    def test_duplicates_actually_blocked(self):
+        # The property is vacuous if no duplicate was ever attempted.
+        total_blocked = sum(
+            self._random_workout(seed).duplicate_settlements
+            for seed in range(8)
+        )
+        assert total_blocked > 0

@@ -231,3 +231,200 @@ class TestTraceCache:
         # Each worker built and published its seed's trace.
         assert cache.get(tiny, 1) is not None
         assert cache.get(tiny, 2) is not None
+
+
+class TestRetries:
+    """run_specs retries transient failures with exponential backoff."""
+
+    def _flaky_execute(self, fail_times):
+        """An execute_spec stand-in that fails the first N calls."""
+        calls = []
+
+        def fake(spec):
+            calls.append(spec)
+            if len(calls) <= fail_times:
+                return RunFailure(
+                    scheme=spec.scheme, seed=spec.seed,
+                    error="RuntimeError: transient",
+                )
+            return execute_spec(spec)  # the real, unpatched function
+
+        return fake, calls
+
+    def test_transient_failure_heals(self, tiny, monkeypatch):
+        from repro.experiments import parallel as parallel_module
+
+        fake, calls = self._flaky_execute(fail_times=1)
+        monkeypatch.setattr(parallel_module, "execute_spec", fake)
+        outcomes = parallel_module.run_specs(
+            [RunSpec(tiny, "direct", 1)],
+            workers=1, max_retries=2, retry_backoff=0.0,
+        )
+        assert isinstance(outcomes[0], RunDigest)
+        assert outcomes[0].attempts == 2
+        assert len(calls) == 2
+
+    def test_deterministic_failure_exhausts_budget(self, tiny):
+        # An unknown scheme fails identically on every attempt.
+        outcomes = run_specs(
+            [RunSpec(tiny, "no-such-scheme", 1)],
+            workers=1, max_retries=2, retry_backoff=0.0,
+        )
+        failure = outcomes[0]
+        assert isinstance(failure, RunFailure)
+        assert failure.attempts == 3  # initial + 2 retries
+
+    def test_zero_retries_fails_fast(self, tiny):
+        outcomes = run_specs(
+            [RunSpec(tiny, "no-such-scheme", 1)],
+            workers=1, max_retries=0,
+        )
+        assert isinstance(outcomes[0], RunFailure)
+        assert outcomes[0].attempts == 1
+
+    def test_success_records_single_attempt(self, tiny):
+        outcomes = run_specs(
+            [RunSpec(tiny, "direct", 1)], workers=1, retry_backoff=0.0
+        )
+        assert outcomes[0].attempts == 1
+
+    def test_backoff_is_exponential(self, tiny, monkeypatch):
+        from repro.experiments import parallel as parallel_module
+
+        sleeps = []
+        monkeypatch.setattr(
+            parallel_module.time, "sleep", sleeps.append
+        )
+        run_specs(
+            [RunSpec(tiny, "no-such-scheme", 1)],
+            workers=1, max_retries=3, retry_backoff=0.5,
+        )
+        assert sleeps == [0.5, 1.0, 2.0]
+
+    def test_negative_budgets_rejected(self, tiny):
+        with pytest.raises(ExperimentError):
+            run_specs([RunSpec(tiny, "direct", 1)], max_retries=-1)
+        with pytest.raises(ExperimentError):
+            run_specs([RunSpec(tiny, "direct", 1)], retry_backoff=-1.0)
+
+    def test_pool_path_retries_failures(self, tiny):
+        # Mixed batch across a real pool: the good spec succeeds on the
+        # first round, the bad one is retried and keeps failing.
+        outcomes = run_specs(
+            [RunSpec(tiny, "direct", 1), RunSpec(tiny, "no-such-scheme", 1)],
+            workers=2, max_retries=1, retry_backoff=0.0,
+        )
+        assert isinstance(outcomes[0], RunDigest)
+        assert outcomes[0].attempts == 1
+        assert isinstance(outcomes[1], RunFailure)
+        assert outcomes[1].attempts == 2
+
+
+class TestFaultSummaryDigests:
+    def test_digest_carries_fault_summary(self, tiny):
+        from repro.faults import FaultConfig
+
+        faulted = tiny.replace(
+            faults=FaultConfig(loss_probability=0.3)
+        )
+        digest = execute_spec(RunSpec(faulted, "incentive", 1))
+        fault_data = digest.fault_summary()
+        assert fault_data["transfers_lost"] > 0
+        assert fault_data["double_payments"] == 0.0
+
+    def test_digest_matches_serial_run(self, tiny):
+        from repro.experiments import run_scenario
+        from repro.faults import FaultConfig
+
+        faulted = tiny.replace(
+            faults=FaultConfig(loss_probability=0.2)
+        )
+        digest = execute_spec(RunSpec(faulted, "incentive", 2))
+        result = run_scenario(faulted, "incentive", 2)
+        assert digest.fault_summary() == result.fault_summary()
+
+    def test_digest_survives_pickling(self, tiny):
+        from repro.faults import FaultConfig
+
+        faulted = tiny.replace(
+            faults=FaultConfig(loss_probability=0.2)
+        )
+        digest = execute_spec(RunSpec(faulted, "incentive", 1))
+        clone = pickle.loads(pickle.dumps(digest))
+        assert clone.fault_summary() == digest.fault_summary()
+        assert clone.attempts == digest.attempts
+
+
+class TestCacheIntegrity:
+    """sha256 sidecars: corruption is detected, quarantined, rebuilt."""
+
+    def test_put_writes_sidecar(self, tiny, tmp_path):
+        cache = TraceCache(tmp_path)
+        build_contact_trace(tiny, 1, cache=cache)
+        path = cache.path_for(tiny, 1)
+        sidecar = cache.digest_path_for(path)
+        assert sidecar.exists()
+        assert sidecar.read_text().strip() == cache._sha256_of(path)
+
+    def test_bit_rot_quarantined_and_rebuilt(self, tiny, tmp_path):
+        cache = TraceCache(tmp_path)
+        build_contact_trace(tiny, 1, cache=cache)
+        path = cache.path_for(tiny, 1)
+        # Flip one byte mid-file: still a loadable npz prefix for some
+        # corruptions, but the digest always catches it.
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        assert cache.get(tiny, 1) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+        assert not cache.digest_path_for(path).exists()
+
+        rebuilt = build_contact_trace(tiny, 1, cache=cache)
+        assert len(rebuilt) > 0
+        assert cache.get(tiny, 1) is not None
+
+    def test_unparseable_entry_counts_as_corrupt(self, tiny, tmp_path):
+        cache = TraceCache(tmp_path)
+        build_contact_trace(tiny, 1, cache=cache)
+        path = cache.path_for(tiny, 1)
+        path.write_bytes(b"not an npz file")
+        cache.digest_path_for(path).write_text(
+            cache._sha256_of(path) + "\n"
+        )  # digest matches, so the parse guard must catch it
+        assert cache.get(tiny, 1) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+
+    def test_legacy_entry_without_sidecar_accepted(self, tiny, tmp_path):
+        cache = TraceCache(tmp_path)
+        built = build_contact_trace(tiny, 1, cache=cache)
+        cache.digest_path_for(cache.path_for(tiny, 1)).unlink()
+        loaded = cache.get(tiny, 1)
+        assert _trace_tuples(loaded) == _trace_tuples(built)
+        assert cache.corrupt == 0
+
+    def test_sidecars_not_counted_as_entries(self, tiny, tmp_path):
+        cache = TraceCache(tmp_path)
+        build_contact_trace(tiny, 1, cache=cache)
+        assert len(cache) == 1
+        assert all(p.suffix == ".npz" for p in cache.entries())
+
+    def test_clear_removes_sidecars(self, tiny, tmp_path):
+        cache = TraceCache(tmp_path)
+        build_contact_trace(tiny, 1, cache=cache)
+        cache.clear()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_prune_removes_sidecars(self, tiny, tmp_path):
+        import os
+
+        cache = TraceCache(tmp_path, max_entries=1)
+        for index, seed in enumerate([1, 2]):
+            build_contact_trace(tiny, seed, cache=cache)
+            os.utime(cache.path_for(tiny, seed), (index, index))
+        cache.prune()
+        remaining = sorted(p.name for p in tmp_path.iterdir())
+        assert len(remaining) == 2  # one entry + its sidecar
+        assert remaining[1].endswith(".sha256")
