@@ -7,6 +7,7 @@ Usage::
     repro-dtn figure all     # regenerate every figure
     repro-dtn run --scheme incentive --selfish 0.2 --seed 1
     repro-dtn faults --losses 0 0.1 0.3 --churn --retransmissions 2
+    repro-dtn bench --quick --baseline benchmarks/BENCH_optimized.json
 
 Pass ``--paper-scale`` to use the full Table 5.1 scenario (500 nodes,
 24 simulated hours — expect minutes of wall-clock per run).
@@ -171,6 +172,53 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        compare,
+        load_report,
+        run_suite,
+        save_report,
+    )
+
+    label = args.label or ("quick" if args.quick else "full")
+    report = run_suite(
+        quick=args.quick,
+        rounds=args.rounds,
+        include_paper=not args.no_paper,
+    )
+    rows = [
+        [name, f"{data['mean'] * 1e3:.3f}", f"{data['stddev'] * 1e3:.3f}",
+         f"{data['best'] * 1e3:.3f}", f"{data['rounds']:.0f}"]
+        for name, data in sorted(report["benchmarks"].items())
+    ]
+    print(format_table(
+        ["benchmark", "mean (ms)", "stddev (ms)", "best (ms)", "rounds"],
+        rows,
+        title=f"bench label={label} "
+              f"calibration={report['machine']['calibration_seconds']:.4f}s",
+    ))
+    path = save_report(report, args.out, label)
+    print(f"wrote {path}")
+    if args.baseline is None:
+        return 0
+    baseline = load_report(args.baseline)
+    regressions = compare(report, baseline, threshold=args.threshold)
+    if regressions:
+        for reg in regressions:
+            print(
+                f"REGRESSION {reg.name}: {reg.ratio:.2f}x slower than "
+                f"baseline (calibrated; {reg.baseline_mean * 1e3:.3f} ms "
+                f"-> {reg.current_mean * 1e3:.3f} ms)",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"no benchmark regressed more than {args.threshold:.1f}x "
+        f"against {args.baseline}"
+    )
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.experiments.faults import fault_sweep
 
@@ -301,6 +349,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of seeds to average (default 3)",
     )
     compare.set_defaults(func=_cmd_compare)
+
+    bench = commands.add_parser(
+        "bench",
+        help="time the simulator's hot paths and write BENCH_<label>.json",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="fewer rounds and a 10-simulated-minute end-to-end probe",
+    )
+    bench.add_argument(
+        "--label", default=None, metavar="L",
+        help="output file label (BENCH_<L>.json; default quick/full)",
+    )
+    bench.add_argument(
+        "--out", default="benchmarks", metavar="DIR",
+        help="directory to write the report into (default benchmarks/)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=None, metavar="N",
+        help="override the per-benchmark round count",
+    )
+    bench.add_argument(
+        "--no-paper", action="store_true",
+        help="skip the end-to-end paper-scale probe",
+    )
+    bench.add_argument(
+        "--baseline", default=None, metavar="JSON",
+        help="compare against a committed report and exit 1 on any "
+             "calibrated regression beyond --threshold",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=2.0, metavar="X",
+        help="regression gate as a slowdown factor (default 2.0)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     faults = commands.add_parser(
         "faults",

@@ -192,11 +192,14 @@ class Link:
     def _start(self, transfer: Transfer) -> None:
         transfer.started_at = self._engine.now
         self._active[transfer.sender] = transfer
+        # Lazy label: rendered only if the handle is ever inspected.
         transfer._handle = self._engine.schedule_in(
             transfer.duration,
             lambda: self._finish(transfer),
-            label=f"transfer {transfer.message.uuid} "
-                  f"{transfer.sender}->{transfer.receiver}",
+            label=lambda: (
+                f"transfer {transfer.message.uuid} "
+                f"{transfer.sender}->{transfer.receiver}"
+            ),
         )
 
     def _finish(self, transfer: Transfer) -> None:

@@ -153,11 +153,12 @@ class World:
         """Current simulation time."""
         return self.engine.now
 
-    def schedule_in(self, delay: float, callback, *, label: str = ""):
+    def schedule_in(self, delay: float, callback, *, label=""):
         """Schedule ``callback`` ``delay`` seconds from now.
 
         Exposed for routers (retransmission backoff timers); returns
-        the engine's cancellable event handle.
+        the engine's cancellable event handle.  ``label`` may be a
+        string or a lazy zero-argument callable.
         """
         return self.engine.schedule_in(delay, callback, label=label)
 
@@ -279,21 +280,30 @@ class World:
     # Contacts
     # ------------------------------------------------------------------
     def load_contact_trace(self, trace: ContactTrace) -> None:
-        """Schedule every contact up/down event from ``trace``."""
+        """Schedule every contact up/down event from ``trace``.
+
+        Labels are static strings on purpose: a paper-scale trace
+        schedules hundreds of thousands of events whose labels only
+        surface in error messages, so per-event f-string formatting is
+        pure overhead (the pair is in the callback closure regardless).
+        """
+        schedule = self.engine.schedule_at
+        contact_up = self._contact_up
+        contact_down = self._contact_down
         for time, kind, pair in trace.events():
             if kind == "up":
-                self.engine.schedule_at(
+                schedule(
                     time,
-                    lambda p=pair: self._contact_up(p),
+                    lambda p=pair: contact_up(p),
                     priority=1,
-                    label=f"contact-up {pair}",
+                    label="contact-up",
                 )
             else:
-                self.engine.schedule_at(
+                schedule(
                     time,
-                    lambda p=pair: self._contact_down(p),
+                    lambda p=pair: contact_down(p),
                     priority=0,
-                    label=f"contact-down {pair}",
+                    label="contact-down",
                 )
 
     def battery_level(self, node_id: int) -> Optional[float]:
@@ -487,12 +497,14 @@ class World:
             raise SimulationError(
                 "call use_generator() before schedule_workload()"
             )
+        schedule = self.engine.schedule_at
+        create = self._create_scheduled_message
         for time, source in plan:
-            self.engine.schedule_at(
+            schedule(
                 time,
-                lambda t=time, s=source: self._create_scheduled_message(s),
+                lambda s=source: create(s),
                 priority=2,
-                label=f"create message at node {source}",
+                label="create-message",
             )
 
     def _create_scheduled_message(self, source: int) -> None:

@@ -67,10 +67,21 @@ def psi_case(u_record: Optional[InterestRecord],
 
 
 class InterestTable:
-    """A node's keyword-weight table (direct + transient interests)."""
+    """A node's keyword-weight table (direct + transient interests).
+
+    The table carries a monotonically increasing :attr:`version` bumped
+    by every mutating operation (decay, growth, subscription), which
+    lets callers memoise derived quantities — the router caches
+    per-message interest sums against it — with trivially correct
+    invalidation.
+    """
 
     def __init__(self, direct_interests: Iterable[str], created_at: float = 0.0):
         self._records: Dict[str, InterestRecord] = {}
+        #: Bumped on every mutation; cache-invalidation token.
+        self.version: int = 0
+        self._keywords_view: Optional[FrozenSet[str]] = None
+        self._keywords_view_version: int = -1
         for keyword in direct_interests:
             self._records[keyword] = InterestRecord(
                 weight=0.5, direct=True, last_contact=created_at
@@ -84,8 +95,15 @@ class InterestTable:
 
     @property
     def keywords(self) -> FrozenSet[str]:
-        """All keywords with a record (direct and transient)."""
-        return frozenset(self._records)
+        """All keywords with a record (direct and transient).
+
+        Cached per :attr:`version` — contact handling asks for this set
+        repeatedly between mutations.
+        """
+        if self._keywords_view_version != self.version:
+            self._keywords_view = frozenset(self._records)
+            self._keywords_view_version = self.version
+        return self._keywords_view
 
     def record(self, keyword: str) -> Optional[InterestRecord]:
         """The record for ``keyword``, or None."""
@@ -118,6 +136,7 @@ class InterestTable:
 
     def add_direct(self, keyword: str, now: float) -> None:
         """Subscribe to a new keyword (operator function *Subscribe*)."""
+        self.version += 1
         existing = self._records.get(keyword)
         if existing is not None:
             existing.direct = True
@@ -151,6 +170,7 @@ class InterestTable:
         """
         if beta <= 0:
             raise ConfigurationError(f"beta must be > 0, got {beta!r}")
+        self.version += 1
         dead: List[str] = []
         for keyword, record in self._records.items():
             if keyword in connected_keywords:
@@ -172,6 +192,65 @@ class InterestTable:
     # ------------------------------------------------------------------
     # Algorithm 2: growth
     # ------------------------------------------------------------------
+    def snapshot_weights(self) -> List[Tuple[str, float, bool]]:
+        """``(keyword, weight, direct)`` triples with positive weight.
+
+        This is the peer-visible state of the table during a weight
+        exchange: cheap to build (no record objects are cloned) and
+        immune to concurrent mutation of the table it came from, which
+        is what keeps the two-sided growth update symmetric.
+        """
+        return [
+            (keyword, record.weight, record.direct)
+            for keyword, record in self._records.items()
+            if record.weight > 0.0
+        ]
+
+    def grow_from_weights(
+        self,
+        peer_weights: List[Tuple[str, float, bool]],
+        now: float,
+        elapsed: float,
+        *,
+        growth_scale: float,
+        elapsed_cap: float,
+    ) -> None:
+        """Grow this table from a peer's weight snapshot per Algorithm 2.
+
+        ``Delta = growth_scale * w_v(I) * min(elapsed, cap) / psi`` and
+        the new weight is ``min(1, w + Delta)``.  Keywords we do not hold
+        are acquired as transient interests.
+
+        The psi cases and the float expression are kept exactly as in
+        the record-based formulation (``growth_scale * w * effective /
+        psi``, left to right) so the optimisation is bit-identical.
+        """
+        if elapsed < 0:
+            raise ConfigurationError(f"elapsed must be >= 0, got {elapsed!r}")
+        self.version += 1
+        effective = min(elapsed, elapsed_cap)
+        records = self._records
+        for keyword, weight, peer_direct in peer_weights:
+            mine = records.get(keyword)
+            if mine is None:
+                psi = 5 if peer_direct else 6
+            elif mine.direct:
+                psi = 1 if peer_direct else 2
+            else:
+                psi = 3 if peer_direct else 4
+            delta = growth_scale * weight * effective / psi
+            if delta <= 0.0:
+                continue
+            if mine is None:
+                records[keyword] = InterestRecord(
+                    weight=delta if delta < 1.0 else 1.0,
+                    direct=False, last_contact=now,
+                )
+            else:
+                grown = mine.weight + delta
+                mine.weight = grown if grown < 1.0 else 1.0
+                mine.last_contact = now
+
     def grow_from(
         self,
         peer: "InterestTable",
@@ -183,29 +262,14 @@ class InterestTable:
     ) -> None:
         """Grow this table from ``peer``'s weights per Algorithm 2.
 
-        ``Delta = growth_scale * w_v(I) * min(elapsed, cap) / psi`` and
-        the new weight is ``min(1, w + Delta)``.  Keywords we do not hold
-        are acquired as transient interests.
+        Convenience wrapper over :meth:`grow_from_weights`; callers that
+        need symmetric two-sided growth should snapshot both tables
+        first (see :meth:`ChitChatRouter.run_rtsr_growth`).
         """
-        if elapsed < 0:
-            raise ConfigurationError(f"elapsed must be >= 0, got {elapsed!r}")
-        effective = min(elapsed, elapsed_cap)
-        for keyword in peer.keywords:
-            peer_record = peer.record(keyword)
-            if peer_record is None or peer_record.weight <= 0.0:
-                continue
-            mine = self._records.get(keyword)
-            psi = psi_case(mine, peer_record)
-            delta = growth_scale * peer_record.weight * effective / psi
-            if delta <= 0.0:
-                continue
-            if mine is None:
-                self._records[keyword] = InterestRecord(
-                    weight=min(1.0, delta), direct=False, last_contact=now
-                )
-            else:
-                mine.weight = min(1.0, mine.weight + delta)
-                mine.last_contact = now
+        self.grow_from_weights(
+            peer.snapshot_weights(), now, elapsed,
+            growth_scale=growth_scale, elapsed_cap=elapsed_cap,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         direct = sum(1 for r in self._records.values() if r.direct)
@@ -288,6 +352,14 @@ class ChitChatRouter(Router):
         self._tables: Dict[int, InterestTable] = {}
         # Retransmission attempts used per (receiver_id, message uuid).
         self._retry_counts: Dict[Tuple[int, str], int] = {}
+        # Memoised interest sums: node id -> (table version at compute
+        # time, {message keyword sequence -> S}).  A node's whole cache
+        # is discarded the moment its table version moves on, so decay,
+        # growth and subscriptions invalidate every dependent sum at
+        # once (see InterestTable.version).
+        self._sum_cache: Dict[
+            int, Tuple[int, Dict[Tuple[str, ...], float]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # RTSR state
@@ -302,8 +374,28 @@ class ChitChatRouter(Router):
         return existing
 
     def interest_sum(self, node_id: int, message: Message) -> float:
-        """``S`` for ``message`` at ``node_id``."""
-        return self.table(node_id).sum_for(message.keywords)
+        """``S`` for ``message`` at ``node_id``.
+
+        Memoised per ``(node, message keyword sequence)`` and
+        invalidated by the table's version counter, so every buffered
+        message offered during one encounter reuses a single
+        computation.  The cache key is the *ordered* keyword sequence
+        (not the set): the sum iterates the message's keyword frozenset,
+        whose iteration order depends on construction order, and
+        bit-identical results require replaying exactly that order.
+        """
+        table = self.table(node_id)
+        cached = self._sum_cache.get(node_id)
+        if cached is None or cached[0] != table.version:
+            cached = (table.version, {})
+            self._sum_cache[node_id] = cached
+        sums = cached[1]
+        key = message.keyword_sequence
+        value = sums.get(key)
+        if value is None:
+            value = table.sum_for(message.keywords)
+            sums[key] = value
+        return value
 
     def _connected_keywords(self, node_id: int) -> Set[str]:
         """Keywords held by any currently connected peer of ``node_id``."""
@@ -326,17 +418,17 @@ class ChitChatRouter(Router):
         now = self.world.now
         table_a = self.table(link.a)
         table_b = self.table(link.b)
-        # Grow from snapshots so the update is symmetric (b must not see
-        # a's freshly grown weights).
-        snapshot_a = _snapshot(table_a)
-        snapshot_b = _snapshot(table_b)
-        table_a.grow_from(
-            snapshot_b, now, elapsed,
+        # Grow from weight snapshots so the update is symmetric (b must
+        # not see a's freshly grown weights).
+        weights_a = table_a.snapshot_weights()
+        weights_b = table_b.snapshot_weights()
+        table_a.grow_from_weights(
+            weights_b, now, elapsed,
             growth_scale=self.growth_scale,
             elapsed_cap=self.growth_elapsed_cap,
         )
-        table_b.grow_from(
-            snapshot_a, now, elapsed,
+        table_b.grow_from_weights(
+            weights_a, now, elapsed,
             growth_scale=self.growth_scale,
             elapsed_cap=self.growth_elapsed_cap,
         )
@@ -448,10 +540,12 @@ class ChitChatRouter(Router):
         delay = self.retransmit_backoff * (2 ** used)
         sender_id, receiver_id = transfer.sender, transfer.receiver
         uuid = transfer.message.uuid
+        # Lazy label: retransmission timers are scheduled in bulk under
+        # fault injection and most never surface their label.
         self.world.schedule_in(
             delay,
             lambda: self._retransmit(sender_id, receiver_id, uuid),
-            label=f"retransmit {uuid} {sender_id}->{receiver_id}",
+            label=lambda: f"retransmit {uuid} {sender_id}->{receiver_id}",
         )
 
     def _retransmit(self, sender_id: int, receiver_id: int, uuid: str) -> None:
@@ -493,16 +587,3 @@ class ChitChatRouter(Router):
                 holder_id, peer_id, message
             ):
                 self.world.send_message(link, holder_id, message)
-
-
-def _snapshot(table: InterestTable) -> InterestTable:
-    """A deep-enough copy of a table for symmetric growth updates."""
-    clone = InterestTable(())
-    for keyword in table.keywords:
-        record = table.record(keyword)
-        clone._records[keyword] = InterestRecord(
-            weight=record.weight,
-            direct=record.direct,
-            last_contact=record.last_contact,
-        )
-    return clone

@@ -5,6 +5,11 @@ deliberately small: everything domain-specific (contacts, transfers,
 message generation) is expressed as scheduled callbacks, exactly as in
 event-driven network simulators such as ONE or ns-3.
 
+Cancellation is lazy (cancelled events are skipped when popped), but the
+engine compacts the heap whenever cancelled events outnumber live ones —
+retransmission backoff under fault injection can otherwise litter the
+queue with tens of thousands of dead timers.
+
 Example:
     >>> engine = Engine()
     >>> fired = []
@@ -21,7 +26,7 @@ import math
 from typing import Callable, List
 
 from repro.errors import SchedulingError, SimulationError
-from repro.sim.events import Event, EventHandle
+from repro.sim.events import Event, EventHandle, LabelLike, resolve_label
 
 __all__ = ["Engine"]
 
@@ -34,6 +39,10 @@ class Engine:
     :class:`~repro.errors.SchedulingError`.
     """
 
+    #: Queues smaller than this are never compacted — rebuilding them
+    #: costs more than lazily skipping a handful of dead events.
+    _COMPACT_MIN_QUEUE = 64
+
     def __init__(self, start_time: float = 0.0):
         if not math.isfinite(start_time):
             raise SchedulingError(f"start_time must be finite, got {start_time!r}")
@@ -42,6 +51,8 @@ class Engine:
         self._sequence = 0
         self._running = False
         self._events_fired = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -53,10 +64,11 @@ class Engine:
         """Number of events in the queue, **including cancelled ones**.
 
         Cancellation is lazy: a cancelled event stays in the heap (still
-        counted here) until its firing time comes around, at which point
-        it is discarded without running and without incrementing
-        :attr:`events_fired`.  ``pending`` is therefore an upper bound
-        on the events that will actually fire.
+        counted here) until its firing time comes around — or until a
+        heap compaction drops it — at which point it is discarded
+        without running and without incrementing :attr:`events_fired`.
+        ``pending`` is therefore an upper bound on the events that will
+        actually fire.
         """
         return len(self._queue)
 
@@ -65,13 +77,18 @@ class Engine:
         """Total number of events executed so far."""
         return self._events_fired
 
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed so far."""
+        return self._compactions
+
     def schedule_at(
         self,
         time: float,
         callback: Callable[[], None],
         *,
         priority: int = 0,
-        label: str = "",
+        label: LabelLike = "",
     ) -> EventHandle:
         """Schedule ``callback`` to fire at absolute simulation ``time``.
 
@@ -79,7 +96,9 @@ class Engine:
             time: Absolute firing time; must be >= :attr:`now`.
             callback: Zero-argument callable.
             priority: Tie-break among simultaneous events; lower first.
-            label: Tag used in error messages.
+            label: Tag used in error messages — a string, or a
+                zero-argument callable rendered only when the label is
+                actually needed.
 
         Returns:
             A handle that can cancel the event.
@@ -91,8 +110,8 @@ class Engine:
             raise SchedulingError(f"event time must be finite, got {time!r}")
         if time < self._now:
             raise SchedulingError(
-                f"cannot schedule {label or 'event'!r} at t={time:.6f}, "
-                f"clock is already at t={self._now:.6f}"
+                f"cannot schedule {resolve_label(label) or 'event'!r} "
+                f"at t={time:.6f}, clock is already at t={self._now:.6f}"
             )
         event = Event(
             time=float(time),
@@ -103,7 +122,7 @@ class Engine:
         )
         self._sequence += 1
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def schedule_in(
         self,
@@ -111,7 +130,7 @@ class Engine:
         callback: Callable[[], None],
         *,
         priority: int = 0,
-        label: str = "",
+        label: LabelLike = "",
     ) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
         if delay < 0:
@@ -119,6 +138,33 @@ class Engine:
         return self.schedule_at(
             self._now + delay, callback, priority=priority, label=label
         )
+
+    def _note_cancelled(self) -> None:
+        """Called by :class:`EventHandle` when an event is cancelled.
+
+        Triggers a compaction once cancelled events outnumber live ones
+        (and the queue is large enough for the rebuild to pay off).
+        """
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) >= self._COMPACT_MIN_QUEUE
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify the survivors.
+
+        Firing order is untouched: events are totally ordered by
+        ``(time, priority, sequence)`` (sequence is unique), so any heap
+        over the same live set pops in the same order.
+        """
+        live = [event for event in self._queue if not event.cancelled]
+        if len(live) != len(self._queue):
+            heapq.heapify(live)
+            self._queue = live
+            self._compactions += 1
+        self._cancelled_pending = 0
 
     def step(self) -> bool:
         """Fire the next pending event.
@@ -129,6 +175,8 @@ class Engine:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                if self._cancelled_pending:
+                    self._cancelled_pending -= 1
                 continue
             self._now = event.time
             self._events_fired += 1
@@ -151,16 +199,20 @@ class Engine:
             raise SimulationError("engine is already running (reentrant run call)")
         self._running = True
         try:
-            while self._queue:
-                event = self._queue[0]
+            queue = self._queue
+            while queue:
+                event = queue[0]
                 if event.time > end_time:
                     break
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
                 if event.cancelled:
+                    if self._cancelled_pending:
+                        self._cancelled_pending -= 1
                     continue
                 self._now = event.time
                 self._events_fired += 1
                 event.callback()
+                queue = self._queue  # a compaction may have replaced it
             self._now = float(end_time)
         finally:
             self._running = False

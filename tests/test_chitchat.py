@@ -249,3 +249,95 @@ class TestRouterEndToEnd:
         # Node 1 acquired a transient interest in "flood" from node 0.
         assert router.table(1).weight("flood") > 0.0
         assert not router.table(1).is_direct("flood")
+
+
+class TestVersionTokenAndCaches:
+    """The version counter drives cache invalidation for the keyword
+    view and the router's memoised interest sums; every mutation path
+    must bump it."""
+
+    def test_every_mutation_bumps_version(self):
+        table = InterestTable(["flood"])
+        seen = {table.version}
+
+        table.add_direct("fire", now=1.0)
+        assert table.version not in seen
+        seen.add(table.version)
+
+        table.decay(10.0, set(), beta=2.0)
+        assert table.version not in seen
+        seen.add(table.version)
+
+        table.grow_from(InterestTable(["smoke"]), now=20.0, elapsed=60.0,
+                        growth_scale=0.01, elapsed_cap=600.0)
+        assert table.version not in seen
+
+    def test_keywords_view_tracks_mutations(self):
+        table = InterestTable(["flood"])
+        assert table.keywords == frozenset({"flood"})
+        # Cached: identical object while the table is untouched.
+        assert table.keywords is table.keywords
+        table.add_direct("fire", now=0.0)
+        assert table.keywords == frozenset({"flood", "fire"})
+        table._records["flood"].weight = 1e-9
+        table._records["flood"].direct = False
+        table.decay(1000.0, set(), beta=2.0)  # prunes the dead transient
+        assert table.keywords == frozenset({"fire"})
+
+    def test_interest_sum_cache_sees_decay(self):
+        router = ChitChatRouter()
+        world = make_world({0: []}, router)
+        # A transient interest (directs are floored at their initial
+        # weight), so decay visibly shrinks the sum.
+        table = router.table(0)
+        table._records["flood"] = InterestRecord(0.5, False, 0.0)
+        table.version += 1
+        message = make_message(keywords=("flood",))
+        before = router.interest_sum(0, message)
+        assert before == pytest.approx(0.5)
+        router.table(0).decay(500.0, set(), beta=2.0)
+        after = router.interest_sum(0, message)
+        assert after < before
+        assert after == pytest.approx(router.table(0).sum_for(
+            message.keywords
+        ))
+
+    def test_interest_sum_cache_sees_growth_and_new_annotations(self):
+        router = ChitChatRouter()
+        world = make_world({0: [], 1: ["flood", "fire"]}, router)
+        message = make_message(keywords=("flood",))
+        assert router.interest_sum(0, message) == 0.0
+        router.table(0).grow_from(
+            router.table(1), now=10.0, elapsed=100.0,
+            growth_scale=0.01, elapsed_cap=600.0,
+        )
+        grown = router.interest_sum(0, message)
+        assert grown > 0.0
+        # Annotating the message changes its keyword sequence, which
+        # must miss the memo and re-sum.
+        message.annotate("fire", added_by=2, added_at=20.0)
+        assert router.interest_sum(0, message) == pytest.approx(2 * grown)
+
+    def test_grow_from_weights_matches_grow_from(self):
+        import copy
+        peer = InterestTable(["flood", "fire"])
+        peer._records["smoke"] = InterestRecord(0.3, False, 0.0)
+        peer._records["zeroed"] = InterestRecord(0.0, False, 0.0)
+        mine_a = InterestTable(["fire"])
+        mine_a._records["smoke"] = InterestRecord(0.2, False, 0.0)
+        mine_b = copy.deepcopy(mine_a)
+
+        mine_a.grow_from(peer, now=5.0, elapsed=120.0,
+                         growth_scale=0.01, elapsed_cap=600.0)
+        mine_b.grow_from_weights(
+            peer.snapshot_weights(), now=5.0, elapsed=120.0,
+            growth_scale=0.01, elapsed_cap=600.0,
+        )
+        for keyword in mine_a.keywords | mine_b.keywords:
+            assert mine_a.weight(keyword) == mine_b.weight(keyword)
+        assert "zeroed" not in mine_a
+
+    def test_snapshot_weights_skips_zero_weights(self):
+        table = InterestTable(["flood"])
+        table._records["dead"] = InterestRecord(0.0, False, 0.0)
+        assert table.snapshot_weights() == [("flood", 0.5, True)]

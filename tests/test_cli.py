@@ -119,3 +119,62 @@ class TestFaults:
         )
         assert code == 0
         assert "ledger integrity" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_command_parses(self):
+        args = build_parser().parse_args([
+            "bench", "--quick", "--label", "x", "--rounds", "2",
+        ])
+        assert args.command == "bench"
+        assert args.quick is True
+        assert args.rounds == 2
+        assert args.threshold == 2.0
+
+    def test_bench_writes_report(self, tmp_path, capsys):
+        code = main([
+            "bench", "--quick", "--rounds", "1", "--no-paper",
+            "--out", str(tmp_path), "--label", "t1",
+        ])
+        assert code == 0
+        report_path = tmp_path / "BENCH_t1.json"
+        assert report_path.exists()
+        import json
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == 1
+        assert "pairs_in_range_500" in report["benchmarks"]
+        assert report["machine"]["calibration_seconds"] > 0
+        out = capsys.readouterr().out
+        assert "pairs_in_range_500" in out
+
+    def test_bench_passes_against_own_baseline(self, tmp_path, capsys):
+        assert main([
+            "bench", "--quick", "--rounds", "1", "--no-paper",
+            "--out", str(tmp_path), "--label", "base",
+        ]) == 0
+        code = main([
+            "bench", "--quick", "--rounds", "1", "--no-paper",
+            "--out", str(tmp_path), "--label", "again",
+            "--baseline", str(tmp_path / "BENCH_base.json"),
+        ])
+        assert code == 0
+        assert "no benchmark regressed" in capsys.readouterr().out
+
+    def test_bench_flags_regression(self, tmp_path, capsys):
+        import json
+        assert main([
+            "bench", "--quick", "--rounds", "1", "--no-paper",
+            "--out", str(tmp_path), "--label", "base",
+        ]) == 0
+        baseline_path = tmp_path / "BENCH_base.json"
+        doctored = json.loads(baseline_path.read_text())
+        for record in doctored["benchmarks"].values():
+            record["mean"] /= 1000.0  # pretend everything was 1000x faster
+        baseline_path.write_text(json.dumps(doctored))
+        code = main([
+            "bench", "--quick", "--rounds", "1", "--no-paper",
+            "--out", str(tmp_path), "--label", "now",
+            "--baseline", str(baseline_path),
+        ])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err

@@ -125,6 +125,45 @@ class TestPairsInRangeProperties:
         positions = np.array([[-0.5, -0.5], [0.5, 0.5]])
         assert pairs_in_range(positions, 10.0) == {(0, 1)}
 
+    def test_all_nodes_in_one_cell(self):
+        # Degenerate layout for the cell list: a cluster much tighter
+        # than the radius collapses into a single grid cell, so every
+        # pair comes from the same-cell branch of the candidate scan.
+        rng = np.random.default_rng(42)
+        positions = 500.0 + rng.uniform(0.0, 5.0, size=(25, 2))
+        radius = 200.0
+        assert pairs_in_range(positions, radius) == brute_force_pairs(
+            positions, radius
+        )
+        # With the cluster tighter than the radius, all pairs connect.
+        assert len(pairs_in_range(positions, radius)) == 25 * 24 // 2
+
+    @pytest.mark.parametrize("width,height", [
+        (10_000.0, 10.0),   # wide strip: one cell row, many columns
+        (10.0, 10_000.0),   # tall strip: one cell column, many rows
+        (5_000.0, 50.0),    # strongly rectangular
+    ])
+    def test_non_square_areas(self, width, height):
+        # Extreme aspect ratios stress the linearised cell key: the
+        # stride is derived from the y-extent, which is tiny here.
+        rng = np.random.default_rng(int(width) % 97)
+        positions = rng.uniform(
+            [0.0, 0.0], [width, height], size=(60, 2)
+        )
+        radius = 80.0
+        assert pairs_in_range(positions, radius) == brute_force_pairs(
+            positions, radius
+        )
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_tiny_populations(self, n):
+        rng = np.random.default_rng(n)
+        positions = rng.uniform(0.0, 50.0, size=(n, 2))
+        radius = 40.0
+        assert pairs_in_range(positions, radius) == brute_force_pairs(
+            positions, radius
+        )
+
 
 class TestContactDetector:
     def test_contact_opens_and_closes(self):
@@ -167,6 +206,64 @@ class TestContactDetector:
         detector = ContactDetector(10.0)
         detector.scan(0.0, np.array([[0.0, 0.0], [5.0, 0.0]]))
         assert detector.open_pairs == {(0, 1)}
+
+
+class TestDetectorIncrementalConsistency:
+    """The detector's sorted-array diff must agree with recomputing the
+    in-range pair set from scratch at every scan, and the finished trace
+    must match a naive dict-based reference detector."""
+
+    @pytest.mark.parametrize("loop_seed", range(4))
+    def test_open_pairs_match_scratch_recompute_every_scan(self, loop_seed):
+        rng = np.random.default_rng(200 + loop_seed)
+        radius = 75.0
+        positions = rng.uniform(0.0, 600.0, size=(40, 2))
+        detector = ContactDetector(radius)
+        for step in range(25):
+            detector.scan(float(step * 10), positions)
+            assert detector.open_pairs == pairs_in_range(positions, radius)
+            positions = positions + rng.normal(0.0, 25.0, size=positions.shape)
+
+    @pytest.mark.parametrize("loop_seed", range(3))
+    def test_trace_matches_naive_reference_detector(self, loop_seed):
+        rng = np.random.default_rng(300 + loop_seed)
+        radius = 90.0
+        positions = rng.uniform(0.0, 500.0, size=(30, 2))
+        detector = ContactDetector(radius)
+        open_since: dict = {}
+        reference: list = []
+        for step in range(30):
+            time = float(step * 5)
+            detector.scan(time, positions)
+            current = brute_force_pairs(positions, radius)
+            for pair in list(open_since):
+                if pair not in current:
+                    reference.append((open_since.pop(pair), time, pair))
+            for pair in current:
+                open_since.setdefault(pair, time)
+            positions = positions + rng.normal(0.0, 20.0, size=positions.shape)
+        end = 30 * 5.0
+        trace = detector.finish(end)
+        for pair, start in open_since.items():
+            reference.append((start, end, pair))
+        reference.sort(key=lambda c: (c[0], c[1], c[2]))
+        assert [(c.start, c.end, c.pair) for c in trace] == reference
+
+    def test_scan_handles_population_appearing_and_vanishing(self):
+        # All pairs closing at once exercises the bulk-close branch.
+        detector = ContactDetector(50.0)
+        clustered = np.full((10, 2), 100.0)
+        scattered = np.arange(20, dtype=float).reshape(10, 2) * 1000.0
+        detector.scan(0.0, clustered)
+        assert len(detector.open_pairs) == 45
+        detector.scan(10.0, scattered)
+        assert detector.open_pairs == set()
+        detector.scan(20.0, clustered)
+        trace = detector.finish(30.0)
+        assert len(trace) == 90
+        assert {(c.start, c.end) for c in trace} == {
+            (0.0, 10.0), (20.0, 30.0)
+        }
 
 
 class TestDetectContacts:

@@ -283,3 +283,84 @@ class TestCancellationAccounting:
         assert engine.step() is False
         assert engine.events_fired == 0
         assert engine.pending == 0
+
+
+class TestHeapCompaction:
+    """Mass cancellation triggers a heap compaction; firing order and
+    ``events_fired`` accounting must be indistinguishable from the lazy
+    path (events are totally ordered by time/priority/sequence)."""
+
+    def test_mass_cancellation_compacts_and_preserves_order(self):
+        engine = Engine()
+        fired = []
+        handles = []
+        # Interleave live and doomed events with clashing times and
+        # priorities so ordering depends on all three sort keys.
+        for i in range(200):
+            time = float((i * 7) % 40)
+            priority = i % 3
+            handles.append(engine.schedule_at(
+                time, lambda i=i: fired.append(i), priority=priority,
+            ))
+        expected = sorted(
+            (i for i in range(200) if i % 4 == 0),
+            key=lambda i: (float((i * 7) % 40), i % 3, i),
+        )
+        for i, handle in enumerate(handles):
+            if i % 4 != 0:
+                handle.cancel()
+        # 150 of 200 cancelled: well past the half-queue threshold.  A
+        # compaction fires partway through (and resets the counter), so
+        # pending lands somewhere between the live count and the
+        # original size — but strictly below it.
+        assert engine.compactions > 0
+        assert 50 <= engine.pending < 200
+        engine.run()
+        assert fired == expected
+        assert engine.events_fired == 50
+
+    def test_small_queues_are_never_compacted(self):
+        engine = Engine()
+        for _ in range(20):
+            engine.schedule_at(1.0, lambda: None).cancel()
+        assert engine.compactions == 0
+        assert engine.pending == 20  # lazy deletion still applies
+        engine.run()
+        assert engine.events_fired == 0
+
+    def test_compaction_from_callback_mid_run(self):
+        # A callback that cancels most of the queue swaps the heap out
+        # from under run_until; the survivors must still fire in order.
+        engine = Engine()
+        fired = []
+        doomed = [
+            engine.schedule_at(5.0 + i * 0.25, lambda: fired.append("dead"))
+            for i in range(150)
+        ]
+        for i in range(10):
+            engine.schedule_at(50.0 + i, lambda i=i: fired.append(i))
+
+        def purge():
+            fired.append("purge")
+            for handle in doomed:
+                handle.cancel()
+
+        engine.schedule_at(1.0, purge)
+        engine.run_until(100.0)
+        assert fired == ["purge"] + list(range(10))
+        assert engine.compactions > 0
+        assert engine.events_fired == 11
+        assert engine.now == 100.0
+
+    def test_cancel_remains_idempotent_for_accounting(self):
+        engine = Engine()
+        handles = [engine.schedule_at(1.0, lambda: None) for _ in range(100)]
+        for handle in handles[:40]:
+            handle.cancel()
+            handle.cancel()  # double-cancel must not inflate the counter
+        # 40 of 100 cancelled: below the half-queue compaction threshold.
+        assert engine.compactions == 0
+        for handle in handles[40:60]:
+            handle.cancel()
+        assert engine.compactions == 1
+        assert 40 <= engine.pending < 100
