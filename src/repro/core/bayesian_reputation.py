@@ -26,10 +26,11 @@ comparable across reputation models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.core.incentive import IncentiveParams
 from repro.errors import ConfigurationError
+from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
 __all__ = ["BetaBelief", "BayesianReputationBook", "BayesianReputationSystem"]
 
@@ -79,6 +80,10 @@ class BayesianReputationBook:
         self._merge_weight = merge_weight
         self._beliefs: Dict[int, BetaBelief] = {}
         self._rejected_reports = 0
+        #: Event-trace sink plus a sim-clock accessor; wired by
+        #: :meth:`BayesianReputationSystem.attach_trace` when tracing is on.
+        self.trace: TraceRecorder = NULL_RECORDER
+        self._clock: Optional[Callable[[], float]] = None
 
     @property
     def rejected_reports(self) -> int:
@@ -105,6 +110,14 @@ class BayesianReputationBook:
             self._beliefs[subject] = existing
         return existing
 
+    def forget(self, subject: int) -> bool:
+        """Drop every belief about ``subject`` (whitewashing support).
+
+        Returns:
+            Whether any belief existed.
+        """
+        return self._beliefs.pop(subject, None) is not None
+
     def score(self, subject: int) -> float:
         """Beta mean scaled to the 0..r_m rating scale."""
         return self.belief(subject).mean * self._params.max_rating
@@ -119,7 +132,15 @@ class BayesianReputationBook:
         belief = self.belief(subject)
         belief.fade(self._fading)
         belief.observe(min(message_rating / r_m, 1.0))
-        return self.score(subject)
+        score = self.score(subject)
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "rating",
+                "t": self._clock() if self._clock is not None else 0.0,
+                "rater": self.owner, "subject": subject,
+                "rating": float(message_rating), "score": score,
+            })
+        return score
 
     def merge_opinion(self, subject: int, heard_score: float) -> float:
         """Second-hand report, admitted only through the deviation test.
@@ -198,6 +219,25 @@ class BayesianReputationSystem:
         self._deviation_threshold = float(deviation_threshold)
         self._merge_weight = float(merge_weight)
         self._books: Dict[int, BayesianReputationBook] = {}
+        self.trace: TraceRecorder = NULL_RECORDER
+        self._clock: Optional[Callable[[], float]] = None
+
+    def attach_trace(
+        self, trace: TraceRecorder, clock: Callable[[], float]
+    ) -> None:
+        """Wire an event-trace recorder (and sim clock) into every book.
+
+        Same duck-typed hook as
+        :meth:`repro.core.reputation.ReputationSystem.attach_trace`.
+        """
+        self.trace = trace
+        self._clock = clock
+        for book in self._books.values():
+            book.trace = trace
+            book._clock = clock
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
 
     def book(self, node_id: int) -> BayesianReputationBook:
         """The book owned by ``node_id`` (created lazily)."""
@@ -209,6 +249,8 @@ class BayesianReputationSystem:
                 deviation_threshold=self._deviation_threshold,
                 merge_weight=self._merge_weight,
             )
+            book.trace = self.trace
+            book._clock = self._clock
             self._books[node_id] = book
         return book
 
@@ -224,20 +266,31 @@ class BayesianReputationSystem:
             subject: book_a.score(subject)
             for subject in book_a.known_subjects()
         }
+        merged_a = merged_b = 0
         for subject, score in reports_from_b.items():
             if subject not in (a, b):
                 book_a.merge_opinion(subject, score)
+                merged_a += 1
         for subject, score in reports_from_a.items():
             if subject not in (a, b):
                 book_b.merge_opinion(subject, score)
+                merged_b += 1
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "gossip", "t": self._now(), "a": a, "b": b,
+                "merged_a": merged_a, "merged_b": merged_b,
+            })
 
     def forget_subject(self, subject: int) -> int:
         """Erase all beliefs about ``subject`` (whitewashing support)."""
-        count = 0
-        for book in self._books.values():
-            if subject in book._beliefs:
-                del book._beliefs[subject]
-                count += 1
+        count = sum(
+            1 for book in self._books.values() if book.forget(subject)
+        )
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "reputation-forget", "t": self._now(),
+                "subject": subject, "books": count,
+            })
         return count
 
     def average_score_of(self, subject: int,

@@ -147,9 +147,12 @@ def software_incentive(
             f"need 0 <= quality <= max_quality, got quality={quality!r}, "
             f"max_quality={max_quality!r}"
         )
-    if interest_ratio == 0.0:
+    if interest_ratio <= 1e-9:
         # The receiver cannot deliver right now; promise the maximum only
         # when a senior user pushes a high-priority message through it.
+        # The threshold matches the validator's slop above: a P_v within
+        # rounding noise of zero (e.g. 1e-12 from a float division) is
+        # "no interest", not an epsilon-sized user term.
         if sender_role < receiver_role and priority is Priority.HIGH:
             return params.max_incentive
         return 0.0

@@ -32,6 +32,7 @@ from repro.errors import (
     LedgerError,
     UnknownAccountError,
 )
+from repro.trace.recorder import NULL_RECORDER
 
 __all__ = ["Transaction", "TokenLedger"]
 
@@ -80,12 +81,22 @@ class TokenLedger:
         self._settled: Set[str] = set()
         #: Settlement attempts blocked by an already-settled key.
         self.duplicate_settlements = 0
+        #: Event-trace sink; the world wires a real recorder in when
+        #: tracing is enabled (see :meth:`IncentiveChitChatRouter.bind`).
+        self.trace = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # Accounts
     # ------------------------------------------------------------------
-    def open_account(self, node_id: int, initial_tokens: float) -> None:
+    def open_account(
+        self, node_id: int, initial_tokens: float, *, time: float = 0.0
+    ) -> None:
         """Create an account holding ``initial_tokens``.
+
+        Args:
+            time: Simulation time of the opening (trace timestamp only;
+                accounts opened lazily mid-run record when they joined
+                the economy).
 
         Raises:
             ConfigurationError: If the account exists or the endowment is
@@ -99,6 +110,11 @@ class TokenLedger:
             )
         self._balances[node_id] = float(initial_tokens)
         self._initial[node_id] = float(initial_tokens)
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "account-open", "t": float(time),
+                "node": node_id, "amount": float(initial_tokens),
+            })
 
     def has_account(self, node_id: int) -> bool:
         """Whether an account exists for ``node_id``."""
@@ -171,6 +187,12 @@ class TokenLedger:
         self.balance(payee)  # validate the payee account exists
         if settlement_key is not None and settlement_key in self._settled:
             self.duplicate_settlements += 1
+            if self.trace.enabled:
+                self.trace.emit({
+                    "type": "transfer-duplicate", "t": float(time),
+                    "payer": payer, "payee": payee,
+                    "amount": float(amount), "key": settlement_key,
+                })
             return None
         if payer_balance < amount:
             raise InsufficientTokensError(str(payer), amount, payer_balance)
@@ -184,6 +206,15 @@ class TokenLedger:
             settlement_key=settlement_key,
         )
         self._transactions.append(transaction)
+        if self.trace.enabled:
+            record = {
+                "type": "transfer-payment", "t": float(time),
+                "payer": payer, "payee": payee,
+                "amount": float(amount), "reason": reason,
+            }
+            if settlement_key is not None:
+                record["key"] = settlement_key
+            self.trace.emit(record)
         return transaction
 
     # ------------------------------------------------------------------
@@ -228,6 +259,15 @@ class TokenLedger:
         self._holds[hold_id] = (payer, float(amount), reason)
         if expires_at is not None:
             self._hold_expiries[hold_id] = float(expires_at)
+        if self.trace.enabled:
+            record = {
+                "type": "escrow-hold", "t": float(time),
+                "hold": hold_id, "payer": payer,
+                "amount": float(amount), "reason": reason,
+            }
+            if expires_at is not None:
+                record["expires_at"] = float(expires_at)
+            self.trace.emit(record)
         return hold_id
 
     def capture(
@@ -250,6 +290,12 @@ class TokenLedger:
         if settlement_key is not None and settlement_key in self._settled:
             self._balances[payer] += amount
             self.duplicate_settlements += 1
+            if self.trace.enabled:
+                self.trace.emit({
+                    "type": "escrow-duplicate", "t": float(time),
+                    "hold": hold_id, "payer": payer, "payee": payee,
+                    "amount": amount, "key": settlement_key,
+                })
             return None
         self._balances[payee] += amount
         if settlement_key is not None:
@@ -260,12 +306,45 @@ class TokenLedger:
             settlement_key=settlement_key,
         )
         self._transactions.append(transaction)
+        if self.trace.enabled:
+            record = {
+                "type": "escrow-capture", "t": float(time),
+                "hold": hold_id, "payer": payer, "payee": payee,
+                "amount": amount, "reason": reason,
+            }
+            if settlement_key is not None:
+                record["key"] = settlement_key
+            self.trace.emit(record)
         return transaction
 
-    def release(self, hold_id: int, *, time: float) -> None:
-        """Return escrowed tokens to the payer (the transfer aborted)."""
+    def hold_exists(self, hold_id: int) -> bool:
+        """Whether ``hold_id`` is still outstanding.
+
+        The abort path checks this before releasing: a hold that
+        :meth:`expire_holds` already reclaimed must not be refunded a
+        second time, and an explicit check distinguishes that expected
+        race from a genuine bookkeeping bug (which should raise).
+        """
+        return hold_id in self._holds
+
+    def release(
+        self, hold_id: int, *, time: float, cause: str = "abort"
+    ) -> None:
+        """Return escrowed tokens to the payer.
+
+        Args:
+            cause: Audit tag for the trace — ``"abort"`` (the transfer
+                died), ``"expiry"`` (the hold timed out) or
+                ``"finalize"`` (end-of-run drain).
+        """
         payer, amount, _reason = self._pop_hold(hold_id)
         self._balances[payer] += amount
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "escrow-release", "t": float(time),
+                "hold": hold_id, "payer": payer,
+                "amount": amount, "cause": cause,
+            })
 
     def expire_holds(self, now: float) -> float:
         """Release every hold whose expiry time has passed.
@@ -280,7 +359,7 @@ class TokenLedger:
         reclaimed = 0.0
         for hold_id in due:
             _payer, amount, _reason = self._holds[hold_id]
-            self.release(hold_id, time=now)
+            self.release(hold_id, time=now, cause="expiry")
             reclaimed += amount
         return reclaimed
 
@@ -293,7 +372,7 @@ class TokenLedger:
         reclaimed = 0.0
         for hold_id in sorted(self._holds):
             _payer, amount, _reason = self._holds[hold_id]
-            self.release(hold_id, time=time)
+            self.release(hold_id, time=time, cause="finalize")
             reclaimed += amount
         return reclaimed
 

@@ -43,11 +43,12 @@ from repro.core.incentive import (
 )
 from repro.core.ledger import TokenLedger
 from repro.core.reputation import RatingModel, ReputationSystem
-from repro.errors import ConfigurationError, LedgerError
+from repro.errors import ConfigurationError
 from repro.messages.message import Message
 from repro.network.link import Link, Transfer
 from repro.network.node import Node
 from repro.routing.chitchat import ChitChatRouter
+from repro.trace.recorder import NULL_RECORDER
 
 __all__ = ["IncentiveChitChatRouter"]
 
@@ -134,6 +135,15 @@ class IncentiveChitChatRouter(ChitChatRouter):
         self._pending_payments: Dict[
             int, Tuple[int, int, float, str]
         ] = {}
+        self._trace = NULL_RECORDER
+
+    def bind(self, world) -> None:
+        super().bind(world)
+        # Fake worlds in unit tests may not carry a recorder.
+        trace = getattr(world, "trace", None)
+        self._trace = trace if trace is not None else NULL_RECORDER
+        self.ledger.trace = self._trace
+        self.reputation.attach_trace(self._trace, lambda: self.world.now)
 
     # ------------------------------------------------------------------
     # Accounts
@@ -141,7 +151,10 @@ class IncentiveChitChatRouter(ChitChatRouter):
     def ensure_account(self, node_id: int) -> None:
         """Open the node's token account lazily with the endowment."""
         if not self.ledger.has_account(node_id):
-            self.ledger.open_account(node_id, self.params.initial_tokens)
+            now = self._world.now if self._world is not None else 0.0
+            self.ledger.open_account(
+                node_id, self.params.initial_tokens, time=now
+            )
 
     def balance(self, node_id: int) -> float:
         """Current token balance of ``node_id``."""
@@ -302,10 +315,23 @@ class IncentiveChitChatRouter(ChitChatRouter):
         award = self.compute_award(sender, receiver, message, link)
         if not self.ledger.can_pay(receiver.node_id, award):
             self.world.metrics.on_blocked_no_tokens()
+            if self._trace.enabled:
+                self._trace.emit({
+                    "type": "offer-declined", "t": self.world.now,
+                    "uuid": message.uuid, "sender": sender.node_id,
+                    "receiver": receiver.node_id, "role": "destination",
+                    "reason": "no-tokens",
+                })
             return None
         transfer = self.world.send_message(link, sender.node_id, message)
         if transfer is None:  # pragma: no cover - guarded by can_send
             return None
+        if self._trace.enabled:
+            self._trace.emit({
+                "type": "offer", "t": self.world.now, "uuid": message.uuid,
+                "sender": sender.node_id, "receiver": receiver.node_id,
+                "role": "destination", "award": award,
+            })
         if award > 0:
             hold = self.ledger.escrow(
                 receiver.node_id, award,
@@ -325,6 +351,13 @@ class IncentiveChitChatRouter(ChitChatRouter):
         if self.best_relay_only and not self._is_best_relay(
             sender.node_id, receiver.node_id, message
         ):
+            if self._trace.enabled:
+                self._trace.emit({
+                    "type": "offer-declined", "t": self.world.now,
+                    "uuid": message.uuid, "sender": sender.node_id,
+                    "receiver": receiver.node_id, "role": "relay",
+                    "reason": "not-best-relay",
+                })
             return None
         promise = self.compute_promise(
             sender, receiver, message, link, deliverer_is_relay=True
@@ -337,10 +370,23 @@ class IncentiveChitChatRouter(ChitChatRouter):
             prepay = self.params.relay_prepay_fraction * promise
             if not self.ledger.can_pay(receiver.node_id, prepay):
                 self.world.metrics.on_blocked_no_tokens()
+                if self._trace.enabled:
+                    self._trace.emit({
+                        "type": "offer-declined", "t": self.world.now,
+                        "uuid": message.uuid, "sender": sender.node_id,
+                        "receiver": receiver.node_id, "role": "relay",
+                        "reason": "no-tokens",
+                    })
                 return None
         transfer = self.world.send_message(link, sender.node_id, message)
         if transfer is None:  # pragma: no cover - guarded by can_send
             return None
+        if self._trace.enabled:
+            self._trace.emit({
+                "type": "offer", "t": self.world.now, "uuid": message.uuid,
+                "sender": sender.node_id, "receiver": receiver.node_id,
+                "role": "relay", "promise": promise, "prepay": prepay,
+            })
         self._transfer_promises[id(transfer)] = promise
         if prepay > 0:
             hold = self.ledger.escrow(
@@ -378,17 +424,17 @@ class IncentiveChitChatRouter(ChitChatRouter):
         pending = self._pending_payments.pop(id(transfer), None)
         if pending is not None:
             hold, payee, amount, settlement_key = pending
-            try:
+            # The hold may have timed out and been reclaimed by
+            # expire_holds; the payee then goes unpaid for this (very
+            # late) landing.  Checked explicitly so a genuinely broken
+            # hold id raises instead of being swallowed.
+            if self.ledger.hold_exists(hold):
                 transaction = self.ledger.capture(
                     hold, payee,
                     time=self.world.now, settlement_key=settlement_key,
                 )
-            except LedgerError:
-                # The hold timed out and was reclaimed by expire_holds;
-                # the payee goes unpaid for this (very late) landing.
-                transaction = None
-            if transaction is not None:
-                self.world.metrics.on_payment(amount)
+                if transaction is not None:
+                    self.world.metrics.on_payment(amount)
         promise = self._transfer_promises.pop(id(transfer), 0.0)
         receiver = self.world.node(transfer.receiver)
         message = transfer.message
@@ -434,6 +480,13 @@ class IncentiveChitChatRouter(ChitChatRouter):
                 self.world.metrics.on_enrichment(
                     relevant=message.is_relevant(keyword)
                 )
+                if self._trace.enabled:
+                    self._trace.emit({
+                        "type": "enrichment", "t": self.world.now,
+                        "uuid": message.uuid, "node": relay.node_id,
+                        "keyword": keyword,
+                        "relevant": message.is_relevant(keyword),
+                    })
 
     def _is_malicious(self, node_id: int) -> bool:
         behavior = self.world.node(node_id).behavior
@@ -520,10 +573,14 @@ class IncentiveChitChatRouter(ChitChatRouter):
         pending = self._pending_payments.pop(id(transfer), None)
         if pending is not None:
             hold, _payee, _amount, _key = pending
-            try:
-                self.ledger.release(hold, time=self.world.now)
-            except LedgerError:
-                pass  # already reclaimed by the escrow timeout
+            # A hold reclaimed by the escrow timeout was already
+            # refunded; releasing it again would pay the payer twice.
+            # The explicit existence check (rather than swallowing
+            # LedgerError) also lets genuine double-release bugs raise.
+            if self.ledger.hold_exists(hold):
+                self.ledger.release(
+                    hold, time=self.world.now, cause="abort"
+                )
         super().on_transfer_aborted(transfer, link)
 
     def _reoffer(

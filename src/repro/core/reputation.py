@@ -30,13 +30,14 @@ inspecting the image would produce (DESIGN.md substitutions table).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 import numpy as np
 
 from repro.core.incentive import IncentiveParams
 from repro.errors import ConfigurationError
 from repro.messages.message import Annotation, Message
+from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
 __all__ = [
     "source_message_rating",
@@ -89,6 +90,10 @@ class ReputationBook:
         self._own_count: Dict[int, int] = {}
         # Current combined score (own average merged with hearsay).
         self._scores: Dict[int, float] = {}
+        #: Event-trace sink plus a sim-clock accessor; wired by
+        #: :meth:`ReputationSystem.attach_trace` when tracing is on.
+        self.trace: TraceRecorder = NULL_RECORDER
+        self._clock: Optional[Callable[[], float]] = None
 
     def known_subjects(self) -> Iterable[int]:
         """Node ids this book holds an opinion about."""
@@ -127,7 +132,33 @@ class ReputationBook:
         # Case 1 defines the node rating as the average of own message
         # ratings; hearsay is layered on top whenever it arrives.
         self._scores[subject] = self._own_sum[subject] / self._own_count[subject]
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "rating",
+                "t": self._clock() if self._clock is not None else 0.0,
+                "rater": self.owner, "subject": subject,
+                "rating": float(message_rating),
+                "score": self._scores[subject],
+            })
         return self._scores[subject]
+
+    def forget(self, subject: int) -> bool:
+        """Erase every opinion this book holds about ``subject``.
+
+        Supports the whitewashing attack model: a node that abandons a
+        ruined identity must look brand-new to every observer, so both
+        the combined score *and* the own-rating running average are
+        dropped — :meth:`score` returns the default and
+        :meth:`own_average` returns ``None`` afterwards.
+
+        Returns:
+            Whether any opinion (own or heard) existed.
+        """
+        existed = subject in self._scores
+        self._scores.pop(subject, None)
+        self._own_sum.pop(subject, None)
+        self._own_count.pop(subject, None)
+        return existed
 
     def merge_opinion(self, subject: int, heard_score: float) -> float:
         """Case 2: merge a score heard from another node.
@@ -178,12 +209,33 @@ class ReputationSystem:
     def __init__(self, params: IncentiveParams):
         self._params = params
         self._books: Dict[int, ReputationBook] = {}
+        self.trace: TraceRecorder = NULL_RECORDER
+        self._clock: Optional[Callable[[], float]] = None
+
+    def attach_trace(
+        self, trace: TraceRecorder, clock: Callable[[], float]
+    ) -> None:
+        """Wire an event-trace recorder (and sim clock) into every book.
+
+        Called by the incentive router when it binds to a traced world;
+        books created later inherit the recorder via :meth:`book`.
+        """
+        self.trace = trace
+        self._clock = clock
+        for book in self._books.values():
+            book.trace = trace
+            book._clock = clock
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
 
     def book(self, node_id: int) -> ReputationBook:
         """The book owned by ``node_id`` (created lazily)."""
         book = self._books.get(node_id)
         if book is None:
             book = ReputationBook(node_id, self._params)
+            book.trace = self.trace
+            book._clock = self._clock
             self._books[node_id] = book
         return book
 
@@ -199,12 +251,22 @@ class ReputationSystem:
         # Snapshot first so the exchange is symmetric.
         opinions_a = {s: book_a.score(s) for s in book_a.known_subjects()}
         opinions_b = {s: book_b.score(s) for s in book_b.known_subjects()}
+        merged_a = merged_b = 0
         for subject, score in opinions_b.items():
             if subject not in (a, b):
                 book_a.merge_opinion(subject, score)
+                merged_a += 1
         for subject, score in opinions_a.items():
             if subject not in (a, b):
                 book_b.merge_opinion(subject, score)
+                merged_b += 1
+        if self.trace.enabled:
+            # One record per exchange (not per subject) keeps gossip
+            # from dominating the trace volume at paper scale.
+            self.trace.emit({
+                "type": "gossip", "t": self._now(), "a": a, "b": b,
+                "merged_a": merged_a, "merged_b": merged_b,
+            })
 
     def forget_subject(self, subject: int) -> int:
         """Erase every node's opinion about ``subject``.
@@ -216,13 +278,14 @@ class ReputationSystem:
         Returns:
             The number of books that held an opinion.
         """
-        count = 0
-        for book in self._books.values():
-            if subject in book._scores:
-                del book._scores[subject]
-                book._own_sum.pop(subject, None)
-                book._own_count.pop(subject, None)
-                count += 1
+        count = sum(
+            1 for book in self._books.values() if book.forget(subject)
+        )
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "reputation-forget", "t": self._now(),
+                "subject": subject, "books": count,
+            })
         return count
 
     def average_score_of(

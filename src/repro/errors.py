@@ -21,6 +21,7 @@ __all__ = [
     "MessageError",
     "RoutingError",
     "MobilityError",
+    "TraceError",
 ]
 
 
@@ -83,3 +84,7 @@ class RoutingError(ReproError):
 
 class MobilityError(ReproError):
     """A mobility model or contact detector was misconfigured."""
+
+
+class TraceError(ReproError):
+    """An event-trace file is malformed or violates its schema."""

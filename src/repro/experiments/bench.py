@@ -315,12 +315,20 @@ def compare(
     baseline: Dict[str, object],
     *,
     threshold: float = 2.0,
+    name_prefix: Optional[str] = None,
 ) -> List[Regression]:
     """Benchmarks (by shared name) slower than ``threshold`` x baseline.
 
     Means are divided by each report's machine calibration first, so a
     uniformly slower machine does not trip the gate; only a benchmark
     that got disproportionately slower does.
+
+    Args:
+        threshold: Calibrated slowdown factor that counts as a
+            regression (must be > 1).
+        name_prefix: Restrict the comparison to benchmarks whose name
+            starts with this (e.g. ``"paper_"`` to gate only the
+            end-to-end probes, at a tighter threshold).
     """
     if threshold <= 1.0:
         raise ConfigurationError(
@@ -330,6 +338,8 @@ def compare(
     baseline_cal = float(baseline["machine"]["calibration_seconds"])
     regressions: List[Regression] = []
     for name, base in sorted(baseline["benchmarks"].items()):
+        if name_prefix is not None and not name.startswith(name_prefix):
+            continue
         now = current["benchmarks"].get(name)
         if now is None:
             continue

@@ -98,6 +98,13 @@ class ScenarioConfig:
     #: Base backoff before the first retry, seconds (doubles per retry).
     retransmit_backoff: float = 30.0
 
+    # Observability
+    #: Write a JSONL event trace of each run here (see
+    #: :mod:`repro.trace`).  Multi-run commands derive one file per run
+    #: via :func:`repro.trace.derive_trace_path`.  ``None`` (default)
+    #: disables tracing; results are bit-identical either way.
+    trace_path: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ConfigurationError("n_nodes must be >= 2")

@@ -119,6 +119,9 @@ class RunDigest:
     seed: int
     metrics: MetricsDigest
     attempts: int = 1
+    #: Where the run's event trace was written (None when untraced);
+    #: lets callers collect per-worker trace files after a sweep.
+    trace_path: Optional[str] = None
 
     @property
     def mdr(self) -> float:
@@ -178,6 +181,7 @@ def digest_of(result) -> RunDigest:
             ),
             fault_summary_data=result.fault_summary(),
         ),
+        trace_path=result.trace_path,
     )
 
 

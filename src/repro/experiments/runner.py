@@ -52,6 +52,7 @@ from repro.routing.two_hop_reward import TwoHopRewardRouter
 from repro.sim.engine import Engine
 from repro.sim.process import PeriodicProcess
 from repro.sim.rng import RandomStreams
+from repro.trace.recorder import JsonlTraceRecorder, derive_trace_path
 
 __all__ = [
     "SCHEMES",
@@ -97,6 +98,8 @@ class RunResult:
     malicious_ids: Set[int] = field(default_factory=set)
     selfish_ids: Set[int] = field(default_factory=set)
     honest_ids: Set[int] = field(default_factory=set)
+    #: Where this run's event trace was written (None when untraced).
+    trace_path: Optional[str] = None
 
     @property
     def mdr(self) -> float:
@@ -339,6 +342,7 @@ def run_scenario(
     trace: Optional[ContactTrace] = None,
     sample_ratings: bool = False,
     rating_sample_interval: float = 600.0,
+    trace_path: Optional[str] = None,
 ) -> RunResult:
     """Build and execute one simulation run.
 
@@ -352,79 +356,125 @@ def run_scenario(
         sample_ratings: Periodically record the average rating of
             malicious nodes among honest observers (Fig. 5.4 series).
         rating_sample_interval: Sampling period in seconds.
+        trace_path: Write a JSONL event trace of the run here; overrides
+            ``config.trace_path``.  Tracing never changes results.
 
     Returns:
         The :class:`RunResult` with metrics and the router (whose ledger
         and reputation system remain inspectable).
     """
-    streams = RandomStreams(seed)
-    universe = KeywordUniverse(config.keyword_pool)
-    # Under the incentive scheme, custody of a high-priority message is
-    # worth more tokens, so rational nodes evict low-priority messages
-    # first; the baselines keep ONE's default drop-oldest buffers.
-    drop_policy = (
-        DropPolicy.DROP_LOWEST_PRIORITY if scheme.startswith("incentive")
-        else DropPolicy.DROP_OLDEST
+    effective_trace_path = trace_path if trace_path is not None else (
+        config.trace_path
     )
-    nodes, behaviors = _build_population(
-        config, streams, universe, drop_policy=drop_policy
-    )
-    router = make_router(scheme, config, universe)
-    engine = Engine()
-    world = World(
-        engine,
-        nodes,
-        router,
-        link_speed=config.link_speed,
-        streams=streams,
-        ttl=config.ttl,
-        nominal_distance=config.transmission_radius,
-        battery_capacity=config.battery_capacity,
-        resume_partial_transfers=config.resume_partial_transfers,
-        faults=config.faults,
-    )
-    generator = MessageGenerator(
-        universe,
-        streams.get("workload"),
-        profiles=config.profiles,
-        content_keywords=config.content_keywords,
-        annotated_fraction=config.annotated_fraction,
-    )
-    world.use_generator(generator)
-    plan = generator.schedule(
-        list(range(config.n_nodes)),
-        duration=config.duration,
-        interval=config.message_interval,
-    )
-    world.schedule_workload(plan)
-    if trace is None:
-        trace = build_contact_trace(config, seed)
-    world.load_contact_trace(trace)
-
-    malicious_ids = {i for i, b in behaviors.items() if b.malicious}
-    selfish_ids = {i for i, b in behaviors.items() if b.selfish}
-    honest_ids = set(range(config.n_nodes)) - malicious_ids - selfish_ids
-
-    if sample_ratings and isinstance(router, IncentiveChitChatRouter):
-        observers = sorted(set(range(config.n_nodes)) - malicious_ids)
-
-        def _sample(now: float) -> None:
-            ratings = {
-                subject: router.reputation.average_score_of(subject, observers)
-                for subject in sorted(malicious_ids)
-            }
-            world.metrics.sample_ratings(now, ratings)
-
-        sampler = PeriodicProcess(
-            engine, rating_sample_interval, _sample,
-            start_at=0.0, label="rating-sampler",
+    recorder = None
+    if effective_trace_path is not None:
+        recorder = JsonlTraceRecorder(
+            effective_trace_path,
+            meta={
+                "scheme": scheme,
+                "seed": seed,
+                "n_nodes": config.n_nodes,
+                "duration": config.duration,
+            },
         )
-        sampler.start()
+    try:
+        streams = RandomStreams(seed)
+        universe = KeywordUniverse(config.keyword_pool)
+        # Under the incentive scheme, custody of a high-priority message
+        # is worth more tokens, so rational nodes evict low-priority
+        # messages first; baselines keep ONE's drop-oldest buffers.
+        drop_policy = (
+            DropPolicy.DROP_LOWEST_PRIORITY if scheme.startswith("incentive")
+            else DropPolicy.DROP_OLDEST
+        )
+        nodes, behaviors = _build_population(
+            config, streams, universe, drop_policy=drop_policy
+        )
+        router = make_router(scheme, config, universe)
+        engine = Engine()
+        world = World(
+            engine,
+            nodes,
+            router,
+            link_speed=config.link_speed,
+            streams=streams,
+            ttl=config.ttl,
+            nominal_distance=config.transmission_radius,
+            battery_capacity=config.battery_capacity,
+            resume_partial_transfers=config.resume_partial_transfers,
+            faults=config.faults,
+            trace=recorder,
+        )
+        generator = MessageGenerator(
+            universe,
+            streams.get("workload"),
+            profiles=config.profiles,
+            content_keywords=config.content_keywords,
+            annotated_fraction=config.annotated_fraction,
+        )
+        world.use_generator(generator)
+        plan = generator.schedule(
+            list(range(config.n_nodes)),
+            duration=config.duration,
+            interval=config.message_interval,
+        )
+        world.schedule_workload(plan)
+        if trace is None:
+            trace = build_contact_trace(config, seed)
+        world.load_contact_trace(trace)
 
-    metrics = world.run(config.duration)
-    # Settle the books: any escrow still held by transfers the fault
-    # processes orphaned is returned to its payer (no-op when fault-free).
-    router.finalize(world.now)
+        malicious_ids = {i for i, b in behaviors.items() if b.malicious}
+        selfish_ids = {i for i, b in behaviors.items() if b.selfish}
+        honest_ids = set(range(config.n_nodes)) - malicious_ids - selfish_ids
+
+        if sample_ratings and isinstance(router, IncentiveChitChatRouter):
+            observers = sorted(set(range(config.n_nodes)) - malicious_ids)
+
+            def _sample(now: float) -> None:
+                ratings = {
+                    subject: router.reputation.average_score_of(
+                        subject, observers
+                    )
+                    for subject in sorted(malicious_ids)
+                }
+                world.metrics.sample_ratings(now, ratings)
+
+            sampler = PeriodicProcess(
+                engine, rating_sample_interval, _sample,
+                start_at=0.0, label="rating-sampler",
+            )
+            sampler.start()
+
+        metrics = world.run(config.duration)
+        # Settle the books: any escrow still held by transfers the fault
+        # processes orphaned goes back to its payer (no-op fault-free).
+        router.finalize(world.now)
+        if recorder is not None:
+            end = {
+                "type": "run-end", "t": world.now,
+                "events": engine.events_fired,
+            }
+            ledger = getattr(router, "ledger", None)
+            if ledger is not None and ledger.trace is recorder:
+                # Only trace-wired ledgers (the incentive protocol's)
+                # snapshot balances: an untraced ledger's flows never
+                # appeared in the file, so the auditor could not
+                # reconcile them.
+                end.update(
+                    supply=ledger.total_supply(),
+                    endowment=ledger.total_endowment(),
+                    escrow=ledger.escrowed_total(),
+                    token_payments=metrics.token_payments,
+                    tokens_moved=metrics.tokens_moved,
+                    balances={
+                        str(node): balance
+                        for node, balance in ledger.balances().items()
+                    },
+                )
+            recorder.emit(end)
+    finally:
+        if recorder is not None:
+            recorder.close()
     return RunResult(
         scheme=scheme,
         seed=seed,
@@ -434,6 +484,9 @@ def run_scenario(
         malicious_ids=malicious_ids,
         selfish_ids=selfish_ids,
         honest_ids=honest_ids,
+        trace_path=(
+            str(recorder.path) if recorder is not None else None
+        ),
     )
 
 
@@ -461,15 +514,32 @@ def run_comparison(
         **kwargs: Forwarded to :func:`run_scenario`.
     """
     trace = build_contact_trace(config, seed, cache=trace_cache)
+    # One trace file per run: schemes sharing config.trace_path would
+    # clobber each other, so each gets a derived per-scheme path.
+    trace_base = kwargs.pop("trace_path", None)
+    if trace_base is None:
+        trace_base = config.trace_path
+
+    def _path_for(scheme: str) -> Optional[str]:
+        if trace_base is None:
+            return None
+        return derive_trace_path(trace_base, scheme=scheme, seed=seed)
+
     if workers == 1:
         return {
-            scheme: run_scenario(config, scheme, seed, trace=trace, **kwargs)
+            scheme: run_scenario(
+                config, scheme, seed, trace=trace,
+                trace_path=_path_for(scheme), **kwargs,
+            )
             for scheme in schemes
         }
     from repro.experiments.parallel import RunSpec, ensure_success, run_specs
 
     specs = [
-        RunSpec(config, scheme, seed, {**kwargs, "trace": trace})
+        RunSpec(
+            config, scheme, seed,
+            {**kwargs, "trace": trace, "trace_path": _path_for(scheme)},
+        )
         for scheme in schemes
     ]
     digests = ensure_success(
@@ -505,9 +575,21 @@ def run_averaged(
     seeds = list(seeds)
     if not seeds:
         raise ConfigurationError("seeds must be non-empty")
+    trace_base = kwargs.pop("trace_path", None)
+    if trace_base is None:
+        trace_base = config.trace_path
+
+    def _path_for(seed: int) -> Optional[str]:
+        if trace_base is None:
+            return None
+        return derive_trace_path(trace_base, scheme=scheme, seed=seed)
+
     if workers == 1:
         summaries = [
-            run_scenario(config, scheme, seed, **kwargs).summary()
+            run_scenario(
+                config, scheme, seed,
+                trace_path=_path_for(seed), **kwargs,
+            ).summary()
             for seed in seeds
         ]
     else:
@@ -518,7 +600,11 @@ def run_averaged(
         )
 
         specs = [
-            RunSpec(config, scheme, seed, dict(kwargs)) for seed in seeds
+            RunSpec(
+                config, scheme, seed,
+                {**kwargs, "trace_path": _path_for(seed)},
+            )
+            for seed in seeds
         ]
         digests = ensure_success(
             run_specs(specs, workers=workers, cache=trace_cache)

@@ -214,6 +214,13 @@ class FaultInjector:
         if node_id in self._down:  # pragma: no cover - defensive
             return
         self._down.add(node_id)
+        trace = self._world.trace
+        if trace.enabled:
+            trace.emit({
+                "type": "fault-crash", "t": self._world.engine.now,
+                "node": node_id,
+                "wiped": self.config.churn_policy == "wipe",
+            })
         self._world.on_node_crashed(
             node_id, wipe_state=self.config.churn_policy == "wipe"
         )
@@ -221,5 +228,11 @@ class FaultInjector:
 
     def _restart(self, node_id: int) -> None:
         self._down.discard(node_id)
+        trace = self._world.trace
+        if trace.enabled:
+            trace.emit({
+                "type": "fault-restart", "t": self._world.engine.now,
+                "node": node_id,
+            })
         self._world.on_node_restarted(node_id)
         self._schedule_crash(node_id)

@@ -22,6 +22,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.messages.message import Message
 from repro.sim.engine import Engine
 from repro.sim.events import EventHandle
+from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
 __all__ = ["Transfer", "Link"]
 
@@ -73,6 +74,8 @@ class Link:
             (``"loss"``, ``"corruption"``) aborts the transfer with
             that :attr:`Transfer.abort_reason` instead of completing
             it.  ``None`` (the default) keeps the ideal-link behaviour.
+        trace: Optional event-trace recorder (``transfer-start``
+            records); defaults to the no-op recorder.
     """
 
     def __init__(
@@ -84,6 +87,7 @@ class Link:
         speed: float,
         distance: float = 0.0,
         fault_hook: Optional[Callable[[Transfer], Optional[str]]] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         if a == b:
             raise ConfigurationError(f"link endpoints must differ, got {a}")
@@ -98,6 +102,7 @@ class Link:
         self.opened_at = engine.now
         self.closed = False
         self._fault_hook = fault_hook
+        self.trace = trace if trace is not None else NULL_RECORDER
         # Per-direction state: key is the sending node id.
         self._active: Dict[int, Optional[Transfer]] = {self.a: None, self.b: None}
         self._queues: Dict[int, Deque[Transfer]] = {
@@ -192,6 +197,14 @@ class Link:
     def _start(self, transfer: Transfer) -> None:
         transfer.started_at = self._engine.now
         self._active[transfer.sender] = transfer
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "transfer-start", "t": self._engine.now,
+                "uuid": transfer.message.uuid,
+                "sender": transfer.sender,
+                "receiver": transfer.receiver,
+                "duration": transfer.duration,
+            })
         # Lazy label: rendered only if the handle is ever inspected.
         transfer._handle = self._engine.schedule_in(
             transfer.duration,

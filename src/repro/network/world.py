@@ -28,6 +28,7 @@ from repro.network.node import Node
 from repro.sim.engine import Engine
 from repro.sim.process import PeriodicProcess
 from repro.sim.rng import RandomStreams
+from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
 __all__ = ["World"]
 
@@ -66,6 +67,11 @@ class World:
             recharge against this world.  ``None`` (or an all-zero
             config) is bit-identical to the pre-fault behaviour: no
             fault RNG streams are created and no events scheduled.
+        trace: Optional event-trace recorder (see :mod:`repro.trace`).
+            Shared with the engine, links, fault injector, and (via the
+            router's ``bind``) the ledger and reputation layers.  The
+            default no-op recorder keeps untraced runs bit-identical
+            and nearly free.
     """
 
     def __init__(
@@ -84,6 +90,7 @@ class World:
         battery_capacity: Optional[float] = None,
         resume_partial_transfers: bool = False,
         faults: Optional[FaultConfig] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         if link_speed <= 0:
             raise ConfigurationError(f"link_speed must be > 0, got {link_speed!r}")
@@ -94,6 +101,9 @@ class World:
                 f"battery_capacity must be > 0, got {battery_capacity!r}"
             )
         self.engine = engine
+        # Set before the fault injector is built — it reads world.trace.
+        self.trace = trace if trace is not None else NULL_RECORDER
+        engine.trace = self.trace
         self._nodes: Dict[int, Node] = {}
         for node in nodes:
             if node.node_id in self._nodes:
@@ -253,6 +263,11 @@ class World:
         first = receiver.accept_delivery(message, self.now)
         if first:
             self.metrics.on_delivered(message, receiver.node_id, self.now)
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "delivery", "t": self.now, "uuid": message.uuid,
+                "node": receiver.node_id, "first": first,
+            })
         return first
 
     def accept_relay(self, receiver: Node, message: Message) -> bool:
@@ -272,6 +287,11 @@ class World:
         if evicted:
             self.metrics.on_buffer_evicted(len(evicted))
             for victim in evicted:
+                if self.trace.enabled:
+                    self.trace.emit({
+                        "type": "message-drop", "t": self.now,
+                        "uuid": victim.uuid, "node": receiver.node_id,
+                    })
                 self.router.on_message_dropped(receiver.node_id, victim)
         self.metrics.on_relayed(message, receiver.node_id)
         return True
@@ -331,6 +351,10 @@ class World:
             and before > 0.0
             and self._battery[node_id] <= 0.0
         ):
+            if self.trace.enabled:
+                self.trace.emit({
+                    "type": "fault-blackout", "t": self.now, "node": node_id,
+                })
             self._disconnect_node(node_id, reason="blackout")
             self.metrics.on_blackout()
 
@@ -365,11 +389,15 @@ class World:
         link = Link(
             self.engine, a, b,
             speed=self.link_speed, distance=self.nominal_distance,
-            fault_hook=fault_hook,
+            fault_hook=fault_hook, trace=self.trace,
         )
         self._links[pair] = link
         self._links_by_node[a].append(link)
         self._links_by_node[b].append(link)
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "contact-up", "t": self.now, "a": a, "b": b,
+            })
         self.router.on_contact_start(link)
 
     def _contact_down(self, pair: Tuple[int, int]) -> None:
@@ -380,6 +408,11 @@ class World:
         self._links_by_node[a].remove(link)
         self._links_by_node[b].remove(link)
         link.close()
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "contact-down", "t": self.now, "a": a, "b": b,
+                "reason": "mobility",
+            })
         self.router.on_contact_end(link)
 
     # ------------------------------------------------------------------
@@ -394,6 +427,11 @@ class World:
             self._links_by_node[link.a].remove(link)
             self._links_by_node[link.b].remove(link)
             link.close(reason=reason)
+            if self.trace.enabled:
+                self.trace.emit({
+                    "type": "contact-down", "t": self.now,
+                    "a": link.a, "b": link.b, "reason": reason,
+                })
             self.router.on_contact_end(link)
 
     def on_node_crashed(self, node_id: int, *, wipe_state: bool) -> None:
@@ -411,6 +449,11 @@ class World:
         if wipe_state:
             for message in node.buffer.messages():
                 node.buffer.discard(message.uuid)
+                if self.trace.enabled:
+                    self.trace.emit({
+                        "type": "message-drop", "t": self.now,
+                        "uuid": message.uuid, "node": node_id,
+                    })
                 self.router.on_message_dropped(node_id, message)
             node.seen = set(node.delivered) | set(node.generated)
         self.metrics.on_node_crash()
@@ -437,6 +480,12 @@ class World:
             (transfer.receiver, transfer.message.uuid), None
         )
         self.metrics.on_transfer_completed(transfer.message)
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "transfer-complete", "t": self.now,
+                "uuid": transfer.message.uuid,
+                "sender": transfer.sender, "receiver": transfer.receiver,
+            })
         # Energy: transmitter pays P_t * t; receiver pays the Friis
         # received power at the nominal contact distance times t.
         tx_energy = self.energy.transmit_energy(transfer.duration)
@@ -482,6 +531,13 @@ class World:
             else:
                 self.metrics.on_transfer_corrupted()
         self.metrics.on_transfer_aborted(transfer.message)
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "transfer-abort", "t": self.now,
+                "uuid": transfer.message.uuid,
+                "sender": transfer.sender, "receiver": transfer.receiver,
+                "reason": transfer.abort_reason or "unknown",
+            })
         self.router.on_transfer_aborted(transfer, link)
 
     # ------------------------------------------------------------------
@@ -534,6 +590,14 @@ class World:
             if other.node_id != message.source
             and other.is_interested_in(message)
         }
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "message-created", "t": self.now,
+                "uuid": message.uuid, "source": message.source,
+                "size": message.size, "priority": int(message.priority),
+                "quality": float(message.quality),
+                "intended": len(intended),
+            })
         try:
             node.originate(message, self.now)
         except BufferError_:
@@ -555,6 +619,11 @@ class World:
             if expired:
                 self.metrics.on_expired(len(expired))
                 for message in expired:
+                    if self.trace.enabled:
+                        self.trace.emit({
+                            "type": "message-expiry", "t": now,
+                            "uuid": message.uuid, "node": node.node_id,
+                        })
                     self.router.on_message_expired(node.node_id, message)
 
     # ------------------------------------------------------------------

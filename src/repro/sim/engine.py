@@ -27,6 +27,7 @@ from typing import Callable, List
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import Event, EventHandle, LabelLike, resolve_label
+from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
 __all__ = ["Engine"]
 
@@ -53,6 +54,9 @@ class Engine:
         self._events_fired = 0
         self._cancelled_pending = 0
         self._compactions = 0
+        #: Event-trace sink; the world swaps in a real recorder when
+        #: tracing is enabled.  Never None.
+        self.trace: TraceRecorder = NULL_RECORDER
 
     @property
     def now(self) -> float:
@@ -214,6 +218,12 @@ class Engine:
                 event.callback()
                 queue = self._queue  # a compaction may have replaced it
             self._now = float(end_time)
+            if self.trace.enabled:
+                self.trace.emit({
+                    "type": "engine-run", "t": self._now,
+                    "events": self._events_fired,
+                    "pending": len(self._queue),
+                })
         finally:
             self._running = False
 

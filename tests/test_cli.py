@@ -39,28 +39,66 @@ class TestCompare:
 
 
 class TestTrace:
-    def test_trace_command_writes_jsonl(self, tmp_path, capsys):
+    def test_trace_contacts_writes_jsonl(self, tmp_path, capsys):
         from repro.mobility.trace import ContactTrace
 
         out = tmp_path / "trace.jsonl"
         code = main([
-            "trace", str(out), "--nodes", "15", "--duration", "600",
+            "trace", "contacts", str(out),
+            "--nodes", "15", "--duration", "600",
         ])
         assert code == 0
         loaded = ContactTrace.load(out)
         assert len(loaded) > 0
         assert "wrote" in capsys.readouterr().out
 
-    def test_trace_command_writes_one_format(self, tmp_path):
+    def test_trace_contacts_writes_one_format(self, tmp_path):
         from repro.mobility.one_trace import load_one_trace
 
         out = tmp_path / "conn.txt"
         code = main([
-            "trace", str(out), "--format", "one",
+            "trace", "contacts", str(out), "--format", "one",
             "--nodes", "15", "--duration", "600",
         ])
         assert code == 0
         assert len(load_one_trace(out)) > 0
+
+    def test_run_with_trace_then_audit(self, tmp_path, capsys):
+        trace_file = tmp_path / "run.jsonl"
+        code = main([
+            "run", "--nodes", "14", "--duration", "900",
+            "--trace", str(trace_file),
+        ])
+        assert code == 0
+        assert trace_file.exists()
+        assert "wrote event trace" in capsys.readouterr().out
+
+        code = main(["trace", "audit", str(trace_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conservation audit passed" in out
+        assert "endowment=" in out
+
+    def test_trace_audit_json_output(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "run.jsonl"
+        assert main([
+            "run", "--nodes", "14", "--duration", "900",
+            "--trace", str(trace_file),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "audit", str(trace_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["conservation_checks"] > 0
+
+    def test_trace_audit_rejects_garbage(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text("not json at all\n")
+        code = main(["trace", "audit", str(bogus)])
+        assert code == 1
+        assert "invalid trace" in capsys.readouterr().err
 
 
 class TestExecution:
@@ -134,7 +172,7 @@ class TestBench:
     def test_bench_writes_report(self, tmp_path, capsys):
         code = main([
             "bench", "--quick", "--rounds", "1", "--no-paper",
-            "--out", str(tmp_path), "--label", "t1",
+            "--out", str(tmp_path), "--label", "t1", "--no-root",
         ])
         assert code == 0
         report_path = tmp_path / "BENCH_t1.json"
@@ -147,14 +185,35 @@ class TestBench:
         out = capsys.readouterr().out
         assert "pairs_in_range_500" in out
 
+    def test_bench_writes_root_report(self, tmp_path, capsys):
+        root = tmp_path / "root"
+        out = tmp_path / "out"
+        code = main([
+            "bench", "--quick", "--rounds", "1", "--no-paper",
+            "--out", str(out), "--label", "ci",
+            "--root-out", str(root),
+        ])
+        assert code == 0
+        assert (out / "BENCH_ci.json").exists()
+        assert (root / "BENCH_ci.json").exists()
+
+    def test_bench_root_report_skipped_when_same_dir(self, tmp_path):
+        code = main([
+            "bench", "--quick", "--rounds", "1", "--no-paper",
+            "--out", str(tmp_path), "--label", "same",
+            "--root-out", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "BENCH_same.json").exists()
+
     def test_bench_passes_against_own_baseline(self, tmp_path, capsys):
         assert main([
             "bench", "--quick", "--rounds", "1", "--no-paper",
-            "--out", str(tmp_path), "--label", "base",
+            "--out", str(tmp_path), "--label", "base", "--no-root",
         ]) == 0
         code = main([
             "bench", "--quick", "--rounds", "1", "--no-paper",
-            "--out", str(tmp_path), "--label", "again",
+            "--out", str(tmp_path), "--label", "again", "--no-root",
             "--baseline", str(tmp_path / "BENCH_base.json"),
         ])
         assert code == 0
@@ -164,7 +223,7 @@ class TestBench:
         import json
         assert main([
             "bench", "--quick", "--rounds", "1", "--no-paper",
-            "--out", str(tmp_path), "--label", "base",
+            "--out", str(tmp_path), "--label", "base", "--no-root",
         ]) == 0
         baseline_path = tmp_path / "BENCH_base.json"
         doctored = json.loads(baseline_path.read_text())
@@ -173,7 +232,7 @@ class TestBench:
         baseline_path.write_text(json.dumps(doctored))
         code = main([
             "bench", "--quick", "--rounds", "1", "--no-paper",
-            "--out", str(tmp_path), "--label", "now",
+            "--out", str(tmp_path), "--label", "now", "--no-root",
             "--baseline", str(baseline_path),
         ])
         assert code == 1

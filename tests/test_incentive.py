@@ -128,6 +128,35 @@ class TestSoftwareIncentive:
         senior = software_incentive(params, **self.base_kwargs(sender_role=1))
         assert senior > junior
 
+    @pytest.mark.parametrize("ratio", [0.0, 1e-12, 1e-10, 1e-9])
+    def test_near_zero_interest_takes_the_zero_branch(self, params, ratio):
+        # Regression: P_v values within the validator's rounding slop of
+        # zero (e.g. 1e-12 from a float division) must be treated as "no
+        # interest" — before the fix only an exact 0.0 was, so a
+        # rounding-noise P_v slipped into the formula branch and earned
+        # an epsilon-interest receiver a sizeable data-term promise.
+        value = software_incentive(
+            params, **self.base_kwargs(
+                interest_ratio=ratio, priority=Priority.HIGH,
+                sender_role=1, receiver_role=2,
+            )
+        )
+        assert value == params.max_incentive
+        value = software_incentive(
+            params, **self.base_kwargs(
+                interest_ratio=ratio, priority=Priority.MEDIUM,
+            )
+        )
+        assert value == 0.0
+
+    def test_just_above_threshold_takes_the_formula_branch(self, params):
+        value = software_incentive(
+            params, **self.base_kwargs(interest_ratio=2e-9)
+        )
+        expected = (0.25 * (0.5 + 0.5) + 0.5 * (2e-9 / (1 * 2))) * 10.0
+        assert value == pytest.approx(expected)
+        assert value > 0.0
+
     def test_invalid_inputs_rejected(self, params):
         with pytest.raises(ConfigurationError):
             software_incentive(params, **self.base_kwargs(sender_role=0))

@@ -218,6 +218,21 @@ class TestEscrowExpiry:
         with pytest.raises(LedgerError):
             ledger.capture(hold, 2, time=11.0)
 
+    def test_hold_exists_tracks_the_lifecycle(self, ledger):
+        hold = ledger.escrow(1, 25.0, time=0.0, expires_at=10.0)
+        assert ledger.hold_exists(hold)
+        ledger.expire_holds(10.0)
+        assert not ledger.hold_exists(hold)
+
+    def test_releasing_an_expired_hold_raises(self, ledger):
+        # The abort path must guard with hold_exists(); a blind release
+        # of a reclaimed hold is a bookkeeping bug and raises.
+        hold = ledger.escrow(1, 25.0, time=0.0, expires_at=10.0)
+        ledger.expire_holds(10.0)
+        with pytest.raises(LedgerError):
+            ledger.release(hold, time=11.0)
+        assert ledger.balance(1) == 100.0  # refunded exactly once
+
     def test_release_all_drains_everything(self, ledger):
         ledger.escrow(1, 10.0, time=0.0)
         ledger.escrow(2, 20.0, time=0.0, expires_at=1e9)

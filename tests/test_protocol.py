@@ -325,6 +325,82 @@ class TestRatings:
         assert router.reputation.book(2).score(1) == pytest.approx(0.0)
 
 
+class TestEscrowExpiryAbortRace:
+    """Regression: a hold reclaimed by the escrow timeout
+    (``_expire_stale_holds``) must not be refunded *again* when the
+    transfer it backed finally aborts — that would mint tokens for the
+    payer and break conservation."""
+
+    class _FakeTransfer:
+        abort_reason = "contact-ended"
+
+    def _router_with_world(self, escrow_timeout=5.0):
+        router = make_protocol(escrow_timeout=escrow_timeout)
+        make_world({0: [], 1: []}, router)  # binds world/ledger/metrics
+        router.ensure_account(0)
+        router.ensure_account(1)
+        return router
+
+    def test_abort_after_expiry_does_not_refund_twice(self):
+        router = self._router_with_world()
+        transfer = self._FakeTransfer()
+        hold = router.ledger.escrow(
+            1, 10.0, time=0.0, reason="delivery-award", expires_at=5.0,
+        )
+        router._pending_payments[id(transfer)] = (hold, 0, 10.0, "k")
+        assert router.ledger.balance(1) == pytest.approx(90.0)
+
+        # The timeout sweep (run at the next contact) reclaims the hold.
+        assert router.ledger.expire_holds(6.0) == pytest.approx(10.0)
+        assert router.ledger.balance(1) == pytest.approx(100.0)
+
+        # The late abort must see the hold is gone and do nothing.
+        router.on_transfer_aborted(transfer, None)
+        assert router.ledger.balance(1) == pytest.approx(100.0)
+        assert router.ledger.total_supply() == pytest.approx(200.0)
+        assert id(transfer) not in router._pending_payments
+
+    def test_abort_before_expiry_still_refunds_once(self):
+        router = self._router_with_world()
+        transfer = self._FakeTransfer()
+        hold = router.ledger.escrow(
+            1, 10.0, time=0.0, reason="delivery-award", expires_at=5.0,
+        )
+        router._pending_payments[id(transfer)] = (hold, 0, 10.0, "k")
+        router.on_transfer_aborted(transfer, None)
+        assert router.ledger.balance(1) == pytest.approx(100.0)
+        # Nothing left for the (now past-due) sweep to reclaim.
+        assert router.ledger.expire_holds(6.0) == 0.0
+        assert router.ledger.total_supply() == pytest.approx(200.0)
+
+    def test_landing_after_expiry_pays_nobody(self):
+        # The capture side of the same race: the payee of a reclaimed
+        # hold goes unpaid for the very late landing, but the message
+        # still arrives and conservation still holds.
+        router = make_protocol(escrow_timeout=5.0)
+        world = make_world({0: [], 1: ["flood"]}, router)
+        router.ensure_account(0)
+        router.ensure_account(1)
+        message = make_message(source=0, size=100, keywords=("flood",),
+                               content=("flood",))
+
+        transfer = self._FakeTransfer()
+        transfer.receiver = 1
+        transfer.message = message
+        hold = router.ledger.escrow(
+            1, 10.0, time=0.0, reason="delivery-award", expires_at=5.0,
+        )
+        router._pending_payments[id(transfer)] = (hold, 0, 10.0, "k")
+        router.ledger.expire_holds(6.0)
+        assert not router.ledger.hold_exists(hold)
+
+        router.on_message_received(transfer, None)
+        assert message.uuid in world.node(1).delivered
+        assert world.metrics.token_payments == 0
+        assert router.ledger.balance(0) == pytest.approx(100.0)
+        assert router.ledger.total_supply() == pytest.approx(200.0)
+
+
 class TestAbortSafety:
     def test_aborted_transfer_releases_escrow(self):
         router = make_protocol()

@@ -140,6 +140,62 @@ class TestReputationSystem:
         assert system.average_score_of(9, [1, 2]) == params.default_rating
 
 
+class TestWhitewashing:
+    """Regression: forget_subject must erase *all* state about the
+    subject, including the own-rating running average.  Before the fix,
+    forget_subject poked only the combined-score dict from outside the
+    book, so the next rate_message resurrected the pre-wash average —
+    the whitewashed identity was not actually fresh."""
+
+    def test_book_forget_drops_score_and_own_average(self, params):
+        book = ReputationBook(0, params)
+        book.rate_message(9, 1.0)
+        book.merge_opinion(9, 2.0)
+        assert book.forget(9) is True
+        assert book.score(9) == params.default_rating
+        assert book.own_average(9) is None
+        assert not book.has_opinion(9)
+
+    def test_book_forget_reports_whether_opinion_existed(self, params):
+        book = ReputationBook(0, params)
+        assert book.forget(42) is False
+
+    def test_forgotten_subject_rates_like_a_stranger(self, params):
+        # The heart of the regression: after a wash, the first new
+        # rating must stand alone, not be averaged into old history.
+        book = ReputationBook(0, params)
+        for _ in range(10):
+            book.rate_message(9, 0.0)  # ruined reputation
+        book.forget(9)
+        book.rate_message(9, 5.0)
+        assert book.score(9) == pytest.approx(5.0)
+        assert book.own_average(9) == pytest.approx(5.0)
+
+    def test_system_forget_subject_clears_every_book(self, params):
+        system = ReputationSystem(params)
+        system.book(1).rate_message(9, 1.0)
+        system.book(2).rate_message(9, 2.0)
+        system.book(3)  # knows nothing about 9
+        assert system.forget_subject(9) == 2
+        for observer in (1, 2, 3):
+            assert system.book(observer).score(9) == params.default_rating
+            assert system.book(observer).own_average(9) is None
+        assert system.average_score_of(9, [1, 2, 3]) == params.default_rating
+
+    def test_bayesian_forget_is_equivalent(self, params):
+        from repro.core.bayesian_reputation import BayesianReputationSystem
+
+        system = BayesianReputationSystem(params)
+        system.book(1).rate_message(9, 0.0)
+        system.book(2).rate_message(9, 0.0)
+        assert system.forget_subject(9) == 2
+        assert not system.book(1).has_opinion(9)
+        # Scores return to the Beta prior mean on the rating scale.
+        assert system.book(1).score(9) == pytest.approx(
+            0.5 * params.max_rating
+        )
+
+
 class TestRatingModel:
     @pytest.fixture
     def model(self, params):
