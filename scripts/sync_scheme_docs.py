@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Sync the documentation scheme tables with the scheme registry.
+
+Rewrites the ``<!-- scheme-table-begin/end -->`` blocks in
+EXPERIMENTS.md and README.md from ``repro.schemes``:
+
+    python scripts/sync_scheme_docs.py          # rewrite stale tables
+    python scripts/sync_scheme_docs.py --check  # exit 1 if stale (CI)
+
+This is the registry-completeness gate for the *docs* surface; the CLI
+choices and figure/sweep scheme lists are asserted against the registry
+in tests/test_schemes.py.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.schemes.doctable import sync_file  # noqa: E402
+
+DOC_FILES = (REPO_ROOT / "EXPERIMENTS.md", REPO_ROOT / "README.md")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="report staleness without rewriting anything",
+    )
+    args = parser.parse_args(argv)
+
+    stale = []
+    for path in DOC_FILES:
+        if not sync_file(path, check=args.check):
+            stale.append(path)
+
+    if not stale:
+        print(f"scheme tables in sync across {len(DOC_FILES)} file(s)")
+        return 0
+    names = ", ".join(p.name for p in stale)
+    if args.check:
+        print(
+            f"stale scheme table(s) in {names}; "
+            f"run scripts/sync_scheme_docs.py to regenerate",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"rewrote scheme table(s) in {names}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

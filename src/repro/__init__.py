@@ -22,6 +22,7 @@ from repro.agents.attacks import WhitewashAttack
 from repro.core import (
     EnrichmentPolicy,
     IncentiveChitChatRouter,
+    IncentiveLayer,
     IncentiveParams,
     Operators,
     RatingModel,
@@ -114,6 +115,7 @@ __all__ = [
     # the paper's contribution
     "IncentiveParams",
     "IncentiveChitChatRouter",
+    "IncentiveLayer",
     "TokenLedger",
     "ReputationBook",
     "ReputationSystem",

@@ -3,6 +3,7 @@
 Usage::
 
     repro-dtn table          # print Table 5.1
+    repro-dtn schemes        # list every registered scheme
     repro-dtn figure 5.1     # regenerate one figure (scaled grid)
     repro-dtn figure all     # regenerate every figure
     repro-dtn run --scheme incentive --selfish 0.2 --seed 1
@@ -40,6 +41,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.runner import SCHEMES, run_scenario
 from repro.metrics.reports import format_table
+from repro.schemes import KNOWN_TAGS, all_specs, tagged
 
 __all__ = ["main"]
 
@@ -68,6 +70,23 @@ def _cmd_table(args: argparse.Namespace) -> int:
     # Table 5.1 is the paper's parameter table; always print the
     # paper-scale values (the scaled bench config is a harness detail).
     print(table5_1_parameters(ScenarioConfig.paper_scale()))
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    specs = all_specs()
+    if args.tag is not None:
+        wanted = set(tagged(args.tag))
+        specs = tuple(spec for spec in specs if spec.name in wanted)
+    print(format_table(
+        ["scheme", "tags", "description"],
+        [
+            [spec.name, ",".join(sorted(spec.tags)), spec.doc]
+            for spec in specs
+        ],
+        title=f"{len(specs)} registered scheme(s)"
+              + (f" tagged {args.tag!r}" if args.tag else ""),
+    ))
     return 0
 
 
@@ -441,6 +460,16 @@ def build_parser() -> argparse.ArgumentParser:
     table = commands.add_parser("table", help="print Table 5.1")
     table.set_defaults(func=_cmd_table)
 
+    schemes = commands.add_parser(
+        "schemes",
+        help="list registered schemes (names, tags, one-line docs)",
+    )
+    schemes.add_argument(
+        "--tag", choices=sorted(KNOWN_TAGS), default=None,
+        help="only schemes carrying this tag",
+    )
+    schemes.set_defaults(func=_cmd_schemes)
+
     figure = commands.add_parser("figure", help="regenerate a figure")
     figure.add_argument("figure", help="figure id (e.g. 5.1) or 'all'")
     figure.add_argument(
@@ -555,8 +584,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument(
         "--schemes", nargs="+", choices=SCHEMES,
-        default=["incentive", "chitchat"],
-        help="schemes to compare (default: incentive chitchat)",
+        default=list(tagged("paper-comparison")),
+        help="schemes to compare (default: the paper-comparison pair)",
     )
     faults.add_argument(
         "--seeds", type=int, default=1,

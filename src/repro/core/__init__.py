@@ -12,6 +12,7 @@ from repro.core.incentive import (
     tag_incentive,
     total_promise,
 )
+from repro.core.incentive_layer import IncentiveLayer
 from repro.core.ledger import TokenLedger, Transaction
 from repro.core.operators import Operators
 from repro.core.protocol import IncentiveChitChatRouter
@@ -30,6 +31,7 @@ __all__ = [
     "RatingModel",
     "EnrichmentPolicy",
     "IncentiveChitChatRouter",
+    "IncentiveLayer",
     "Operators",
     "BayesianReputationSystem",
     "RatingGraph",

@@ -105,6 +105,14 @@ class ScenarioConfig:
     #: disables tracing; results are bit-identical either way.
     trace_path: Optional[str] = None
 
+    # Scheme
+    #: Pin the scenario to one registered scheme;
+    #: :func:`~repro.experiments.runner.run_scenario` uses it when no
+    #: scheme argument is given.  Validated against the scheme registry
+    #: at construction time, so a typo fails when the config is built,
+    #: not mid-run.  Excluded from mobility/trace-cache keys.
+    scheme: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ConfigurationError("n_nodes must be >= 2")
@@ -130,6 +138,12 @@ class ScenarioConfig:
             raise ConfigurationError("max_retransmissions must be >= 0")
         if self.retransmit_backoff <= 0:
             raise ConfigurationError("retransmit_backoff must be > 0")
+        if self.scheme is not None:
+            # Imported lazily: repro.schemes pulls in the router catalog,
+            # which this config module must not depend on at import time.
+            from repro.schemes import resolve_scheme
+
+            resolve_scheme(self.scheme)  # raises ConfigurationError
 
     # ------------------------------------------------------------------
     # Presets

@@ -28,6 +28,7 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import build_contact_trace, run_scenario
 from repro.experiments.trace_cache import TraceCache
 from repro.faults import FaultConfig
+from repro.schemes import tagged
 
 __all__ = ["fault_grid_configs", "fault_sweep"]
 
@@ -96,7 +97,7 @@ def fault_sweep(
     base: ScenarioConfig,
     *,
     loss_levels: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
-    schemes: Sequence[str] = ("incentive", "chitchat"),
+    schemes: Sequence[str] = tagged("paper-comparison"),
     seeds: Sequence[int] = (0,),
     corruption_fraction: float = 0.0,
     churn_mean_uptime: float = 0.0,

@@ -21,6 +21,7 @@ from repro.experiments.runner import (
 )
 from repro.messages.message import Priority
 from repro.metrics.reports import ascii_chart, format_series, format_table
+from repro.schemes import tagged
 
 __all__ = [
     "FigureResult",
@@ -34,6 +35,12 @@ __all__ = [
 ]
 
 DEFAULT_SEEDS: Tuple[int, ...] = (1, 2, 3)
+
+#: The paper's head-to-head pair, from the registry's tag — sorted so
+#: the baseline (ChitChat) series always precedes the proposed scheme,
+#: matching the paper's figure legends.
+PAPER_PAIR: Tuple[str, ...] = tuple(sorted(tagged("paper-comparison")))
+BASELINE_SCHEME, INCENTIVE_SCHEME = PAPER_PAIR
 
 
 @dataclass
@@ -144,12 +151,12 @@ def fig5_1_mdr_vs_selfish(
         title="MDR vs Percentage of Selfish Nodes",
         x_label="selfish %",
         y_label="MDR",
-        series={"chitchat": [], "incentive": []},
+        series={scheme: [] for scheme in PAPER_PAIR},
     )
     traces: Dict[int, object] = {}
     for fraction in selfish_grid:
         point = config.replace(selfish_fraction=fraction)
-        for scheme in ("chitchat", "incentive"):
+        for scheme in PAPER_PAIR:
             runs = _averaged_runs(point, scheme, seeds, traces,
                                   workers=workers)
             result.series[scheme].append(
@@ -184,9 +191,9 @@ def fig5_2_traffic_reduction(
     traces: Dict[int, object] = {}
     for fraction in selfish_grid:
         point = config.replace(selfish_fraction=fraction)
-        chitchat = _averaged_runs(point, "chitchat", seeds, traces,
+        chitchat = _averaged_runs(point, BASELINE_SCHEME, seeds, traces,
                                   workers=workers)
-        incentive = _averaged_runs(point, "incentive", seeds, traces,
+        incentive = _averaged_runs(point, INCENTIVE_SCHEME, seeds, traces,
                                    workers=workers)
         base_traffic = _mean([float(r.traffic) for r in chitchat])
         ours_traffic = _mean([float(r.traffic) for r in incentive])
@@ -223,13 +230,13 @@ def fig5_3_initial_tokens(
     )
     traces: Dict[int, object] = {}
     for selfish in selfish_levels:
-        name = f"incentive selfish={selfish:.0%}"
+        name = f"{INCENTIVE_SCHEME} selfish={selfish:.0%}"
         result.series[name] = []
         for tokens in token_grid:
             point = config.replace(
                 selfish_fraction=selfish
             ).with_tokens(tokens)
-            runs = _averaged_runs(point, "incentive", seeds, traces,
+            runs = _averaged_runs(point, INCENTIVE_SCHEME, seeds, traces,
                                   workers=workers)
             result.series[name].append(
                 (float(tokens), _mean([r.mdr for r in runs]))
@@ -273,7 +280,7 @@ def fig5_4_malicious_ratings(
         sampling = dict(sample_ratings=True, rating_sample_interval=interval)
         if workers == 1:
             runs = [
-                run_scenario(point, "incentive", seed, **sampling)
+                run_scenario(point, INCENTIVE_SCHEME, seed, **sampling)
                 for seed in seeds
             ]
         else:
@@ -284,7 +291,7 @@ def fig5_4_malicious_ratings(
             )
 
             runs = ensure_success(run_specs(
-                [RunSpec(point, "incentive", seed, dict(sampling))
+                [RunSpec(point, INCENTIVE_SCHEME, seed, dict(sampling))
                  for seed in seeds],
                 workers=workers,
             ))
@@ -324,12 +331,12 @@ def fig5_5_mdr_vs_users(
         title="MDR vs Number of Users",
         x_label="users",
         y_label="MDR",
-        series={"chitchat": [], "incentive": []},
+        series={scheme: [] for scheme in PAPER_PAIR},
     )
     for users in user_grid:
         point = config.replace(n_nodes=int(users))
         traces: Dict[int, object] = {}
-        for scheme in ("chitchat", "incentive"):
+        for scheme in PAPER_PAIR:
             runs = _averaged_runs(point, scheme, seeds, traces,
                                   workers=workers)
             result.series[scheme].append(
@@ -364,7 +371,7 @@ def fig5_6_priority_mdr(
     traces: Dict[int, object] = {}
     for selfish in selfish_levels:
         point = config.replace(selfish_fraction=selfish)
-        for scheme in ("chitchat", "incentive"):
+        for scheme in PAPER_PAIR:
             runs = _averaged_runs(point, scheme, seeds, traces,
                                   workers=workers)
             by_priority: Dict[Priority, List[float]] = {

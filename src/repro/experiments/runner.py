@@ -15,10 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.agents.behaviors import assign_behaviors
 from repro.agents.roles import RoleHierarchy
-from repro.core.bayesian_reputation import BayesianReputationSystem
-from repro.core.enrichment import EnrichmentPolicy
-from repro.core.protocol import IncentiveChitChatRouter
-from repro.core.reputation import RatingModel
+from repro.core.incentive_layer import IncentiveLayer
 from repro.errors import ConfigurationError
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.trace_cache import TraceCache, get_default_cache
@@ -35,20 +32,7 @@ from repro.network.buffer import DropPolicy
 from repro.network.node import Node
 from repro.network.world import World
 from repro.routing.base import Router
-from repro.routing.chitchat import ChitChatRouter
-from repro.routing.direct import DirectContactRouter
-from repro.routing.epidemic import EpidemicRouter
-from repro.routing.epidemic_variants import (
-    ImmuneEpidemicRouter,
-    PriorityEpidemicRouter,
-)
-from repro.routing.nectar import NectarRouter
-from repro.routing.prophet import ProphetRouter
-from repro.routing.relics import RelicsRouter
-from repro.routing.spray_and_wait import SprayAndWaitRouter
-from repro.routing.tft import TitForTatRouter
-from repro.routing.two_hop import TwoHopRouter
-from repro.routing.two_hop_reward import TwoHopRewardRouter
+from repro.schemes import resolve_scheme, scheme_names
 from repro.sim.engine import Engine
 from repro.sim.process import PeriodicProcess
 from repro.sim.rng import RandomStreams
@@ -64,26 +48,9 @@ __all__ = [
     "run_averaged",
 ]
 
-#: Scheme names accepted by :func:`run_scenario`.
-SCHEMES: Tuple[str, ...] = (
-    "incentive",
-    "incentive-no-enrichment",
-    "incentive-no-reputation",
-    "incentive-bayesian",
-    "incentive-collusion",
-    "chitchat",
-    "epidemic",
-    "epidemic-priority",
-    "epidemic-immune",
-    "direct",
-    "two-hop",
-    "spray-and-wait",
-    "prophet",
-    "nectar",
-    "tit-for-tat",
-    "relics",
-    "two-hop-reward",
-)
+#: Scheme names accepted by :func:`run_scenario`, derived from the
+#: scheme registry (see ``repro/schemes/``) in registration order.
+SCHEMES: Tuple[str, ...] = scheme_names()
 
 
 @dataclass
@@ -224,81 +191,14 @@ def build_contact_trace(
 def make_router(
     scheme: str, config: ScenarioConfig, universe: KeywordUniverse
 ) -> Router:
-    """Instantiate the router for ``scheme``.
+    """Instantiate the router for ``scheme`` via the scheme registry.
 
     Raises:
-        ConfigurationError: For unknown scheme names.
+        ConfigurationError: For unknown scheme names (from
+            :func:`~repro.schemes.resolve_scheme`, which names every
+            registered scheme).
     """
-    chitchat_kwargs = dict(
-        beta=config.chitchat_beta,
-        growth_scale=config.chitchat_growth_scale,
-        max_retransmissions=config.max_retransmissions,
-        retransmit_backoff=config.retransmit_backoff,
-    )
-    if scheme == "chitchat":
-        return ChitChatRouter(**chitchat_kwargs)
-    if scheme.startswith("incentive"):
-        enrichment = None
-        if config.enrichment_enabled and scheme != "incentive-no-enrichment":
-            enrichment = EnrichmentPolicy(
-                universe,
-                honest_probability=config.honest_enrich_probability,
-                malicious_probability=config.malicious_enrich_probability,
-            )
-        rating_model = RatingModel(config.incentive)
-        kwargs = dict(
-            params=config.incentive,
-            enrichment=enrichment,
-            rating_model=rating_model,
-            best_relay_only=config.best_relay_only,
-            **chitchat_kwargs,
-        )
-        if scheme == "incentive-no-reputation":
-            # Ablation: nobody ever rates, so every award uses the
-            # default reputation — pure credit mechanism.
-            kwargs.update(
-                relay_rating_probability=0.0,
-                destination_rating_probability=0.0,
-            )
-        elif scheme == "incentive-bayesian":
-            # REPSYS-style Beta reputation instead of the averaging DRM.
-            kwargs["reputation"] = BayesianReputationSystem(config.incentive)
-        elif scheme == "incentive-collusion":
-            # Malicious raters praise each other (attack study).
-            kwargs["collusion"] = True
-        elif scheme != "incentive" and scheme != "incentive-no-enrichment":
-            raise ConfigurationError(
-                f"unknown scheme {scheme!r}; choose one of {SCHEMES}"
-            )
-        return IncentiveChitChatRouter(**kwargs)
-    if scheme == "epidemic":
-        return EpidemicRouter()
-    if scheme == "epidemic-priority":
-        return PriorityEpidemicRouter()
-    if scheme == "epidemic-immune":
-        return ImmuneEpidemicRouter()
-    if scheme == "direct":
-        return DirectContactRouter()
-    if scheme == "two-hop":
-        return TwoHopRouter()
-    if scheme == "spray-and-wait":
-        return SprayAndWaitRouter()
-    if scheme == "prophet":
-        return ProphetRouter()
-    if scheme == "nectar":
-        return NectarRouter()
-    if scheme == "tit-for-tat":
-        return TitForTatRouter()
-    if scheme == "relics":
-        return RelicsRouter()
-    if scheme == "two-hop-reward":
-        return TwoHopRewardRouter(
-            initial_tokens=config.incentive.initial_tokens,
-            reward=config.incentive.max_incentive,
-        )
-    raise ConfigurationError(
-        f"unknown scheme {scheme!r}; choose one of {SCHEMES}"
-    )
+    return resolve_scheme(scheme).builder(config, universe)
 
 
 def _build_population(
@@ -336,7 +236,7 @@ def _build_population(
 
 def run_scenario(
     config: ScenarioConfig,
-    scheme: str = "incentive",
+    scheme: Optional[str] = None,
     seed: int = 0,
     *,
     trace: Optional[ContactTrace] = None,
@@ -348,7 +248,8 @@ def run_scenario(
 
     Args:
         config: The scenario.
-        scheme: One of :data:`SCHEMES`.
+        scheme: One of :data:`SCHEMES`.  Defaults to ``config.scheme``
+            when the scenario pins one, else ``"incentive"``.
         seed: Master seed; population, workload and behaviour draws all
             derive from it.
         trace: Reuse a pre-built contact trace (for same-contacts
@@ -363,6 +264,11 @@ def run_scenario(
         The :class:`RunResult` with metrics and the router (whose ledger
         and reputation system remain inspectable).
     """
+    if scheme is None:
+        scheme = config.scheme if config.scheme is not None else "incentive"
+    # Resolve up front: an unknown name fails here, before any
+    # simulation state (or a trace file) is created.
+    spec = resolve_scheme(scheme)
     effective_trace_path = trace_path if trace_path is not None else (
         config.trace_path
     )
@@ -380,17 +286,14 @@ def run_scenario(
     try:
         streams = RandomStreams(seed)
         universe = KeywordUniverse(config.keyword_pool)
-        # Under the incentive scheme, custody of a high-priority message
-        # is worth more tokens, so rational nodes evict low-priority
-        # messages first; baselines keep ONE's drop-oldest buffers.
-        drop_policy = (
-            DropPolicy.DROP_LOWEST_PRIORITY if scheme.startswith("incentive")
-            else DropPolicy.DROP_OLDEST
-        )
+        # Under the incentive schemes, custody of a high-priority
+        # message is worth more tokens, so rational nodes evict
+        # low-priority messages first; baselines keep ONE's drop-oldest
+        # buffers.  The policy is part of the scheme's registration.
         nodes, behaviors = _build_population(
-            config, streams, universe, drop_policy=drop_policy
+            config, streams, universe, drop_policy=spec.drop_policy
         )
-        router = make_router(scheme, config, universe)
+        router = spec.builder(config, universe)
         engine = Engine()
         world = World(
             engine,
@@ -427,7 +330,7 @@ def run_scenario(
         selfish_ids = {i for i, b in behaviors.items() if b.selfish}
         honest_ids = set(range(config.n_nodes)) - malicious_ids - selfish_ids
 
-        if sample_ratings and isinstance(router, IncentiveChitChatRouter):
+        if sample_ratings and isinstance(router, IncentiveLayer):
             observers = sorted(set(range(config.n_nodes)) - malicious_ids)
 
             def _sample(now: float) -> None:

@@ -12,6 +12,7 @@ from repro.experiments.runner import (
     run_scenario,
 )
 from repro.experiments.trace_cache import TraceCache
+from repro.schemes import tagged
 
 __all__ = ["sweep"]
 
@@ -21,7 +22,7 @@ def sweep(
     vary: Callable[[ScenarioConfig, object], ScenarioConfig],
     values: Iterable[object],
     *,
-    schemes: Sequence[str] = ("incentive", "chitchat"),
+    schemes: Sequence[str] = tagged("paper-comparison"),
     seeds: Sequence[int] = (0,),
     workers: Optional[int] = 1,
     trace_cache: Optional[TraceCache] = None,

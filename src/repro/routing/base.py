@@ -11,7 +11,7 @@ how the paper's comparisons are constructed.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Iterable, List, Optional, Protocol
+from typing import TYPE_CHECKING, Iterable, List, Optional, Protocol, Tuple
 
 from repro.messages.message import Message
 from repro.network.link import Link, Transfer
@@ -71,6 +71,12 @@ class Router(abc.ABC):
 
     #: Short name used in reports (override in subclasses).
     name: str = "router"
+
+    #: Whether a destination keeps a copy in its buffer to serve further
+    #: destinations.  Substrates whose reception semantics terminate at
+    #: the destination (PRoPHET, Spray-and-Wait) set this False; the
+    #: incentive layer consults it when composing over a substrate.
+    destinations_also_relay: bool = True
 
     def __init__(self) -> None:
         self._world: Optional[RoutingContext] = None
@@ -144,3 +150,107 @@ class Router(abc.ABC):
             m for m in messages
             if not receiver.has_seen(m.uuid)
         ]
+
+    # ------------------------------------------------------------------
+    # Substrate hooks (the IncentiveLayer composition contract)
+    # ------------------------------------------------------------------
+    # ``repro.core.incentive_layer.IncentiveLayer`` drives any Router
+    # through these hooks: on contact it calls :meth:`prepare_contact`
+    # (protocol state updates that normally precede offering), asks
+    # :meth:`select_messages` what to offer, and runs each offer through
+    # the payment pipeline; :meth:`relay_affinity` and
+    # :meth:`relay_trust` feed the promise and prepay computations, and
+    # the custody hooks (:meth:`on_copy_sent` / :meth:`on_copy_received`)
+    # let copy-budgeted substrates (Spray-and-Wait) keep their
+    # bookkeeping when the layer, not the substrate, performs the send.
+    # All defaults are flood-friendly no-ops, so EpidemicRouter works
+    # unmodified.
+
+    def prepare_contact(self, link: Link) -> None:
+        """Update protocol state for a fresh contact, *before* offers.
+
+        Substrates run their per-encounter bookkeeping here (ChitChat's
+        RTSR decay, PRoPHET's aging + encounter update) so a composing
+        layer can trigger it without re-running the offer loop.
+        """
+
+    def classify(self, receiver_id: int, message: Message) -> str:
+        """``"destination"`` or ``"relay"`` for the receiving node."""
+        node = self.world.node(receiver_id)
+        return (
+            "destination" if self.is_destination(node, message) else "relay"
+        )
+
+    def wants_as_relay(
+        self, sender_id: int, receiver_id: int, message: Message
+    ) -> bool:
+        """Whether the substrate would forward to this relay candidate."""
+        return True
+
+    def relay_affinity(self, node_id: int, message: Message) -> float:
+        """How strongly ``node_id`` attracts ``message`` (>= 0).
+
+        Used by the incentive layer to rank candidate relays (the
+        *DecideBestRelay* gate) and to scale promises.  ChitChat returns
+        the interest sum ``S``; PRoPHET its delivery predictability;
+        the flood substrates have no preference and return 0.
+        """
+        return 0.0
+
+    def relay_trust(self, receiver_id: int, message: Message) -> float:
+        """Confidence in the relay used for the prepay threshold test.
+
+        The incentive layer pre-pays a relay whose trust exceeds the
+        relay threshold (Table 5.1: 0.8).  Substrates without a
+        comparable signal return 0, which never triggers prepayment.
+        """
+        return 0.0
+
+    def select_messages(
+        self, sender_id: int, receiver_id: int
+    ) -> List[Tuple[Message, str]]:
+        """Messages ``sender`` should offer ``receiver``, with roles.
+
+        Returns ``(message, "destination"|"relay")`` pairs in offer
+        order.  The default walks the sender's buffer in order,
+        offering every unseen message that fits: destinations always,
+        relays when :meth:`wants_as_relay` agrees.
+        """
+        sender = self.world.node(sender_id)
+        receiver = self.world.node(receiver_id)
+        selected: List[Tuple[Message, str]] = []
+        for message in sender.buffer.messages():
+            if receiver.has_seen(message.uuid):
+                continue
+            if message.size > receiver.buffer.capacity:
+                continue
+            role = self.classify(receiver_id, message)
+            if role == "destination":
+                selected.append((message, "destination"))
+            elif self.wants_as_relay(sender_id, receiver_id, message):
+                selected.append((message, "relay"))
+        return selected
+
+    def on_copy_sent(
+        self, transfer: Transfer, sender_id: int, message: Message, role: str
+    ) -> None:
+        """A composing layer queued a copy on the substrate's behalf.
+
+        Copy-budgeted substrates decrement their counters here (the
+        abort path reclaims through :meth:`on_transfer_aborted`).
+        """
+
+    def on_copy_received(
+        self,
+        transfer: Transfer,
+        receiver_id: int,
+        message: Message,
+        role: str,
+        accepted: bool,
+    ) -> None:
+        """A layer-driven transfer landed (``accepted``: buffer kept it).
+
+        The counterpart of :meth:`on_copy_sent`: Spray-and-Wait either
+        assigns the granted copies to the receiver or returns them to
+        the sender when the buffer refused.
+        """

@@ -488,11 +488,23 @@ class ChitChatRouter(Router):
             + [(m, "relay") for _, m in relays]
         )
 
+    def relay_affinity(self, node_id: int, message: Message) -> float:
+        """ChitChat's relay preference is the interest sum ``S``."""
+        return self.interest_sum(node_id, message)
+
+    def relay_trust(self, receiver_id: int, message: Message) -> float:
+        """Average tag weight — the paper's relay-threshold signal."""
+        return self.table(receiver_id).average_for(message.keywords)
+
     # ------------------------------------------------------------------
     # World hooks
     # ------------------------------------------------------------------
-    def on_contact_start(self, link: Link) -> None:
+    def prepare_contact(self, link: Link) -> None:
+        """Phase one of the weight exchange: decay on both endpoints."""
         self.run_rtsr_decay(link)
+
+    def on_contact_start(self, link: Link) -> None:
+        self.prepare_contact(link)
         self._exchange(link)
 
     def on_contact_end(self, link: Link) -> None:

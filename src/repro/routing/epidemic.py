@@ -21,14 +21,13 @@ class EpidemicRouter(Router):
     name = "epidemic"
 
     def on_contact_start(self, link: Link) -> None:
+        # The base select_messages floods in buffer order: every unseen
+        # message that fits is offered (wants_as_relay defaults True).
         for sender_id in link.pair:
-            receiver = self.world.node(link.peer_of(sender_id))
-            sender = self.world.node(sender_id)
-            for message in sender.buffer.messages():
-                if receiver.has_seen(message.uuid):
-                    continue
-                if message.size > receiver.buffer.capacity:
-                    continue
+            receiver_id = link.peer_of(sender_id)
+            for message, _role in self.select_messages(
+                sender_id, receiver_id
+            ):
                 self.world.send_message(link, sender_id, message)
 
     def on_message_received(self, transfer: Transfer, link: Link) -> None:

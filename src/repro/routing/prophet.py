@@ -33,6 +33,10 @@ class ProphetRouter(Router):
 
     name = "prophet"
 
+    #: PRoPHET terminates at the destination: a delivered message is not
+    #: re-buffered for further destinations.
+    destinations_also_relay = False
+
     def __init__(
         self,
         *,
@@ -111,30 +115,63 @@ class ProphetRouter(Router):
         return best
 
     # ------------------------------------------------------------------
+    # Substrate hooks
+    # ------------------------------------------------------------------
+    def wants_as_relay(
+        self, sender_id: int, receiver_id: int, message: Message
+    ) -> bool:
+        """The PRoPHET forwarding rule: the peer is a better carrier."""
+        return (
+            self.best_predictability(receiver_id, message)
+            > self.best_predictability(sender_id, message)
+        )
+
+    def relay_affinity(self, node_id: int, message: Message) -> float:
+        """Delivery predictability of reaching some destination."""
+        return self.best_predictability(node_id, message)
+
+    def relay_trust(self, receiver_id: int, message: Message) -> float:
+        """Predictability doubles as the prepay-confidence signal."""
+        return self.best_predictability(receiver_id, message)
+
+    def select_messages(
+        self, sender_id: int, receiver_id: int
+    ) -> List[Tuple[Message, str]]:
+        """Destinations first, then relays by descending predictability."""
+        sender = self.world.node(sender_id)
+        receiver = self.world.node(receiver_id)
+        offers: List[Tuple[float, Message, str]] = []
+        for message in sender.buffer.messages():
+            if receiver.has_seen(message.uuid):
+                continue
+            if message.size > receiver.buffer.capacity:
+                continue
+            if self.is_destination(receiver, message):
+                offers.append((math.inf, message, "destination"))
+                continue
+            mine = self.best_predictability(sender_id, message)
+            theirs = self.best_predictability(receiver.node_id, message)
+            if theirs > mine:
+                offers.append((theirs, message, "relay"))
+        offers.sort(key=lambda item: -item[0])
+        return [(message, role) for _, message, role in offers]
+
+    # ------------------------------------------------------------------
     # World hooks
     # ------------------------------------------------------------------
-    def on_contact_start(self, link: Link) -> None:
+    def prepare_contact(self, link: Link) -> None:
+        """Age both tables and apply the encounter/transitivity update."""
         self._age(link.a)
         self._age(link.b)
         self._on_encounter(link.a, link.b)
+
+    def on_contact_start(self, link: Link) -> None:
+        self.prepare_contact(link)
         for sender_id in link.pair:
-            sender = self.world.node(sender_id)
-            receiver = self.world.node(link.peer_of(sender_id))
-            offers: List[Tuple[float, Message]] = []
-            for message in sender.buffer.messages():
-                if receiver.has_seen(message.uuid):
-                    continue
-                if message.size > receiver.buffer.capacity:
-                    continue
-                if self.is_destination(receiver, message):
-                    offers.append((math.inf, message))
-                    continue
-                mine = self.best_predictability(sender_id, message)
-                theirs = self.best_predictability(receiver.node_id, message)
-                if theirs > mine:
-                    offers.append((theirs, message))
-            offers.sort(key=lambda item: -item[0])
-            for _, message in offers:
+            receiver_id = link.peer_of(sender_id)
+            for message, _role in self.select_messages(
+                sender_id, receiver_id
+            ):
                 self.world.send_message(link, sender_id, message)
 
     def on_message_received(self, transfer: Transfer, link: Link) -> None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
+from repro.messages.message import Message
 from repro.network.link import Link, Transfer
 from repro.routing.base import Router
 
@@ -25,6 +26,9 @@ class SprayAndWaitRouter(Router):
     """
 
     name = "spray-and-wait"
+
+    #: A destination consumes its copy; it does not spray further.
+    destinations_also_relay = False
 
     def __init__(self, initial_copies: int = 8):
         super().__init__()
@@ -45,46 +49,76 @@ class SprayAndWaitRouter(Router):
     def on_message_created(self, node_id: int, message) -> None:
         self._copies[(node_id, message.uuid)] = self.initial_copies
 
+    def wants_as_relay(
+        self, sender_id: int, receiver_id: int, message: Message
+    ) -> bool:
+        """Spray only while holding more than one logical copy."""
+        return self.copies_held(sender_id, message.uuid) > 1
+
+    def on_copy_sent(
+        self, transfer: Transfer, sender_id: int, message: Message, role: str
+    ) -> None:
+        """Grant half the held copies to an outbound relay transfer."""
+        if role != "relay":
+            return
+        held = self.copies_held(sender_id, message.uuid)
+        if held <= 1:
+            return
+        granted = held // 2
+        self._copies[(sender_id, message.uuid)] = held - granted
+        self._in_flight[id(transfer)] = (sender_id, message.uuid, granted)
+
+    def on_copy_received(
+        self,
+        transfer: Transfer,
+        receiver_id: int,
+        message: Message,
+        role: str,
+        accepted: bool,
+    ) -> None:
+        """Settle a landed grant: assign it, or refund a refused one."""
+        grant = self._in_flight.pop(id(transfer), None)
+        if grant is None:
+            return
+        sender_id, uuid, granted = grant
+        if role == "destination":
+            # The copies were consumed by the delivery.
+            return
+        if accepted:
+            self._copies[(receiver_id, uuid)] = granted
+        else:
+            # Buffer refused; return the copies to the sender.
+            self._copies[(sender_id, uuid)] = (
+                self.copies_held(sender_id, uuid) + granted
+            )
+
     def on_contact_start(self, link: Link) -> None:
+        # The base select_messages walks the buffer in order, gating
+        # relays through wants_as_relay (copies held > 1); the custody
+        # hook then performs the binary-spray grant bookkeeping.
         for sender_id in link.pair:
-            sender = self.world.node(sender_id)
-            receiver = self.world.node(link.peer_of(sender_id))
-            for message in sender.buffer.messages():
-                if receiver.has_seen(message.uuid):
-                    continue
-                if message.size > receiver.buffer.capacity:
-                    continue
-                if self.is_destination(receiver, message):
-                    self.world.send_message(link, sender_id, message)
-                    continue
-                held = self.copies_held(sender_id, message.uuid)
-                if held > 1:
-                    transfer = self.world.send_message(link, sender_id, message)
-                    if transfer is not None:
-                        granted = held // 2
-                        self._copies[(sender_id, message.uuid)] = held - granted
-                        self._in_flight[id(transfer)] = (
-                            sender_id, message.uuid, granted
-                        )
+            receiver_id = link.peer_of(sender_id)
+            for message, role in self.select_messages(
+                sender_id, receiver_id
+            ):
+                transfer = self.world.send_message(link, sender_id, message)
+                if transfer is not None:
+                    self.on_copy_sent(transfer, sender_id, message, role)
 
     def on_message_received(self, transfer: Transfer, link: Link) -> None:
         receiver = self.world.node(transfer.receiver)
         message = transfer.message
         message.record_hop(receiver.node_id)
-        grant = self._in_flight.pop(id(transfer), None)
         if self.is_destination(receiver, message):
             self.world.deliver(receiver, message)
+            self.on_copy_received(
+                transfer, receiver.node_id, message, "destination", False
+            )
             return
-        if not self.world.accept_relay(receiver, message):
-            # Buffer refused; return the copies to the sender.
-            if grant is not None:
-                sender_id, uuid, granted = grant
-                self._copies[(sender_id, uuid)] = (
-                    self.copies_held(sender_id, uuid) + granted
-                )
-            return
-        if grant is not None:
-            self._copies[(receiver.node_id, message.uuid)] = grant[2]
+        accepted = self.world.accept_relay(receiver, message)
+        self.on_copy_received(
+            transfer, receiver.node_id, message, "relay", accepted
+        )
 
     def on_transfer_aborted(self, transfer: Transfer, link: Link) -> None:
         # Aborted transfers never hit on_message_received; reclaim their

@@ -85,6 +85,15 @@ class TwoHopRewardRouter(Router):
         self._declined = 0
         self._accepted = 0
 
+    def bind(self, world) -> None:
+        super().bind(world)
+        # Wire the ledger into the run's event trace (when one exists)
+        # so reward settlements are replayable by `repro-dtn trace
+        # audit`, exactly like the main incentive scheme's ledger.
+        trace = getattr(world, "trace", None)
+        if trace is not None:
+            self.ledger.trace = trace
+
     # ------------------------------------------------------------------
     # Relay economics
     # ------------------------------------------------------------------
@@ -100,7 +109,8 @@ class TwoHopRewardRouter(Router):
 
     def _ensure_account(self, node_id: int) -> None:
         if not self.ledger.has_account(node_id):
-            self.ledger.open_account(node_id, self.initial_tokens)
+            now = self._world.now if self._world is not None else 0.0
+            self.ledger.open_account(node_id, self.initial_tokens, time=now)
 
     def win_probability_estimate(self, uuid: str) -> float:
         """A prospective relay's estimated chance of delivering first."""

@@ -1,0 +1,30 @@
+"""Scheme registry: the single source of truth for scheme names.
+
+Importing this package registers the built-in catalog.  To add a
+scheme, write a builder ``(config, universe) -> Router`` and register
+it (see ``repro/schemes/catalog.py``); the runner, CLI, figures and
+tag-driven property tests pick it up with no further edits.
+"""
+
+from repro.schemes.registry import (
+    KNOWN_TAGS,
+    SchemeSpec,
+    all_specs,
+    register,
+    resolve_scheme,
+    scheme_names,
+    tagged,
+)
+
+# Populate the registry with the built-in schemes.
+from repro.schemes import catalog  # noqa: E402,F401  (import for effect)
+
+__all__ = [
+    "KNOWN_TAGS",
+    "SchemeSpec",
+    "register",
+    "resolve_scheme",
+    "scheme_names",
+    "all_specs",
+    "tagged",
+]

@@ -1,0 +1,256 @@
+"""The built-in scheme catalog.
+
+Every scheme the harness ships is registered here, in the historical
+order of the old ``runner.SCHEMES`` tuple (new compositions append at
+the end), so ``scheme_names()`` is a drop-in replacement for it.
+
+The incentive family shows the payoff of the
+:class:`~repro.core.incentive_layer.IncentiveLayer` split: the paper's
+scheme is the layer over ChitChat, and the ``incentive-epidemic`` /
+``incentive-prophet`` / ``incentive-spray-and-wait`` compositions are
+the *same mechanism* — same ledger, escrow, reputation and enrichment
+machinery, same trace/audit guarantees — over other substrates, each a
+one-registration addition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.bayesian_reputation import BayesianReputationSystem
+from repro.core.enrichment import EnrichmentPolicy
+from repro.core.incentive_layer import IncentiveLayer
+from repro.core.protocol import IncentiveChitChatRouter
+from repro.core.reputation import RatingModel
+from repro.network.buffer import DropPolicy
+from repro.routing.chitchat import ChitChatRouter
+from repro.routing.direct import DirectContactRouter
+from repro.routing.epidemic import EpidemicRouter
+from repro.routing.epidemic_variants import (
+    ImmuneEpidemicRouter,
+    PriorityEpidemicRouter,
+)
+from repro.routing.nectar import NectarRouter
+from repro.routing.prophet import ProphetRouter
+from repro.routing.relics import RelicsRouter
+from repro.routing.spray_and_wait import SprayAndWaitRouter
+from repro.routing.tft import TitForTatRouter
+from repro.routing.two_hop import TwoHopRouter
+from repro.routing.two_hop_reward import TwoHopRewardRouter
+from repro.schemes.registry import register
+
+__all__ = []  # everything is exposed through the registry
+
+
+def _chitchat_kwargs(config) -> dict:
+    return dict(
+        beta=config.chitchat_beta,
+        growth_scale=config.chitchat_growth_scale,
+        max_retransmissions=config.max_retransmissions,
+        retransmit_backoff=config.retransmit_backoff,
+    )
+
+
+def _enrichment(config, universe) -> Optional[EnrichmentPolicy]:
+    if not config.enrichment_enabled:
+        return None
+    return EnrichmentPolicy(
+        universe,
+        honest_probability=config.honest_enrich_probability,
+        malicious_probability=config.malicious_enrich_probability,
+    )
+
+
+def _incentive_kwargs(config, universe, *, enrichment: bool = True) -> dict:
+    return dict(
+        params=config.incentive,
+        enrichment=_enrichment(config, universe) if enrichment else None,
+        rating_model=RatingModel(config.incentive),
+        best_relay_only=config.best_relay_only,
+    )
+
+
+def _incentive_chitchat(config, universe, **overrides):
+    kwargs = _incentive_kwargs(
+        config, universe, enrichment=overrides.pop("enrichment", True)
+    )
+    kwargs.update(overrides)
+    return IncentiveChitChatRouter(**kwargs, **_chitchat_kwargs(config))
+
+
+def _layer_over(substrate_builder: Callable) -> Callable:
+    """Builder for the incentive mechanism composed over a substrate."""
+    def build(config, universe):
+        return IncentiveLayer(
+            substrate_builder(config, universe),
+            **_incentive_kwargs(config, universe),
+        )
+    return build
+
+
+# ----------------------------------------------------------------------
+# The paper's scheme and its ablations (historical order preserved)
+# ----------------------------------------------------------------------
+register(
+    "incentive",
+    lambda config, universe: _incentive_chitchat(config, universe),
+    doc="The paper's scheme: ChitChat + credit incentives + enrichment "
+        "+ the Distributed Reputation Model.",
+    tags=("token", "reputation", "incentive-layer", "paper-comparison"),
+    drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
+)
+register(
+    "incentive-no-enrichment",
+    lambda config, universe: _incentive_chitchat(
+        config, universe, enrichment=False
+    ),
+    doc="Ablation: full incentive scheme with content enrichment "
+        "disabled.",
+    tags=("token", "reputation", "incentive-layer", "ablation"),
+    drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
+)
+register(
+    "incentive-no-reputation",
+    # Nobody ever rates, so every award uses the default reputation —
+    # pure credit mechanism.
+    lambda config, universe: _incentive_chitchat(
+        config, universe,
+        relay_rating_probability=0.0,
+        destination_rating_probability=0.0,
+    ),
+    doc="Ablation: pure credit mechanism; nobody rates, every award "
+        "uses the default reputation.",
+    tags=("token", "incentive-layer", "ablation"),
+    drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
+)
+register(
+    "incentive-bayesian",
+    # REPSYS-style Beta reputation instead of the averaging DRM.
+    lambda config, universe: _incentive_chitchat(
+        config, universe,
+        reputation=BayesianReputationSystem(config.incentive),
+    ),
+    doc="Ablation: Beta (Bayesian) reputation instead of the averaging "
+        "DRM.",
+    tags=("token", "reputation", "incentive-layer", "ablation"),
+    drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
+)
+register(
+    "incentive-collusion",
+    # Malicious raters praise each other (attack study).
+    lambda config, universe: _incentive_chitchat(
+        config, universe, collusion=True
+    ),
+    doc="Attack study: malicious raters collude, praising each other "
+        "perfectly.",
+    tags=("token", "reputation", "incentive-layer", "ablation"),
+    drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
+)
+
+# ----------------------------------------------------------------------
+# Routing substrates (no economic mechanism)
+# ----------------------------------------------------------------------
+register(
+    "chitchat",
+    lambda config, universe: ChitChatRouter(**_chitchat_kwargs(config)),
+    doc="Bare ChitChat: data-centric RTSR routing without incentives.",
+    tags=("substrate", "paper-comparison"),
+)
+register(
+    "epidemic",
+    lambda config, universe: EpidemicRouter(),
+    doc="Epidemic flooding (Vahdat & Becker): maximum delivery, "
+        "maximum overhead.",
+    tags=("substrate",),
+)
+register(
+    "epidemic-priority",
+    lambda config, universe: PriorityEpidemicRouter(),
+    doc="Epidemic flooding that offers high-priority messages first.",
+    tags=("substrate",),
+)
+register(
+    "epidemic-immune",
+    lambda config, universe: ImmuneEpidemicRouter(),
+    doc="Epidemic flooding with delivery immunity (anti-packets).",
+    tags=("substrate",),
+)
+register(
+    "direct",
+    lambda config, universe: DirectContactRouter(),
+    doc="Direct contact only: the source delivers in person.",
+    tags=("substrate",),
+)
+register(
+    "two-hop",
+    lambda config, universe: TwoHopRouter(),
+    doc="Two-hop relay: the source sprays, relays deliver only.",
+    tags=("substrate",),
+)
+register(
+    "spray-and-wait",
+    lambda config, universe: SprayAndWaitRouter(),
+    doc="Binary Spray-and-Wait (Spyropoulos et al.): bounded logical "
+        "copies.",
+    tags=("substrate",),
+)
+register(
+    "prophet",
+    lambda config, universe: ProphetRouter(),
+    doc="PRoPHET (Lindgren et al.): delivery-predictability routing.",
+    tags=("substrate",),
+)
+register(
+    "nectar",
+    lambda config, universe: NectarRouter(),
+    doc="NECTAR: neighborhood-contact-history routing.",
+    tags=("substrate",),
+)
+register(
+    "tit-for-tat",
+    lambda config, universe: TitForTatRouter(),
+    doc="Tit-for-tat: pairwise forwarding reciprocity.",
+    tags=("substrate",),
+)
+register(
+    "relics",
+    lambda config, universe: RelicsRouter(),
+    doc="RELICS: energy-aware reciprocity ranking.",
+    tags=("substrate",),
+)
+register(
+    "two-hop-reward",
+    lambda config, universe: TwoHopRewardRouter(
+        initial_tokens=config.incentive.initial_tokens,
+        reward=config.incentive.max_incentive,
+    ),
+    doc="Two-hop first-deliverer-wins reward baseline (Seregina et "
+        "al.), settled on a ledger.",
+    tags=("token",),
+)
+
+# ----------------------------------------------------------------------
+# The incentive mechanism composed over other substrates
+# ----------------------------------------------------------------------
+register(
+    "incentive-epidemic",
+    _layer_over(lambda config, universe: EpidemicRouter()),
+    doc="The full incentive mechanism composed over epidemic flooding.",
+    tags=("token", "reputation", "incentive-layer"),
+    drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
+)
+register(
+    "incentive-prophet",
+    _layer_over(lambda config, universe: ProphetRouter()),
+    doc="The full incentive mechanism composed over PRoPHET.",
+    tags=("token", "reputation", "incentive-layer"),
+    drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
+)
+register(
+    "incentive-spray-and-wait",
+    _layer_over(lambda config, universe: SprayAndWaitRouter()),
+    doc="The full incentive mechanism composed over binary "
+        "Spray-and-Wait.",
+    tags=("token", "reputation", "incentive-layer"),
+    drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
+)

@@ -1,0 +1,66 @@
+"""The documentation scheme table, generated from the registry.
+
+The scheme tables in ``EXPERIMENTS.md`` and ``README.md`` live between
+``<!-- scheme-table-begin -->`` / ``<!-- scheme-table-end -->`` markers
+and are *generated* from the registry by ``scripts/sync_scheme_docs.py``
+(``--check`` in CI, bare to rewrite).  Registering a scheme and
+re-running the script is the entire documentation step; a drifted table
+fails both the CI check and ``tests/test_schemes.py``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.schemes.registry import all_specs
+
+__all__ = ["BEGIN_MARKER", "END_MARKER", "markdown_table", "sync_file"]
+
+BEGIN_MARKER = "<!-- scheme-table-begin -->"
+END_MARKER = "<!-- scheme-table-end -->"
+
+_BLOCK_RE = re.compile(
+    re.escape(BEGIN_MARKER) + r".*?" + re.escape(END_MARKER), re.S
+)
+
+
+def markdown_table() -> str:
+    """One row per registered scheme, in registration order."""
+    lines = [
+        "| Scheme | Tags | Description |",
+        "| --- | --- | --- |",
+    ]
+    for spec in all_specs():
+        tags = ", ".join(sorted(spec.tags)) if spec.tags else "—"
+        lines.append(f"| `{spec.name}` | {tags} | {spec.doc} |")
+    return "\n".join(lines)
+
+
+def render_block() -> str:
+    """The full marker-delimited block as it should appear in the docs."""
+    return f"{BEGIN_MARKER}\n{markdown_table()}\n{END_MARKER}"
+
+
+def sync_file(path: Path, *, check: bool = False) -> bool:
+    """Regenerate the marker block in ``path``; return True if in sync.
+
+    With ``check=True`` the file is never written — a stale table just
+    returns False so the caller can fail CI.
+
+    Raises:
+        ValueError: If the file lacks the marker pair (a silently
+            missing table must not pass as "in sync").
+    """
+    text = path.read_text(encoding="utf-8")
+    if not _BLOCK_RE.search(text):
+        raise ValueError(
+            f"{path} lacks the scheme-table markers "
+            f"({BEGIN_MARKER} … {END_MARKER})"
+        )
+    updated = _BLOCK_RE.sub(lambda _match: render_block(), text)
+    if updated == text:
+        return True
+    if not check:
+        path.write_text(updated, encoding="utf-8")
+    return False

@@ -59,6 +59,11 @@ PUBLIC_MODULES = [
     "repro.core.enrichment",
     "repro.core.operators",
     "repro.core.protocol",
+    "repro.core.incentive_layer",
+    "repro.schemes",
+    "repro.schemes.registry",
+    "repro.schemes.catalog",
+    "repro.schemes.doctable",
     "repro.agents",
     "repro.agents.behaviors",
     "repro.agents.roles",
