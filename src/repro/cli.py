@@ -280,6 +280,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         save_report,
     )
 
+    if args.suite == "scale":
+        return _bench_scale(args)
+
     label = args.label or ("quick" if args.quick else "full")
     report = run_suite(
         quick=args.quick,
@@ -361,6 +364,88 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{args.baseline}"
             )
     return 1 if failed else 0
+
+
+def _bench_scale(args: argparse.Namespace) -> int:
+    """The ``repro-dtn bench scale`` suite (see bench_scale module)."""
+    from repro.experiments.bench import compare, load_report, save_report
+    from repro.experiments.bench_scale import run_scale_suite
+
+    baseline_points = None
+    if args.baseline_points:
+        baseline_points = [
+            (float(pair.split(":")[0]), float(pair.split(":")[1]))
+            for pair in args.baseline_points
+        ]
+    report = run_scale_suite(
+        tiers=args.tiers,
+        audit=args.audit,
+        baseline_points=baseline_points,
+        baseline_label=args.baseline_label,
+        detect_regions=args.regions,
+        detect_workers=args.detect_workers,
+    )
+    rows = [
+        [name,
+         f"{probe['wall_seconds']:.1f}",
+         f"{probe['n_nodes']:.0f}",
+         f"{probe['sim_seconds']:.0f}",
+         f"{probe['node_sim_seconds_per_wall_second']:.0f}",
+         f"{probe['mdr']:.4f}"]
+        for name, probe in sorted(report["scale"].items())
+    ]
+    print(format_table(
+        ["tier", "wall (s)", "nodes", "sim (s)",
+         "node-sim-s / wall-s", "mdr"],
+        rows,
+        title=f"bench scale "
+              f"calibration={report['machine']['calibration_seconds']:.4f}s",
+    ))
+    if "audit" in report:
+        verdict = report["audit"]
+        status = "CLEAN" if verdict["ok"] else "VIOLATIONS"
+        print(f"conservation audit [{verdict['tier']}]: {status} "
+              f"({verdict['records']} records)")
+        if not verdict["ok"]:
+            return 1
+    if "baseline" in report:
+        fit = report["baseline"]["fit"]
+        print(f"object-core baseline fit: wall = {fit['c']:.3e} "
+              f"* n**{fit['k']:.3f}")
+        for name, entry in sorted(
+            report["baseline"]["extrapolated"].items()
+        ):
+            print(f"  {name}: extrapolated {entry['wall_seconds']:.1f}s "
+                  f"-> measured "
+                  f"{report['scale'][name]['wall_seconds']:.1f}s "
+                  f"({entry['improvement']:.1f}x throughput/node)")
+    label = args.label or "scale"
+    path = save_report(report, args.out, label)
+    print(f"wrote {path}")
+    if not args.no_root:
+        root_path = save_report(report, args.root_out, label)
+        if root_path != path:
+            print(f"wrote {root_path}")
+    if args.baseline is None:
+        return 0
+    baseline = load_report(args.baseline)
+    regressions = compare(
+        report, baseline, threshold=args.threshold, name_prefix="scale_"
+    )
+    if regressions:
+        for reg in regressions:
+            print(
+                f"SCALE REGRESSION {reg.name}: {reg.ratio:.2f}x slower "
+                f"than baseline (calibrated; {reg.baseline_mean:.1f} s "
+                f"-> {reg.current_mean:.1f} s)",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"no scale tier regressed more than {args.threshold:.1f}x "
+        f"against {args.baseline}"
+    )
+    return 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -522,6 +607,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="time the simulator's hot paths and write BENCH_<label>.json",
     )
     bench.add_argument(
+        "suite", nargs="?", choices=("micro", "scale"), default="micro",
+        help="'micro' (default): hot-path benchmarks; 'scale': "
+             "end-to-end 10k/100k/1M-node throughput tiers "
+             "(BENCH_scale.json)",
+    )
+    bench.add_argument(
         "--quick", action="store_true",
         help="fewer rounds and a 10-simulated-minute end-to-end probe",
     )
@@ -563,6 +654,34 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-root", action="store_true",
         help="skip writing the root-level BENCH_<label>.json copy",
+    )
+    bench.add_argument(
+        "--tiers", nargs="+", default=["10k"], metavar="TIER",
+        help="scale suite tiers to run: 10k, 100k, 1m (default: 10k; "
+             "the 1M smoke is opt-in — expect minutes and several GB)",
+    )
+    bench.add_argument(
+        "--audit", action="store_true",
+        help="scale suite: re-run the first tier with a JSONL trace "
+             "and replay the conservation auditor",
+    )
+    bench.add_argument(
+        "--regions", type=int, default=1, metavar="N",
+        help="scale suite: spatial shard count for contact detection",
+    )
+    bench.add_argument(
+        "--detect-workers", type=int, default=1, metavar="N",
+        help="scale suite: worker processes for sharded detection",
+    )
+    bench.add_argument(
+        "--baseline-points", nargs="+", default=None, metavar="N:WALL",
+        help="scale suite: measured object-core (n_nodes, wall_seconds) "
+             "pairs, e.g. 500:28.2 1000:59.0, for the power-law "
+             "baseline extrapolation recorded in the report",
+    )
+    bench.add_argument(
+        "--baseline-label", default=None, metavar="TEXT",
+        help="scale suite: provenance note for --baseline-points",
     )
     bench.set_defaults(func=_cmd_bench)
 

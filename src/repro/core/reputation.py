@@ -248,18 +248,55 @@ class ReputationSystem:
         """
         book_a = self.book(a)
         book_b = self.book(b)
-        # Snapshot first so the exchange is symmetric.
-        opinions_a = {s: book_a.score(s) for s in book_a.known_subjects()}
-        opinions_b = {s: book_b.score(s) for s in book_b.known_subjects()}
-        merged_a = merged_b = 0
-        for subject, score in opinions_b.items():
-            if subject not in (a, b):
-                book_a.merge_opinion(subject, score)
-                merged_a += 1
-        for subject, score in opinions_a.items():
-            if subject not in (a, b):
-                book_b.merge_opinion(subject, score)
-                merged_b += 1
+        scores_a = book_a._scores
+        scores_b = book_b._scores
+        # Snapshot first so the exchange is symmetric.  The loops below
+        # inline :meth:`ReputationBook.merge_opinion` — stored scores
+        # are already range-checked, the owner/interlocutor skips are
+        # the ``(a, b)`` guards, and the EWMA expression is kept
+        # verbatim so the result is bit-identical to the method call.
+        # This is the hot path at scale: books grow with the population,
+        # so per-subject call overhead compounds superlinearly.
+        items_a = list(scores_a.items())
+        items_b = list(scores_b.items())
+        alpha = self._params.alpha
+        one_minus_alpha = 1.0 - alpha
+        # Build each side's merge as a dict comprehension, drop the
+        # interlocutor subjects afterwards, and apply in one bulk
+        # ``update``: subjects are unique dict keys, so evaluating the
+        # EWMA for ``a``/``b`` and popping the result is equivalent to
+        # skipping them item-by-item, and ``update`` appends new
+        # subjects in exactly the comprehension's (= peer book's)
+        # insertion order while leaving existing positions untouched.
+        get_a = scores_a.get
+        updates_a = {
+            subject: (
+                heard
+                if (mine := get_a(subject)) is None
+                else one_minus_alpha * heard + alpha * mine
+            )
+            for subject, heard in items_b
+        }
+        updates_a.pop(a, None)
+        updates_a.pop(b, None)
+        merged_a = len(updates_a)
+        scores_a.update(updates_a)
+        # Reads of ``scores_b`` happen before any write lands (the
+        # original loop read each subject exactly once, before its own
+        # write), so batching the writes cannot change what is read.
+        get_b = scores_b.get
+        updates_b = {
+            subject: (
+                heard
+                if (mine := get_b(subject)) is None
+                else one_minus_alpha * heard + alpha * mine
+            )
+            for subject, heard in items_a
+        }
+        updates_b.pop(a, None)
+        updates_b.pop(b, None)
+        merged_b = len(updates_b)
+        scores_b.update(updates_b)
         if self.trace.enabled:
             # One record per exchange (not per subject) keeps gossip
             # from dominating the trace volume at paper scale.

@@ -24,13 +24,12 @@ from repro.messages.keywords import KeywordUniverse
 from repro.metrics.analysis import merge_summaries
 from repro.metrics.collector import MetricsCollector
 from repro.mobility.contact import detect_contacts
-from repro.mobility.manhattan import ManhattanGrid
-from repro.mobility.random_walk import RandomWalk
-from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.regions import detect_contacts_sharded, make_model
 from repro.mobility.trace import ContactTrace
 from repro.network.buffer import DropPolicy
 from repro.network.node import Node
 from repro.network.world import World
+from repro.network.world_soa import SoAWorld
 from repro.routing.base import Router
 from repro.schemes import resolve_scheme, scheme_names
 from repro.sim.engine import Engine
@@ -146,43 +145,40 @@ def build_contact_trace(
         cached = cache.get(config, seed)
         if cached is not None:
             return cached
-    streams = RandomStreams(seed)
-    rng = streams.get("mobility")
-    if config.mobility == "random-waypoint":
-        model = RandomWaypoint(
+    if config.detect_regions > 1:
+        # Spatially sharded sweep — bit-identical to the classic path
+        # (tests/test_regions.py); worth it from ~10k nodes up.
+        trace = detect_contacts_sharded(
+            kind=config.mobility,
+            n_nodes=config.n_nodes,
+            area=config.area,
+            seed=seed,
+            radius=config.transmission_radius,
+            duration=config.duration,
+            scan_interval=config.scan_interval,
+            speed_range=config.speed_range,
+            pause_range=config.pause_range,
+            manhattan_block=config.manhattan_block,
+            regions=config.detect_regions,
+            workers=config.detect_workers,
+        )
+    else:
+        streams = RandomStreams(seed)
+        model = make_model(
+            config.mobility,
             config.n_nodes,
             config.area,
-            rng,
-            speed_min=config.speed_range[0],
-            speed_max=config.speed_range[1],
-            pause_min=config.pause_range[0],
-            pause_max=config.pause_range[1],
+            streams.get("mobility"),
+            speed_range=config.speed_range,
+            pause_range=config.pause_range,
+            manhattan_block=config.manhattan_block,
         )
-    elif config.mobility == "random-walk":
-        model = RandomWalk(
-            config.n_nodes,
-            config.area,
-            rng,
-            speed_min=config.speed_range[0],
-            speed_max=config.speed_range[1],
+        trace = detect_contacts(
+            model,
+            radius=config.transmission_radius,
+            duration=config.duration,
+            scan_interval=config.scan_interval,
         )
-    elif config.mobility == "manhattan":
-        model = ManhattanGrid(
-            config.n_nodes,
-            config.area,
-            rng,
-            block_size=config.manhattan_block,
-            speed_min=config.speed_range[0],
-            speed_max=config.speed_range[1],
-        )
-    else:  # pragma: no cover - guarded by ScenarioConfig validation
-        raise ConfigurationError(f"unknown mobility {config.mobility!r}")
-    trace = detect_contacts(
-        model,
-        radius=config.transmission_radius,
-        duration=config.duration,
-        scan_interval=config.scan_interval,
-    )
     if cache is not None:
         cache.put(config, seed, trace)
     return trace
@@ -295,7 +291,8 @@ def run_scenario(
         )
         router = spec.builder(config, universe)
         engine = Engine()
-        world = World(
+        world_cls = SoAWorld if config.world_core == "soa" else World
+        world = world_cls(
             engine,
             nodes,
             router,

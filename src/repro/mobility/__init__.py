@@ -13,6 +13,11 @@ from repro.mobility.manhattan import ManhattanGrid
 from repro.mobility.one_trace import load_one_trace, save_one_trace
 from repro.mobility.random_walk import RandomWalk
 from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.regions import (
+    RegionGrid,
+    detect_contacts_sharded,
+    make_model,
+)
 from repro.mobility.stationary import Stationary
 from repro.mobility.trace import Contact, ContactTrace
 
@@ -25,7 +30,10 @@ __all__ = [
     "Contact",
     "ContactTrace",
     "ContactDetector",
+    "RegionGrid",
     "detect_contacts",
+    "detect_contacts_sharded",
+    "make_model",
     "load_one_trace",
     "save_one_trace",
 ]

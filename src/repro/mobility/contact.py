@@ -23,7 +23,12 @@ from repro.errors import MobilityError
 from repro.mobility.base import MobilityModel
 from repro.mobility.trace import Contact, ContactTrace
 
-__all__ = ["ContactDetector", "detect_contacts", "pairs_in_range"]
+__all__ = [
+    "ContactDetector",
+    "detect_contacts",
+    "pair_arrays",
+    "pairs_in_range",
+]
 
 #: Node ids are packed two-per-int64 for the detector's sorted pair
 #: state, which caps them at 2^32 - 1 — far beyond any simulated
@@ -35,7 +40,7 @@ _EMPTY_IDS = np.empty(0, dtype=np.int64)
 _EMPTY_STARTS = np.empty(0, dtype=np.float64)
 
 
-def _pair_arrays(
+def pair_arrays(
     positions: np.ndarray, radius: float
 ) -> Tuple[np.ndarray, np.ndarray]:
     """All in-range pairs as parallel ``(a, b)`` int64 arrays, ``a < b``.
@@ -138,7 +143,7 @@ def pairs_in_range(positions: np.ndarray, radius: float) -> Set[Tuple[int, int]]
     """
     if radius <= 0:
         raise MobilityError(f"radius must be > 0, got {radius!r}")
-    node_a, node_b = _pair_arrays(positions, radius)
+    node_a, node_b = pair_arrays(positions, radius)
     return set(zip(node_a.tolist(), node_b.tolist()))
 
 
@@ -185,12 +190,32 @@ class ContactDetector:
             time: Sample time; must be strictly increasing across calls.
             positions: ``(n, 2)`` position array at that time.
         """
+        node_a, node_b = pair_arrays(positions, self._radius)
+        self.scan_pairs(time, node_a, node_b)
+
+    def scan_pairs(
+        self, time: float, node_a: np.ndarray, node_b: np.ndarray
+    ) -> None:
+        """Record pre-computed in-range pairs at ``time``.
+
+        The spatial-sharding path (:mod:`repro.mobility.regions`)
+        computes per-region pair arrays and feeds their concatenation
+        here; because the diff below operates on *sorted* packed keys,
+        any pair arrays describing the same pair set produce bit-
+        identical detector state regardless of how they were sharded.
+
+        Args:
+            time: Sample time; must be strictly increasing across calls.
+            node_a: Lower node id of each pair (int64).
+            node_b: Higher node id of each pair (int64).
+        """
         if time <= self._last_time:
             raise MobilityError(
                 f"scan times must increase: {time!r} after {self._last_time!r}"
             )
         self._last_time = time
-        node_a, node_b = _pair_arrays(positions, self._radius)
+        node_a = np.asarray(node_a, dtype=np.int64)
+        node_b = np.asarray(node_b, dtype=np.int64)
         keys = (node_a << _PAIR_SHIFT) | node_b
         keys.sort()
 

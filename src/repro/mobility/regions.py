@@ -1,0 +1,395 @@
+"""Spatial region sharding for contact detection.
+
+The arena is partitioned into vertical strips (*regions*) at least one
+transmission radius wide.  Each region independently finds the in-range
+pairs among the nodes inside its strip plus a one-radius *halo* on each
+side, and keeps only the pairs it *owns* — a pair belongs to the region
+containing the lower-id endpoint's position.  Because two nodes within
+radius ``r`` of each other are never more than ``r`` apart along x, the
+owner region's halo always covers both endpoints, so the union over
+regions is exactly the global pair set with every pair found exactly
+once.  Feeding the merged per-tick pair batches into
+:meth:`~repro.mobility.contact.ContactDetector.scan_pairs` (which sorts
+packed keys before diffing) therefore produces **bit-identical** contact
+traces for 1 region, N regions, and N regions fanned out over a process
+pool — the sharding determinism contract pinned by
+``tests/test_regions.py`` and ``tests/test_determinism.py``.
+
+Parallel mode re-derives the mobility model in every worker from the
+master seed (mobility is a pure function of the seed, so replicas agree
+on every position) and ships back only the per-tick packed pair keys of
+the worker's regions; the parent merges them in region order and drives
+one detector.  Workers fan out over the same
+``ProcessPoolExecutor`` machinery as :mod:`repro.experiments.parallel`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MobilityError
+from repro.mobility.base import MobilityModel
+from repro.mobility.contact import ContactDetector, pair_arrays
+from repro.mobility.manhattan import ManhattanGrid
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.trace import ContactTrace
+
+__all__ = [
+    "RegionGrid",
+    "make_model",
+    "region_pair_arrays",
+    "sharded_pair_arrays",
+    "detect_contacts_sharded",
+]
+
+_PAIR_SHIFT = np.int64(32)
+_PAIR_MASK = np.int64((1 << 32) - 1)
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class RegionGrid:
+    """A partition of the arena into vertical strips.
+
+    Args:
+        area: ``(width, height)`` of the arena in metres.
+        regions: Requested region count (>= 1).  Strips must be at
+            least ``min_width`` wide for the halo argument to hold, so
+            the effective count (:attr:`n_regions`) may be lower.
+        min_width: Minimum strip width in metres — pass the
+            transmission radius; narrower strips could own pairs whose
+            far endpoint escapes the one-strip halo.
+    """
+
+    def __init__(
+        self,
+        area: Tuple[float, float],
+        regions: int,
+        *,
+        min_width: float = 0.0,
+    ):
+        width, height = float(area[0]), float(area[1])
+        if width <= 0 or height <= 0:
+            raise MobilityError(f"area sides must be > 0, got {area!r}")
+        if regions < 1:
+            raise MobilityError(f"regions must be >= 1, got {regions!r}")
+        if min_width < 0:
+            raise MobilityError(
+                f"min_width must be >= 0, got {min_width!r}"
+            )
+        effective = int(regions)
+        if min_width > 0:
+            effective = min(effective, max(1, int(width // min_width)))
+        self._area = (width, height)
+        self._n_regions = effective
+        self._strip = width / effective
+
+    @property
+    def area(self) -> Tuple[float, float]:
+        """``(width, height)`` of the arena in metres."""
+        return self._area
+
+    @property
+    def n_regions(self) -> int:
+        """Effective region count (may be below the requested count)."""
+        return self._n_regions
+
+    @property
+    def strip_width(self) -> float:
+        """Width of each strip in metres."""
+        return self._strip
+
+    def bounds(self, region: int) -> Tuple[float, float]:
+        """``[lo, hi)`` x-extent of ``region`` in metres."""
+        if not 0 <= region < self._n_regions:
+            raise MobilityError(
+                f"region must be in [0, {self._n_regions}), got {region!r}"
+            )
+        return (region * self._strip, (region + 1) * self._strip)
+
+    def region_of_x(self, x: np.ndarray) -> np.ndarray:
+        """Region id for each x coordinate (clipped into range)."""
+        idx = np.floor(np.asarray(x, dtype=np.float64) / self._strip)
+        return np.clip(idx, 0, self._n_regions - 1).astype(np.int64)
+
+    def region_of(self, positions: np.ndarray) -> np.ndarray:
+        """Region id for each ``(n, 2)`` position row."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.region_of_x(positions[:, 0])
+
+    def halo_members(
+        self, positions: np.ndarray, region: int, halo: float
+    ) -> np.ndarray:
+        """Indices of nodes inside ``region``'s strip widened by ``halo``."""
+        lo, hi = self.bounds(region)
+        x = np.asarray(positions, dtype=np.float64)[:, 0]
+        return np.flatnonzero((x >= lo - halo) & (x < hi + halo))
+
+
+def make_model(
+    kind: str,
+    n_nodes: int,
+    area: Tuple[float, float],
+    rng: np.random.Generator,
+    *,
+    speed_range: Tuple[float, float] = (0.5, 1.5),
+    pause_range: Tuple[float, float] = (0.0, 120.0),
+    manhattan_block: float = 100.0,
+) -> MobilityModel:
+    """Build a mobility model by name (the runner's and workers' factory).
+
+    Shard workers rebuild the *same* model from the same RNG in every
+    process, so the factory must be the single construction path —
+    any divergence between parent and worker construction would
+    desynchronise the replicated positions.
+    """
+    if kind == "random-waypoint":
+        return RandomWaypoint(
+            n_nodes, area, rng,
+            speed_min=speed_range[0], speed_max=speed_range[1],
+            pause_min=pause_range[0], pause_max=pause_range[1],
+        )
+    if kind == "random-walk":
+        return RandomWalk(
+            n_nodes, area, rng,
+            speed_min=speed_range[0], speed_max=speed_range[1],
+        )
+    if kind == "manhattan":
+        return ManhattanGrid(
+            n_nodes, area, rng,
+            block_size=manhattan_block,
+            speed_min=speed_range[0], speed_max=speed_range[1],
+        )
+    raise MobilityError(f"unknown mobility model {kind!r}")
+
+
+def region_pair_arrays(
+    positions: np.ndarray,
+    radius: float,
+    grid: RegionGrid,
+    region: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """In-range pairs owned by ``region``, as ``(a, b)`` arrays, a < b.
+
+    A pair is owned by the region containing the lower-id endpoint's
+    position, which makes ownership unique; searching the strip plus a
+    one-radius halo makes it complete (see the module docstring).
+    """
+    members = grid.halo_members(positions, region, radius)
+    if members.size < 2:
+        return _EMPTY, _EMPTY
+    local_a, local_b = pair_arrays(positions[members], radius)
+    if local_a.size == 0:
+        return _EMPTY, _EMPTY
+    # ``members`` is ascending, so the local (min, max) canonical order
+    # survives the translation back to global ids.
+    node_a = members[local_a]
+    node_b = members[local_b]
+    owner = grid.region_of_x(positions[node_a, 0])
+    keep = owner == region
+    return node_a[keep], node_b[keep]
+
+
+def sharded_pair_arrays(
+    positions: np.ndarray,
+    radius: float,
+    grid: RegionGrid,
+    regions: Optional[Sequence[int]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Union of :func:`region_pair_arrays` over ``regions`` (default all).
+
+    Returned in region order; the detector sorts packed keys anyway, so
+    any region order yields identical downstream state.
+    """
+    if regions is None:
+        regions = range(grid.n_regions)
+    parts_a: List[np.ndarray] = []
+    parts_b: List[np.ndarray] = []
+    for region in regions:
+        node_a, node_b = region_pair_arrays(positions, radius, grid, region)
+        if node_a.size:
+            parts_a.append(node_a)
+            parts_b.append(node_b)
+    if not parts_a:
+        return _EMPTY, _EMPTY
+    return np.concatenate(parts_a), np.concatenate(parts_b)
+
+
+# ----------------------------------------------------------------------
+# Parallel shard workers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """Picklable recipe for one worker's share of the detection sweep.
+
+    The worker re-derives the mobility model from ``seed`` (via
+    :class:`~repro.sim.rng.RandomStreams`, stream ``"mobility"`` — the
+    same derivation :func:`repro.experiments.runner.build_contact_trace`
+    uses), replays every scan tick, and returns the packed pair keys of
+    its ``regions`` at each tick.
+    """
+
+    kind: str
+    n_nodes: int
+    area: Tuple[float, float]
+    speed_range: Tuple[float, float]
+    pause_range: Tuple[float, float]
+    manhattan_block: float
+    seed: int
+    radius: float
+    duration: float
+    scan_interval: float
+    n_regions: int
+    regions: Tuple[int, ...]
+
+
+def _scan_times(duration: float, scan_interval: float) -> List[float]:
+    """The exact tick times :func:`detect_contacts` samples at."""
+    times = [0.0]
+    time = 0.0
+    while time < duration:
+        time += min(scan_interval, duration - time)
+        times.append(time)
+    return times
+
+
+def scan_shard(spec: ShardSpec) -> List[np.ndarray]:
+    """Worker entry point: packed pair keys per tick for ``spec.regions``.
+
+    Module-level so the process pool can pickle it.
+    """
+    from repro.sim.rng import RandomStreams
+
+    rng = RandomStreams(spec.seed).get("mobility")
+    model = make_model(
+        spec.kind, spec.n_nodes, spec.area, rng,
+        speed_range=spec.speed_range,
+        pause_range=spec.pause_range,
+        manhattan_block=spec.manhattan_block,
+    )
+    grid = RegionGrid(spec.area, spec.n_regions, min_width=spec.radius)
+    keys_per_tick: List[np.ndarray] = []
+    time = 0.0
+    node_a, node_b = sharded_pair_arrays(
+        model.positions, spec.radius, grid, spec.regions
+    )
+    keys_per_tick.append((node_a << _PAIR_SHIFT) | node_b)
+    while time < spec.duration:
+        step = min(spec.scan_interval, spec.duration - time)
+        model.advance(step)
+        time += step
+        node_a, node_b = sharded_pair_arrays(
+            model.positions, spec.radius, grid, spec.regions
+        )
+        keys_per_tick.append((node_a << _PAIR_SHIFT) | node_b)
+    return keys_per_tick
+
+
+def _partition_regions(
+    n_regions: int, workers: int
+) -> List[Tuple[int, ...]]:
+    """Contiguous region assignments, one tuple per worker (non-empty)."""
+    workers = min(workers, n_regions)
+    shares: List[Tuple[int, ...]] = []
+    for w in range(workers):
+        lo = w * n_regions // workers
+        hi = (w + 1) * n_regions // workers
+        if hi > lo:
+            shares.append(tuple(range(lo, hi)))
+    return shares
+
+
+def detect_contacts_sharded(
+    *,
+    kind: str,
+    n_nodes: int,
+    area: Tuple[float, float],
+    seed: int,
+    radius: float,
+    duration: float,
+    scan_interval: float = 10.0,
+    speed_range: Tuple[float, float] = (0.5, 1.5),
+    pause_range: Tuple[float, float] = (0.0, 120.0),
+    manhattan_block: float = 100.0,
+    regions: int = 1,
+    workers: int = 1,
+) -> ContactTrace:
+    """Region-sharded contact detection, bit-identical to the serial path.
+
+    Args:
+        kind: Mobility model name (see :func:`make_model`).
+        n_nodes: Population size.
+        area: Arena ``(width, height)`` in metres.
+        seed: Master seed; the mobility RNG is derived exactly as in
+            :func:`repro.experiments.runner.build_contact_trace`.
+        radius: Transmission radius in metres.
+        duration: Total simulated seconds.
+        scan_interval: Position sampling period in seconds.
+        regions: Requested spatial shard count (effective count may be
+            lower; strips are kept at least one radius wide).
+        workers: Process count for the shard fan-out.  ``1`` runs every
+            region in-process over a single mobility advance (no
+            replication); ``N`` replays mobility in ``N`` workers.
+
+    Returns:
+        The detected :class:`ContactTrace` — byte-for-byte the trace
+        :func:`~repro.mobility.contact.detect_contacts` produces.
+    """
+    if duration <= 0:
+        raise MobilityError(f"duration must be > 0, got {duration!r}")
+    if scan_interval <= 0:
+        raise MobilityError(
+            f"scan_interval must be > 0, got {scan_interval!r}"
+        )
+    if workers < 1:
+        raise MobilityError(f"workers must be >= 1, got {workers!r}")
+    grid = RegionGrid(area, regions, min_width=radius)
+    detector = ContactDetector(radius)
+    times = _scan_times(duration, scan_interval)
+
+    if workers == 1 or grid.n_regions == 1:
+        from repro.sim.rng import RandomStreams
+
+        rng = RandomStreams(seed).get("mobility")
+        model = make_model(
+            kind, n_nodes, area, rng,
+            speed_range=speed_range,
+            pause_range=pause_range,
+            manhattan_block=manhattan_block,
+        )
+        for index, time in enumerate(times):
+            if index:
+                model.advance(times[index] - times[index - 1])
+            node_a, node_b = sharded_pair_arrays(
+                model.positions, radius, grid
+            )
+            detector.scan_pairs(time, node_a, node_b)
+        return detector.finish(duration)
+
+    shares = _partition_regions(grid.n_regions, workers)
+    specs = [
+        ShardSpec(
+            kind=kind, n_nodes=n_nodes, area=tuple(area),
+            speed_range=tuple(speed_range),
+            pause_range=tuple(pause_range),
+            manhattan_block=manhattan_block,
+            seed=seed, radius=radius, duration=duration,
+            scan_interval=scan_interval,
+            n_regions=grid.n_regions, regions=share,
+        )
+        for share in shares
+    ]
+    with ProcessPoolExecutor(max_workers=len(specs)) as pool:
+        per_worker = list(pool.map(scan_shard, specs))
+    for index, time in enumerate(times):
+        keys = np.concatenate([worker[index] for worker in per_worker])
+        detector.scan_pairs(
+            time, keys >> _PAIR_SHIFT, keys & _PAIR_MASK
+        )
+    return detector.finish(duration)

@@ -4,6 +4,7 @@ from repro.network.buffer import DropPolicy, MessageBuffer
 from repro.network.energy import EnergyModel
 from repro.network.link import Link, Transfer
 from repro.network.node import Node
+from repro.network.world_state import NodeStateView, WorldState
 
 __all__ = [
     "DropPolicy",
@@ -12,4 +13,6 @@ __all__ = [
     "Link",
     "Transfer",
     "Node",
+    "NodeStateView",
+    "WorldState",
 ]

@@ -56,6 +56,19 @@ class MessageBuffer:
         self._policy = DropPolicy(policy)
         self._messages: Dict[str, Message] = {}
         self._arrival: Dict[str, float] = {}
+        # ``_messages``/``_arrival`` are always mutated together, so
+        # their (identical) insertion order doubles as arrival order as
+        # long as ``add`` timestamps never run backwards.  Simulation
+        # clocks are monotone, so this stays ``False`` in practice and
+        # :meth:`messages` skips its sort; an out-of-order add (unit
+        # tests construct these) flips it permanently.
+        self._unordered = False
+        self._max_arrival = float("-inf")
+        # Residency-change counter keying the size/quality maxima memo
+        # (the incentive layer asks for them on every promise).
+        self._mutations = 0
+        self._maxima_key = -1
+        self._maxima: Tuple[int, float] = (0, 0.0)
         self._used = 0
         self._drops = 0
         self._rejections = 0
@@ -103,8 +116,30 @@ class MessageBuffer:
 
     def messages(self) -> List[Message]:
         """All resident messages in arrival order."""
-        ordered = sorted(self._arrival.items(), key=lambda kv: kv[1])
-        return [self._messages[uuid] for uuid, _ in ordered]
+        if self._unordered:
+            # Stable sort: equal timestamps keep insertion order, which
+            # is exactly what the fast path below returns — the two
+            # branches agree whenever both are applicable.
+            ordered = sorted(self._arrival.items(), key=lambda kv: kv[1])
+            return [self._messages[uuid] for uuid, _ in ordered]
+        return list(self._messages.values())
+
+    def size_quality_maxima(self) -> Tuple[int, float]:
+        """``(max size, max quality)`` over residents, ``(0, 0.0)`` when
+        empty.  Cached per residency change: message size and quality
+        are immutable, so the maxima only move when membership does.
+        """
+        if self._maxima_key != self._mutations:
+            messages = self._messages.values()
+            if messages:
+                self._maxima = (
+                    max(m.size for m in messages),
+                    max(m.quality for m in messages),
+                )
+            else:
+                self._maxima = (0, 0.0)
+            self._maxima_key = self._mutations
+        return self._maxima
 
     def arrival_time(self, uuid: str) -> float:
         """When the message with ``uuid`` was stored.
@@ -149,8 +184,14 @@ class MessageBuffer:
                 )
             evicted = self._make_room(message.size)
         self._messages[message.uuid] = message
-        self._arrival[message.uuid] = float(now)
+        arrival = float(now)
+        self._arrival[message.uuid] = arrival
+        if arrival >= self._max_arrival:
+            self._max_arrival = arrival
+        else:
+            self._unordered = True
         self._used += message.size
+        self._mutations += 1
         return evicted
 
     def remove(self, uuid: str) -> Message:
@@ -164,6 +205,7 @@ class MessageBuffer:
             raise BufferError_(f"message {uuid!r} is not in the buffer")
         del self._arrival[uuid]
         self._used -= message.size
+        self._mutations += 1
         return message
 
     def discard(self, uuid: str) -> Optional[Message]:

@@ -20,7 +20,7 @@ the (distance-dependent) received power ``P_r * t``.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Any, Dict, Optional
 
 from repro.errors import ConfigurationError
 
@@ -69,6 +69,10 @@ class EnergyModel:
         self._wavelength = SPEED_OF_LIGHT / float(frequency_hz)
         self._ref = float(reference_distance)
         self._consumed: Dict[int, float] = {}
+        #: Optional :class:`~repro.network.world_state.WorldState`
+        #: backing the consumption counters (SoA core); ``None`` keeps
+        #: the per-node dict (object core).
+        self._state: Optional[Any] = None
 
     @property
     def transmit_power(self) -> float:
@@ -110,16 +114,41 @@ class EnergyModel:
             raise ConfigurationError(f"duration must be >= 0, got {duration!r}")
         return self.received_power(distance) * duration
 
+    def bind_state(self, state: Any) -> None:
+        """Back the consumption counters with ``WorldState.energy``.
+
+        Any joules already accumulated in the per-node dict are migrated
+        into the array and the dict is retired.  Per-node additions hit
+        the same float sequence either way (one scalar ``+=`` per
+        charge), so rebinding never perturbs the energy trajectory —
+        the accumulation-order contract the differential tests pin.
+        """
+        for node, joules in self._consumed.items():
+            state.energy[state.slot_of(node)] += joules
+        self._consumed.clear()
+        self._state = state
+
     def charge(self, node: int, joules: float) -> None:
         """Accumulate ``joules`` against ``node``'s consumption counter."""
         if joules < 0:
             raise ConfigurationError(f"joules must be >= 0, got {joules!r}")
+        if self._state is not None:
+            self._state.energy[self._state.slot_of(node)] += joules
+            return
         self._consumed[node] = self._consumed.get(node, 0.0) + joules
 
     def consumed(self, node: int) -> float:
         """Total joules charged to ``node`` so far."""
+        if self._state is not None:
+            try:
+                slot = self._state.slot_of(node)
+            except ConfigurationError:
+                return 0.0
+            return float(self._state.energy[slot])
         return self._consumed.get(node, 0.0)
 
     def total_consumed(self) -> float:
         """Total joules charged across all nodes."""
+        if self._state is not None:
+            return float(self._state.energy.sum())
         return sum(self._consumed.values())

@@ -32,6 +32,9 @@ from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
 __all__ = ["World"]
 
+#: Shared empty result for :meth:`World.open_links` on unknown nodes.
+_NO_LINKS: List[Link] = []
+
 
 class World:
     """Wires nodes, contacts, transfers and a router into one simulation.
@@ -195,6 +198,18 @@ class World:
         """Open links ``node_id`` currently participates in."""
         return [l for l in self._links_by_node.get(node_id, []) if not l.closed]
 
+    def open_links(self, node_id: int) -> List[Link]:
+        """``node_id``'s open links, zero-copy (router hot-path view).
+
+        Links are removed from the per-node lists *before* they close
+        (contact-down, disconnect), so the internal list only ever holds
+        open links.  Treat as read-only — callers that might mutate the
+        link set while iterating must use :meth:`active_links`, which
+        copies (and re-checks ``closed`` as belt and braces).
+        """
+        links = self._links_by_node.get(node_id)
+        return links if links is not None else _NO_LINKS
+
     def link_between(self, a: int, b: int) -> Optional[Link]:
         """The open link between ``a`` and ``b``, if any."""
         link = self._links.get((a, b) if a < b else (b, a))
@@ -306,25 +321,18 @@ class World:
         schedules hundreds of thousands of events whose labels only
         surface in error messages, so per-event f-string formatting is
         pure overhead (the pair is in the callback closure regardless).
+        The events go through :meth:`Engine.schedule_many` — one O(n)
+        heapify instead of n pushes — with firing order identical to a
+        ``schedule_at`` loop.
         """
-        schedule = self.engine.schedule_at
         contact_up = self._contact_up
         contact_down = self._contact_down
-        for time, kind, pair in trace.events():
-            if kind == "up":
-                schedule(
-                    time,
-                    lambda p=pair: contact_up(p),
-                    priority=1,
-                    label="contact-up",
-                )
-            else:
-                schedule(
-                    time,
-                    lambda p=pair: contact_down(p),
-                    priority=0,
-                    label="contact-down",
-                )
+        self.engine.schedule_many(
+            (time, (lambda p=pair: contact_up(p)), 1, "contact-up")
+            if kind == "up"
+            else (time, (lambda p=pair: contact_down(p)), 0, "contact-down")
+            for time, kind, pair in trace.events()
+        )
 
     def battery_level(self, node_id: int) -> Optional[float]:
         """Remaining battery in joules (None when batteries are off)."""
@@ -351,12 +359,16 @@ class World:
             and before > 0.0
             and self._battery[node_id] <= 0.0
         ):
-            if self.trace.enabled:
-                self.trace.emit({
-                    "type": "fault-blackout", "t": self.now, "node": node_id,
-                })
-            self._disconnect_node(node_id, reason="blackout")
-            self.metrics.on_blackout()
+            self._battery_blackout(node_id)
+
+    def _battery_blackout(self, node_id: int) -> None:
+        """React to a battery crossing positive -> empty (faults only)."""
+        if self.trace.enabled:
+            self.trace.emit({
+                "type": "fault-blackout", "t": self.now, "node": node_id,
+            })
+        self._disconnect_node(node_id, reason="blackout")
+        self.metrics.on_blackout()
 
     def _behavior_allows_contact(self, node: Node) -> bool:
         if self._battery_dead(node.node_id):
@@ -553,15 +565,11 @@ class World:
             raise SimulationError(
                 "call use_generator() before schedule_workload()"
             )
-        schedule = self.engine.schedule_at
         create = self._create_scheduled_message
-        for time, source in plan:
-            schedule(
-                time,
-                lambda s=source: create(s),
-                priority=2,
-                label="create-message",
-            )
+        self.engine.schedule_many(
+            (time, (lambda s=source: create(s)), 2, "create-message")
+            for time, source in plan
+        )
 
     def _create_scheduled_message(self, source: int) -> None:
         if self.faults is not None and self.faults.is_down(source):
@@ -581,15 +589,23 @@ class World:
         )
         self.inject_message(message)
 
-    def inject_message(self, message: Message) -> None:
-        """Originate ``message`` at its source and register metrics."""
-        node = self.node(message.source)
-        intended = {
+    def _intended_destinations(self, message: Message) -> Set[int]:
+        """Node ids with a direct interest in ``message`` (source excluded).
+
+        The SoA core overrides this with a vectorised interest-matrix
+        lookup; both implementations must return the same set.
+        """
+        return {
             other.node_id
             for other in self._nodes.values()
             if other.node_id != message.source
             and other.is_interested_in(message)
         }
+
+    def inject_message(self, message: Message) -> None:
+        """Originate ``message`` at its source and register metrics."""
+        node = self.node(message.source)
+        intended = self._intended_destinations(message)
         if self.trace.enabled:
             self.trace.emit({
                 "type": "message-created", "t": self.now,

@@ -23,14 +23,32 @@ bound in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.messages.message import Message
 from repro.network.link import Link, Transfer
 from repro.routing.base import Router
 
-__all__ = ["InterestRecord", "InterestTable", "ChitChatRouter", "psi_case"]
+__all__ = [
+    "InterestRecord",
+    "InterestTable",
+    "KeywordIndex",
+    "ChitChatRouter",
+    "psi_case",
+]
 
 
 @dataclass
@@ -66,8 +84,183 @@ def psi_case(u_record: Optional[InterestRecord],
     return 3 if v_direct else 4
 
 
+class KeywordIndex:
+    """A shared keyword -> dense integer id registry.
+
+    All interest tables created by one router share one index, so a
+    keyword means the same row everywhere and peer weight exchanges move
+    id arrays instead of strings.  Ids are assigned on first sight and
+    never reused; tables grow their arrays to cover the index.
+    """
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self, keywords: Iterable[str] = ()):
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+        for keyword in keywords:
+            self.id_of(keyword)
+
+    def id_of(self, keyword: str) -> int:
+        """The id for ``keyword``, assigning a fresh one on first use."""
+        existing = self._ids.get(keyword)
+        if existing is None:
+            existing = len(self._names)
+            self._ids[keyword] = existing
+            self._names.append(keyword)
+        return existing
+
+    def get(self, keyword: str) -> Optional[int]:
+        """The id for ``keyword`` if already assigned, else None."""
+        return self._ids.get(keyword)
+
+    def name_of(self, keyword_id: int) -> str:
+        """The keyword carrying ``keyword_id``."""
+        return self._names[keyword_id]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword in self._ids
+
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+# Row-count ceiling below which decay/growth take a pure-Python scalar
+# path: at a few dozen rows, per-ufunc dispatch (~1µs each, and the
+# compact paths need a dozen ufuncs) costs more than an interpreted
+# loop over Python floats.  Both paths evaluate the identical IEEE
+# expression per row, so the crossover is a pure speed knob — results
+# are bit-identical on either side of it (tests/test_chitchat.py pins
+# this by running the same history through both).
+_SCALAR_ROWS_MAX = 48
+
+
+class _RecordView:
+    """A live, mutable :class:`InterestRecord`-shaped handle over one
+    table row.  Reads and writes go straight to the table's arrays."""
+
+    __slots__ = ("_table", "_id")
+
+    def __init__(self, table: "InterestTable", keyword_id: int):
+        self._table = table
+        self._id = keyword_id
+
+    @property
+    def weight(self) -> float:
+        return float(self._table._weight[self._id])
+
+    @weight.setter
+    def weight(self, value: float) -> None:
+        self._table._weight[self._id] = value
+
+    @property
+    def direct(self) -> bool:
+        return bool(self._table._direct[self._id])
+
+    @direct.setter
+    def direct(self, value: bool) -> None:
+        self._table._direct[self._id] = value
+
+    @property
+    def last_contact(self) -> float:
+        return float(self._table._last[self._id])
+
+    @last_contact.setter
+    def last_contact(self, value: float) -> None:
+        self._table._last[self._id] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"InterestRecord(weight={self.weight!r}, direct={self.direct!r}, "
+            f"last_contact={self.last_contact!r})"
+        )
+
+
+class _RecordMap:
+    """Dict-like adapter exposing a table's rows as keyword -> record.
+
+    Preserves the historical ``table._records`` seam (tests seed and
+    tweak records through it); values read back as live
+    :class:`_RecordView` handles.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: "InterestTable"):
+        self._table = table
+
+    def __getitem__(self, keyword: str) -> _RecordView:
+        table = self._table
+        keyword_id = table._index.get(keyword)
+        if keyword_id is None or not table._row_present(keyword_id):
+            raise KeyError(keyword)
+        return _RecordView(table, keyword_id)
+
+    def __setitem__(self, keyword: str, record: InterestRecord) -> None:
+        table = self._table
+        keyword_id = table._slot(keyword)
+        table._weight[keyword_id] = record.weight
+        table._direct[keyword_id] = record.direct
+        table._last[keyword_id] = record.last_contact
+        table._present[keyword_id] = True
+        table._invalidate_views()
+
+    def __delitem__(self, keyword: str) -> None:
+        table = self._table
+        keyword_id = table._index.get(keyword)
+        if keyword_id is None or not table._row_present(keyword_id):
+            raise KeyError(keyword)
+        table._present[keyword_id] = False
+        table._weight[keyword_id] = 0.0
+        table._invalidate_views()
+
+    def __contains__(self, keyword: str) -> bool:
+        table = self._table
+        keyword_id = table._index.get(keyword)
+        return keyword_id is not None and table._row_present(keyword_id)
+
+    def __len__(self) -> int:
+        return int(np.count_nonzero(self._table._present))
+
+    def __iter__(self) -> Iterator[str]:
+        table = self._table
+        name_of = table._index.name_of
+        for keyword_id in np.flatnonzero(table._present):
+            yield name_of(int(keyword_id))
+
+    def keys(self) -> Iterator[str]:
+        return iter(self)
+
+    def values(self) -> Iterator[_RecordView]:
+        table = self._table
+        for keyword_id in np.flatnonzero(table._present):
+            yield _RecordView(table, int(keyword_id))
+
+    def items(self) -> Iterator[Tuple[str, _RecordView]]:
+        table = self._table
+        name_of = table._index.name_of
+        for keyword_id in np.flatnonzero(table._present):
+            yield name_of(int(keyword_id)), _RecordView(table, int(keyword_id))
+
+    def get(self, keyword: str, default=None):
+        try:
+            return self[keyword]
+        except KeyError:
+            return default
+
+
 class InterestTable:
     """A node's keyword-weight table (direct + transient interests).
+
+    Storage is struct-of-arrays: one float64/bool row per keyword id in
+    the shared :class:`KeywordIndex`, with a ``present`` mask standing
+    in for dict membership.  Algorithm 1 (decay) and Algorithm 2
+    (growth) are elementwise — no cross-keyword accumulation — so the
+    vectorised updates below compute bit-identical floats to the
+    historical per-record loops (each element sees the same expression,
+    evaluated in the same operation order).
 
     The table carries a monotonically increasing :attr:`version` bumped
     by every mutating operation (decay, growth, subscription), which
@@ -76,22 +269,90 @@ class InterestTable:
     invalidation.
     """
 
-    def __init__(self, direct_interests: Iterable[str], created_at: float = 0.0):
-        self._records: Dict[str, InterestRecord] = {}
+    def __init__(
+        self,
+        direct_interests: Iterable[str],
+        created_at: float = 0.0,
+        *,
+        index: Optional[KeywordIndex] = None,
+    ):
+        self._index = index if index is not None else KeywordIndex()
         #: Bumped on every mutation; cache-invalidation token.
         self.version: int = 0
+        #: Bumped only when row *membership* changes (acquire, prune,
+        #: subscribe).  Weight updates leave it alone, so the derived
+        #: keyword/id views below survive ordinary decay/growth ticks.
+        self._members_version: int = 0
         self._keywords_view: Optional[FrozenSet[str]] = None
-        self._keywords_view_version: int = -1
+        self._keywords_view_key: int = -1
+        self._ids_view: Optional[np.ndarray] = None
+        self._ids_view_key: int = -1
+        self._ids_list_view: Optional[List[int]] = None
+        self._ids_list_key: int = -1
+        capacity = max(8, len(self._index))
+        self._weight = np.zeros(capacity, dtype=np.float64)
+        self._direct = np.zeros(capacity, dtype=bool)
+        self._last = np.zeros(capacity, dtype=np.float64)
+        self._present = np.zeros(capacity, dtype=bool)
         for keyword in direct_interests:
-            self._records[keyword] = InterestRecord(
-                weight=0.5, direct=True, last_contact=created_at
-            )
+            keyword_id = self._slot(keyword)
+            self._weight[keyword_id] = 0.5
+            self._direct[keyword_id] = True
+            self._last[keyword_id] = created_at
+            self._present[keyword_id] = True
+
+    # ------------------------------------------------------------------
+    # Row plumbing
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> KeywordIndex:
+        """The shared keyword registry this table's rows live in."""
+        return self._index
+
+    @property
+    def _records(self) -> _RecordMap:
+        """Dict-like row access (compatibility seam; see _RecordMap)."""
+        return _RecordMap(self)
+
+    def _slot(self, keyword: str) -> int:
+        """The row for ``keyword``, growing arrays to cover its id."""
+        keyword_id = self._index.id_of(keyword)
+        self._ensure(keyword_id)
+        return keyword_id
+
+    def _ensure(self, keyword_id: int) -> None:
+        capacity = self._present.size
+        if keyword_id < capacity:
+            return
+        new_capacity = max(capacity * 2, keyword_id + 1)
+        grow = new_capacity - capacity
+        self._weight = np.concatenate(
+            [self._weight, np.zeros(grow, dtype=np.float64)]
+        )
+        self._direct = np.concatenate(
+            [self._direct, np.zeros(grow, dtype=bool)]
+        )
+        self._last = np.concatenate(
+            [self._last, np.zeros(grow, dtype=np.float64)]
+        )
+        self._present = np.concatenate(
+            [self._present, np.zeros(grow, dtype=bool)]
+        )
+
+    def _row_present(self, keyword_id: int) -> bool:
+        return keyword_id < self._present.size and bool(
+            self._present[keyword_id]
+        )
+
+    def _invalidate_views(self) -> None:
+        self._members_version += 1
 
     def __len__(self) -> int:
-        return len(self._records)
+        return int(np.count_nonzero(self._present))
 
     def __contains__(self, keyword: str) -> bool:
-        return keyword in self._records
+        keyword_id = self._index.get(keyword)
+        return keyword_id is not None and self._row_present(keyword_id)
 
     @property
     def keywords(self) -> FrozenSet[str]:
@@ -100,28 +361,161 @@ class InterestTable:
         Cached per :attr:`version` — contact handling asks for this set
         repeatedly between mutations.
         """
-        if self._keywords_view_version != self.version:
-            self._keywords_view = frozenset(self._records)
-            self._keywords_view_version = self.version
+        if self._keywords_view_key != self._members_version:
+            name_of = self._index.name_of
+            self._keywords_view = frozenset(
+                name_of(int(i)) for i in self.present_ids()
+            )
+            self._keywords_view_key = self._members_version
         return self._keywords_view
 
-    def record(self, keyword: str) -> Optional[InterestRecord]:
-        """The record for ``keyword``, or None."""
-        return self._records.get(keyword)
+    def present_ids(self) -> np.ndarray:
+        """Ids of all present rows, ascending (cached per membership
+        version, so ordinary decay/growth ticks reuse it).
+
+        The id-space analogue of :attr:`keywords`; the router's decay
+        hook unions these across connected peers.  Treat as read-only —
+        membership changes replace (never mutate) the cached array, so
+        outstanding references stay valid snapshots.
+        """
+        if self._ids_view_key != self._members_version:
+            self._ids_view = np.flatnonzero(self._present)
+            self._ids_view_key = self._members_version
+        return self._ids_view
+
+    def record(self, keyword: str) -> Optional[_RecordView]:
+        """A live record handle for ``keyword``, or None."""
+        keyword_id = self._index.get(keyword)
+        if keyword_id is None or not self._row_present(keyword_id):
+            return None
+        return _RecordView(self, keyword_id)
 
     def weight(self, keyword: str) -> float:
         """Current weight of ``keyword`` (0.0 when absent)."""
-        record = self._records.get(keyword)
-        return record.weight if record is not None else 0.0
+        keyword_id = self._index.get(keyword)
+        if keyword_id is None or not self._row_present(keyword_id):
+            return 0.0
+        return float(self._weight[keyword_id])
 
     def is_direct(self, keyword: str) -> bool:
         """Whether ``keyword`` is one of the node's own subscriptions."""
-        record = self._records.get(keyword)
-        return record is not None and record.direct
+        keyword_id = self._index.get(keyword)
+        return (
+            keyword_id is not None
+            and self._row_present(keyword_id)
+            and bool(self._direct[keyword_id])
+        )
 
     def sum_for(self, keywords: Iterable[str]) -> float:
-        """``S`` — the sum of weights over ``keywords``."""
+        """``S`` — the sum of weights over ``keywords``.
+
+        Deliberately a scalar loop in caller order: float addition is
+        not associative, and bit-identical results require replaying
+        exactly the historical accumulation order.
+        """
         return sum(self.weight(k) for k in keywords)
+
+    def sum_for_ids(self, ids: np.ndarray) -> float:
+        """``S`` over pre-resolved keyword ids, in array order.
+
+        Bit-identical to :meth:`sum_for` over the same keywords in the
+        same order: absent rows contribute exactly ``0.0``, and adding
+        ``0.0`` never changes an IEEE sum (weights are never ``-0.0``),
+        so dropping out-of-range ids is safe.  The accumulation itself
+        stays a sequential left-to-right Python sum.
+        """
+        capacity = self._present.size
+        valid = ids[ids < capacity]
+        if valid.size == 0:
+            return 0 if ids.size == 0 else 0.0
+        # Absent rows hold weight 0.0 by invariant (pruning and
+        # deletion zero the row), so no presence mask is needed.
+        return sum(self._weight[valid].tolist())
+
+    def any_direct_ids(self, ids: np.ndarray) -> bool:
+        """Whether any of the pre-resolved ids is a direct interest."""
+        capacity = self._present.size
+        valid = ids[ids < capacity]
+        if valid.size == 0:
+            return False
+        # ndarray.any() rather than np.any(): the module-level wrapper's
+        # dispatch overhead is measurable at hot-path call counts.
+        return bool((self._present[valid] & self._direct[valid]).any())
+
+    def batch_fill(
+        self,
+        misses: List[Tuple[Tuple[str, ...], np.ndarray]],
+        sums: Dict[Tuple[str, ...], float],
+        roles: Optional[Dict[Tuple[str, ...], str]],
+    ) -> None:
+        """Fill sum/role memo dicts for many keyword-id arrays at once.
+
+        One concatenated gather replaces a per-key
+        :meth:`sum_for_ids` + :meth:`any_direct_ids` pair — the
+        dominant per-message cost of offering a full buffer during a
+        contact.  Bit-identical to the per-key calls: out-of-range ids
+        are redirected to row 0 but their fetched weight is overwritten
+        with exactly ``0.0`` (what an absent row holds — adding it
+        never changes an IEEE sum, and weights are never ``-0.0``) and
+        their direct flag with ``False``; each key's sum then replays
+        the same left-to-right Python accumulation over its own slice.
+        """
+        capacity = self._present.size
+        if capacity == 0:
+            for key, ids in misses:
+                sums[key] = 0 if ids.size == 0 else 0.0
+                if roles is not None:
+                    roles[key] = "relay"
+            return
+        if len(misses) == 1:
+            key, ids = misses[0]
+            sums[key] = self.sum_for_ids(ids)
+            if roles is not None:
+                roles[key] = (
+                    "destination" if self.any_direct_ids(ids) else "relay"
+                )
+            return
+        cat = np.concatenate([ids for _, ids in misses])
+        if cat.size == 0:
+            for key, ids in misses:
+                sums[key] = 0
+                if roles is not None:
+                    roles[key] = "relay"
+            return
+        if int(cat.max()) < capacity:
+            # Common case: every id is in range (the shared index only
+            # outruns a table's arrays briefly, until its next growth
+            # tick) — no masking needed.
+            values = self._weight[cat].tolist()
+            flags = (
+                (self._present[cat] & self._direct[cat]).tolist()
+                if roles is not None
+                else None
+            )
+        else:
+            ok = cat < capacity
+            safe = np.where(ok, cat, 0)
+            weights = self._weight[safe]
+            weights[~ok] = 0.0
+            values = weights.tolist()
+            flags = (
+                (self._present[safe] & self._direct[safe] & ok).tolist()
+                if roles is not None
+                else None
+            )
+        start = 0
+        for key, ids in misses:
+            size = ids.size
+            end = start + size
+            if size == 0:
+                sums[key] = 0
+            else:
+                sums[key] = sum(values[start:end])
+            if flags is not None:
+                roles[key] = (
+                    "destination" if any(flags[start:end]) else "relay"
+                )
+            start = end
 
     def average_for(self, keywords: Iterable[str]) -> float:
         """Average weight over ``keywords`` (0 for an empty set)."""
@@ -132,19 +526,27 @@ class InterestTable:
 
     def direct_keywords(self) -> FrozenSet[str]:
         """The node's own subscription keywords."""
-        return frozenset(k for k, r in self._records.items() if r.direct)
+        name_of = self._index.name_of
+        return frozenset(
+            name_of(int(i))
+            for i in np.flatnonzero(self._present & self._direct)
+        )
 
     def add_direct(self, keyword: str, now: float) -> None:
         """Subscribe to a new keyword (operator function *Subscribe*)."""
         self.version += 1
-        existing = self._records.get(keyword)
-        if existing is not None:
-            existing.direct = True
-            existing.weight = max(existing.weight, 0.5)
-        else:
-            self._records[keyword] = InterestRecord(
-                weight=0.5, direct=True, last_contact=now
+        keyword_id = self._slot(keyword)
+        if self._present[keyword_id]:
+            self._direct[keyword_id] = True
+            self._weight[keyword_id] = max(
+                float(self._weight[keyword_id]), 0.5
             )
+        else:
+            self._weight[keyword_id] = 0.5
+            self._direct[keyword_id] = True
+            self._last[keyword_id] = now
+            self._present[keyword_id] = True
+            self._members_version += 1
 
     # ------------------------------------------------------------------
     # Algorithm 1: decay
@@ -152,59 +554,283 @@ class InterestTable:
     def decay(
         self,
         now: float,
-        connected_keywords: Set[str],
+        connected_keywords: Union[Set[str], np.ndarray],
         *,
         beta: float,
         prune_below: float = 1e-3,
     ) -> None:
-        """Decay all weights per Algorithm 1.
+        """Decay all weights per Algorithm 1 (vectorised).
 
         Args:
             now: Current time ``T_c``.
             connected_keywords: Keywords shared by *currently connected*
                 devices; their weights are frozen and their ``T_l``
-                refreshed.
+                refreshed.  Either a set of strings or an int64 array of
+                keyword ids (the router's hot path).
             beta: Decay constant.
             prune_below: Transient records below this weight are removed
                 (bounds table growth; direct interests are never pruned).
         """
         if beta <= 0:
             raise ConfigurationError(f"beta must be > 0, got {beta!r}")
+        present = self._present
+        if self.present_ids().size == 0:
+            return
+        capacity = present.size
+        # Refresh T_l of connected rows by stamping ids directly — no
+        # membership mask.  Stamping an *absent* row is harmless: its
+        # ``last`` is dormant storage, unconditionally rewritten when
+        # the row is acquired (grow/add_direct), and a stamped present
+        # row is excluded from decay below because its elapsed is
+        # exactly 0.0 (``now - now``), which is what the old explicit
+        # ``~connected`` mask excluded.  Duplicate ids are harmless.
+        last = self._last
+        if isinstance(connected_keywords, np.ndarray):
+            if connected_keywords.size:
+                # The shared index may hold ids beyond this table's
+                # arrays; those rows are absent here by definition.
+                last[connected_keywords[connected_keywords < capacity]] = now
+        elif isinstance(connected_keywords, list) and (
+            not connected_keywords
+            or isinstance(connected_keywords[0], np.ndarray)
+        ):
+            # A list of id arrays (one per connected peer), stamped
+            # without materialising their concatenation.
+            for part in connected_keywords:
+                if part.size:
+                    last[part[part < capacity]] = now
+        else:
+            get = self._index.get
+            ids = [
+                i
+                for i in (get(k) for k in connected_keywords)
+                if i is not None and i < capacity
+            ]
+            if ids:
+                last[ids] = now
+        # The updates below run compactly on the present rows only:
+        # tables are sparse at scale (the shared index keeps widening
+        # the arrays while a node holds a few dozen live rows), so
+        # gather → small-array ops → scatter beats masked full-capacity
+        # arithmetic by an order of magnitude.  Each written element
+        # still sees exactly the scalar expression, in the same
+        # operation order — the gather only changes *which* elements
+        # are computed, never *how*.
+        rows = self.present_ids()
+        weight = self._weight
+        if rows.size <= _SCALAR_ROWS_MAX:
+            # Scalar path: same expression per row (Python floats are
+            # the same IEEE doubles), no ufunc dispatch.  The list view
+            # of the present rows is cached per membership version,
+            # like the array view it mirrors.
+            if self._ids_list_key != self._members_version:
+                self._ids_list_view = rows.tolist()
+                self._ids_list_key = self._members_version
+            rows_l = self._ids_list_view
+            last_l = last[rows].tolist()
+            stale_ids: List[int] = []
+            stale_elapsed: List[float] = []
+            for i, t in zip(rows_l, last_l):
+                e = now - t
+                if e > 0.0:
+                    stale_ids.append(i)
+                    stale_elapsed.append(e)
+            if not stale_ids:
+                # Nothing decayed and nothing was pruned, so every
+                # memoised sum/classification keyed on :attr:`version`
+                # is still exact — the version deliberately does NOT
+                # move (both paths).
+                return
+            self.version += 1
+            old_l = weight[stale_ids].tolist()
+            direct_l = self._direct[stale_ids].tolist()
+            new_l: List[float] = []
+            dead_ids: List[int] = []
+            for k in range(len(stale_ids)):
+                den = beta * stale_elapsed[k]
+                if den < 1.0:
+                    den = 1.0
+                if direct_l[k]:
+                    decayed = (old_l[k] - 0.5) / den + 0.5
+                else:
+                    decayed = (old_l[k] - 0.0) / den + 0.0
+                    if decayed < prune_below:
+                        dead_ids.append(stale_ids[k])
+                new_l.append(decayed)
+            weight[stale_ids] = new_l
+            if dead_ids:
+                weight[dead_ids] = 0.0
+                present[dead_ids] = False
+                self._members_version += 1
+            return
+        elapsed = now - last[rows]
+        stale = elapsed > 0.0
+        if not stale.any():
+            return
         self.version += 1
-        dead: List[str] = []
-        for keyword, record in self._records.items():
-            if keyword in connected_keywords:
-                record.last_contact = now
-                continue
-            elapsed = now - record.last_contact
-            if elapsed <= 0:
-                continue
-            denominator = max(beta * elapsed, 1.0)
-            if record.direct:
-                record.weight = (record.weight - 0.5) / denominator + 0.5
-            else:
-                record.weight = record.weight / denominator
-                if record.weight < prune_below:
-                    dead.append(keyword)
-        for keyword in dead:
-            del self._records[keyword]
+        stale_rows = rows[stale]
+        old = weight[stale_rows]
+        direct = self._direct[stale_rows]
+        denominator = np.maximum(beta * elapsed[stale], 1.0)
+        # One fused expression for both record kinds: direct rows see
+        # the literal Algorithm 1 form ``(w - 0.5)/den + 0.5``;
+        # transient rows see ``(w - 0.0)/den + 0.0``, bit-identical to
+        # ``w/den`` because weights are never negative zero.
+        half = direct * 0.5
+        decayed = (old - half) / denominator + half
+        weight[stale_rows] = decayed
+        dead = ~direct & (decayed < prune_below)
+        if dead.any():
+            dead_rows = stale_rows[dead]
+            weight[dead_rows] = 0.0
+            present[dead_rows] = False
+            self._members_version += 1
 
     # ------------------------------------------------------------------
     # Algorithm 2: growth
     # ------------------------------------------------------------------
+    def snapshot_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(ids, weights, direct)`` arrays of positive-weight rows.
+
+        The peer-visible state of the table during a weight exchange.
+        Fancy indexing copies, so the snapshot is immune to concurrent
+        mutation of the table it came from — which is what keeps the
+        two-sided growth update symmetric.  Only meaningful between
+        tables sharing the same :class:`KeywordIndex`.
+        """
+        rows = self.present_ids()
+        if rows.size == 0:
+            return rows, np.empty(0, dtype=np.float64), np.empty(0, dtype=bool)
+        weights = self._weight[rows]
+        if weights.min() <= 0.0:
+            # Only reachable through test-seeded zero-weight rows: live
+            # rows keep positive weight (direct >= 0.5 always; transients
+            # are pruned long before underflow).
+            keep = weights > 0.0
+            rows = rows[keep]
+            weights = weights[keep]
+        return rows, weights, self._direct[rows]
+
     def snapshot_weights(self) -> List[Tuple[str, float, bool]]:
         """``(keyword, weight, direct)`` triples with positive weight.
 
-        This is the peer-visible state of the table during a weight
-        exchange: cheap to build (no record objects are cloned) and
-        immune to concurrent mutation of the table it came from, which
-        is what keeps the two-sided growth update symmetric.
-        """
+        String-keyed variant of :meth:`snapshot_arrays` for callers
+        outside the hot path (and across distinct indexes)."""
+        rows, weights, direct = self.snapshot_arrays()
+        name_of = self._index.name_of
         return [
-            (keyword, record.weight, record.direct)
-            for keyword, record in self._records.items()
-            if record.weight > 0.0
+            (name_of(int(i)), float(w), bool(d))
+            for i, w, d in zip(rows, weights, direct)
         ]
+
+    def grow_from_arrays(
+        self,
+        peer_ids: np.ndarray,
+        peer_weights: np.ndarray,
+        peer_direct: np.ndarray,
+        now: float,
+        elapsed: float,
+        *,
+        growth_scale: float,
+        elapsed_cap: float,
+    ) -> None:
+        """Grow this table from a peer's array snapshot per Algorithm 2.
+
+        ``Delta = growth_scale * w_v(I) * min(elapsed, cap) / psi`` and
+        the new weight is ``min(1, w + Delta)``.  Keywords we do not
+        hold are acquired as transient interests.  ``peer_ids`` must be
+        ids from this table's own :class:`KeywordIndex` and free of
+        duplicates (snapshots are, by construction).
+
+        The psi cases and the float expression are kept exactly as in
+        the record-based formulation (``growth_scale * w * effective /
+        psi``, left to right; psi selected per element) so the
+        vectorisation is bit-identical.
+        """
+        if elapsed < 0:
+            raise ConfigurationError(f"elapsed must be >= 0, got {elapsed!r}")
+        if peer_ids.size == 0:
+            return
+        effective = min(elapsed, elapsed_cap)
+        if effective <= 0.0:
+            return  # every delta is exactly 0.0: nothing to write
+        if peer_ids.size <= _SCALAR_ROWS_MAX:
+            # Scalar path: identical per-element expression and psi
+            # selection, without the ~10 ufunc dispatches the batched
+            # form costs on a few dozen rows.
+            ids_l = peer_ids.tolist()
+            self._ensure(max(ids_l))
+            weight = self._weight
+            peer_w_l = peer_weights.tolist()
+            peer_d_l = peer_direct.tolist()
+            mine_p_l = self._present[ids_l].tolist()
+            mine_d_l = self._direct[ids_l].tolist()
+            mine_w_l = weight[ids_l].tolist()
+            fresh_ids: List[int] = []
+            fresh_w: List[float] = []
+            grown_ids: List[int] = []
+            grown_w: List[float] = []
+            for k in range(len(ids_l)):
+                if mine_p_l[k]:
+                    psi = 2 if mine_d_l[k] else 4
+                else:
+                    psi = 6
+                if peer_d_l[k]:
+                    psi -= 1
+                delta = growth_scale * peer_w_l[k] * effective / psi
+                if delta <= 0.0:
+                    continue
+                if mine_p_l[k]:
+                    w = mine_w_l[k] + delta
+                    grown_ids.append(ids_l[k])
+                    grown_w.append(w if w < 1.0 else 1.0)
+                else:
+                    fresh_ids.append(ids_l[k])
+                    fresh_w.append(delta if delta < 1.0 else 1.0)
+            if fresh_ids:
+                weight[fresh_ids] = fresh_w
+                self._direct[fresh_ids] = False
+                self._last[fresh_ids] = now
+                self._present[fresh_ids] = True
+                self._members_version += 1
+            if grown_ids:
+                weight[grown_ids] = grown_w
+                self._last[grown_ids] = now
+            if fresh_ids or grown_ids:
+                self.version += 1
+            return
+        self._ensure(int(peer_ids.max()))
+        mine_present = self._present[peer_ids]
+        mine_direct = self._direct[peer_ids]
+        # psi in {1..6}: the nested psi_case collapses to a two-level
+        # select minus the peer-direct bonus (2-1=1, 4-1=3, 6-1=5).
+        psi = np.where(
+            mine_present, np.where(mine_direct, 2, 4), 6
+        ) - peer_direct
+        delta = growth_scale * peer_weights * effective / psi
+        active = delta > 0.0
+        changed = False
+        fresh = active & ~mine_present
+        rows = peer_ids[fresh]
+        if rows.size:
+            self._weight[rows] = np.minimum(delta[fresh], 1.0)
+            self._direct[rows] = False
+            self._last[rows] = now
+            self._present[rows] = True
+            self._members_version += 1
+            changed = True
+        grown_mask = active & mine_present
+        rows = peer_ids[grown_mask]
+        if rows.size:
+            self._weight[rows] = np.minimum(
+                self._weight[rows] + delta[grown_mask], 1.0
+            )
+            self._last[rows] = now
+            changed = True
+        if changed:
+            # Version moves only when a weight (or membership) actually
+            # did — no-op growth ticks keep memoised sums alive.
+            self.version += 1
 
     def grow_from_weights(
         self,
@@ -215,41 +841,25 @@ class InterestTable:
         growth_scale: float,
         elapsed_cap: float,
     ) -> None:
-        """Grow this table from a peer's weight snapshot per Algorithm 2.
+        """Grow this table from a string-keyed peer snapshot.
 
-        ``Delta = growth_scale * w_v(I) * min(elapsed, cap) / psi`` and
-        the new weight is ``min(1, w + Delta)``.  Keywords we do not hold
-        are acquired as transient interests.
-
-        The psi cases and the float expression are kept exactly as in
-        the record-based formulation (``growth_scale * w * effective /
-        psi``, left to right) so the optimisation is bit-identical.
+        Compatibility wrapper translating keywords into this table's
+        index and delegating to :meth:`grow_from_arrays`.
         """
-        if elapsed < 0:
-            raise ConfigurationError(f"elapsed must be >= 0, got {elapsed!r}")
-        self.version += 1
-        effective = min(elapsed, elapsed_cap)
-        records = self._records
-        for keyword, weight, peer_direct in peer_weights:
-            mine = records.get(keyword)
-            if mine is None:
-                psi = 5 if peer_direct else 6
-            elif mine.direct:
-                psi = 1 if peer_direct else 2
-            else:
-                psi = 3 if peer_direct else 4
-            delta = growth_scale * weight * effective / psi
-            if delta <= 0.0:
-                continue
-            if mine is None:
-                records[keyword] = InterestRecord(
-                    weight=delta if delta < 1.0 else 1.0,
-                    direct=False, last_contact=now,
-                )
-            else:
-                grown = mine.weight + delta
-                mine.weight = grown if grown < 1.0 else 1.0
-                mine.last_contact = now
+        id_of = self._index.id_of
+        ids = np.asarray(
+            [id_of(k) for k, _, _ in peer_weights], dtype=np.int64
+        )
+        weights = np.asarray(
+            [w for _, w, _ in peer_weights], dtype=np.float64
+        )
+        direct = np.asarray(
+            [d for _, _, d in peer_weights], dtype=bool
+        )
+        self.grow_from_arrays(
+            ids, weights, direct, now, elapsed,
+            growth_scale=growth_scale, elapsed_cap=elapsed_cap,
+        )
 
     def grow_from(
         self,
@@ -262,20 +872,27 @@ class InterestTable:
     ) -> None:
         """Grow this table from ``peer``'s weights per Algorithm 2.
 
-        Convenience wrapper over :meth:`grow_from_weights`; callers that
-        need symmetric two-sided growth should snapshot both tables
-        first (see :meth:`ChitChatRouter.run_rtsr_growth`).
+        Convenience wrapper; callers that need symmetric two-sided
+        growth should snapshot both tables first (see
+        :meth:`ChitChatRouter.run_rtsr_growth`).
         """
-        self.grow_from_weights(
-            peer.snapshot_weights(), now, elapsed,
-            growth_scale=growth_scale, elapsed_cap=elapsed_cap,
-        )
+        if peer._index is self._index:
+            ids, weights, direct = peer.snapshot_arrays()
+            self.grow_from_arrays(
+                ids, weights, direct, now, elapsed,
+                growth_scale=growth_scale, elapsed_cap=elapsed_cap,
+            )
+        else:
+            self.grow_from_weights(
+                peer.snapshot_weights(), now, elapsed,
+                growth_scale=growth_scale, elapsed_cap=elapsed_cap,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        direct = sum(1 for r in self._records.values() if r.direct)
+        direct = int(np.count_nonzero(self._present & self._direct))
         return (
             f"InterestTable({direct} direct, "
-            f"{len(self._records) - direct} transient)"
+            f"{len(self) - direct} transient)"
         )
 
 
@@ -349,16 +966,31 @@ class ChitChatRouter(Router):
         self.destinations_also_relay = bool(destinations_also_relay)
         self.max_retransmissions = int(max_retransmissions)
         self.retransmit_backoff = float(retransmit_backoff)
+        #: Keyword registry shared by every table this router creates;
+        #: weight exchanges move id arrays, not strings.
+        self.keyword_index = KeywordIndex()
         self._tables: Dict[int, InterestTable] = {}
+        # Per-message keyword-id arrays, keyed by the ordered keyword
+        # sequence.  Ids follow the iteration order of the message's
+        # keyword frozenset (identical sequences build identically
+        # iterating frozensets), which is the order the scalar sum
+        # accumulated in — the bit-parity requirement.
+        self._message_id_cache: Dict[Tuple[str, ...], np.ndarray] = {}
         # Retransmission attempts used per (receiver_id, message uuid).
         self._retry_counts: Dict[Tuple[int, str], int] = {}
-        # Memoised interest sums: node id -> (table version at compute
-        # time, {message keyword sequence -> S}).  A node's whole cache
+        # Memoised interest sums and destination/relay roles: node id ->
+        # (table version at compute time, {message keyword sequence ->
+        # S}, {message keyword sequence -> role}).  A node's whole cache
         # is discarded the moment its table version moves on, so decay,
-        # growth and subscriptions invalidate every dependent sum at
-        # once (see InterestTable.version).
+        # growth and subscriptions invalidate every dependent sum and
+        # classification at once (see InterestTable.version).
         self._sum_cache: Dict[
-            int, Tuple[int, Dict[Tuple[str, ...], float]]
+            int,
+            Tuple[
+                int,
+                Dict[Tuple[str, ...], float],
+                Dict[Tuple[str, ...], str],
+            ],
         ] = {}
 
     # ------------------------------------------------------------------
@@ -369,7 +1001,11 @@ class ChitChatRouter(Router):
         existing = self._tables.get(node_id)
         if existing is None:
             node = self.world.node(node_id)
-            existing = InterestTable(node.interests, created_at=self.world.now)
+            existing = InterestTable(
+                node.interests,
+                created_at=self.world.now,
+                index=self.keyword_index,
+            )
             self._tables[node_id] = existing
         return existing
 
@@ -387,15 +1023,27 @@ class ChitChatRouter(Router):
         table = self.table(node_id)
         cached = self._sum_cache.get(node_id)
         if cached is None or cached[0] != table.version:
-            cached = (table.version, {})
+            cached = (table.version, {}, {})
             self._sum_cache[node_id] = cached
         sums = cached[1]
         key = message.keyword_sequence
         value = sums.get(key)
         if value is None:
-            value = table.sum_for(message.keywords)
+            value = table.sum_for_ids(self._message_ids(message))
             sums[key] = value
         return value
+
+    def _message_ids(self, message: Message) -> np.ndarray:
+        """``message``'s keywords as ids, in frozenset iteration order."""
+        key = message.keyword_sequence
+        ids = self._message_id_cache.get(key)
+        if ids is None:
+            id_of = self.keyword_index.id_of
+            ids = np.asarray(
+                [id_of(k) for k in message.keywords], dtype=np.int64
+            )
+            self._message_id_cache[key] = ids
+        return ids
 
     def _connected_keywords(self, node_id: int) -> Set[str]:
         """Keywords held by any currently connected peer of ``node_id``."""
@@ -405,12 +1053,38 @@ class ChitChatRouter(Router):
             keywords |= self.table(peer).keywords
         return keywords
 
+    def _connected_ids(self, node_id: int) -> np.ndarray:
+        """Keyword ids held by any currently connected peer (id-space
+        analogue of :meth:`_connected_keywords`; same shared index).
+
+        Iterates the world's zero-copy open-link view and resolves
+        peer tables straight from the table dict: this runs twice per
+        contact, so the ``active_links`` list build and ``peer_of``
+        calls it replaced were a real cost at scale.
+        """
+        tables = self._tables
+        parts = []
+        for link in self.world.open_links(node_id):
+            peer = link.b if link.a == node_id else link.a
+            peer_table = tables.get(peer)
+            if peer_table is None:
+                peer_table = self.table(peer)
+            parts.append(peer_table.present_ids())
+        if not parts:
+            return _EMPTY_IDS
+        if len(parts) == 1:
+            return parts[0]
+        # Duplicates across peers are fine: decay consumes this as a
+        # membership mask, so neither deduplication nor concatenation
+        # would buy anything — hand the parts over as-is.
+        return parts
+
     def run_rtsr_decay(self, link: Link) -> None:
         """Phase one of the weight exchange: decay on both endpoints."""
         now = self.world.now
         for node_id in link.pair:
             self.table(node_id).decay(
-                now, self._connected_keywords(node_id), beta=self.beta
+                now, self._connected_ids(node_id), beta=self.beta
             )
 
     def run_rtsr_growth(self, link: Link, elapsed: float) -> None:
@@ -418,17 +1092,18 @@ class ChitChatRouter(Router):
         now = self.world.now
         table_a = self.table(link.a)
         table_b = self.table(link.b)
-        # Grow from weight snapshots so the update is symmetric (b must
-        # not see a's freshly grown weights).
-        weights_a = table_a.snapshot_weights()
-        weights_b = table_b.snapshot_weights()
-        table_a.grow_from_weights(
-            weights_b, now, elapsed,
+        # Grow from snapshots so the update is symmetric (b must not see
+        # a's freshly grown weights); snapshots are id arrays over the
+        # router-shared keyword index.
+        ids_a, weights_a, direct_a = table_a.snapshot_arrays()
+        ids_b, weights_b, direct_b = table_b.snapshot_arrays()
+        table_a.grow_from_arrays(
+            ids_b, weights_b, direct_b, now, elapsed,
             growth_scale=self.growth_scale,
             elapsed_cap=self.growth_elapsed_cap,
         )
-        table_b.grow_from_weights(
-            weights_a, now, elapsed,
+        table_b.grow_from_arrays(
+            ids_a, weights_a, direct_a, now, elapsed,
             growth_scale=self.growth_scale,
             elapsed_cap=self.growth_elapsed_cap,
         )
@@ -441,11 +1116,26 @@ class ChitChatRouter(Router):
 
         A device with a *direct* interest in any tag is a destination;
         one with only transient interest is a relay candidate.
+
+        Memoised alongside :meth:`interest_sum` (same version-keyed
+        cache): a contact classifies every buffered message against the
+        same table, and the answer only changes when the table does.
         """
         table = self.table(receiver_id)
-        if any(table.is_direct(k) for k in message.keywords):
-            return "destination"
-        return "relay"
+        cached = self._sum_cache.get(receiver_id)
+        if cached is None or cached[0] != table.version:
+            cached = (table.version, {}, {})
+            self._sum_cache[receiver_id] = cached
+        roles = cached[2]
+        key = message.keyword_sequence
+        role = roles.get(key)
+        if role is None:
+            if table.any_direct_ids(self._message_ids(message)):
+                role = "destination"
+            else:
+                role = "relay"
+            roles[key] = role
+        return role
 
     def wants_as_relay(
         self, sender_id: int, receiver_id: int, message: Message
@@ -467,19 +1157,74 @@ class ChitChatRouter(Router):
             (so the most valuable transfers survive short contacts).
         """
         sender = self.world.node(sender_id)
+        if len(sender.buffer) == 0:
+            return []
         receiver = self.world.node(receiver_id)
+
+        # Memo-dict setup first: both endpoint tables already exist
+        # (prepare_contact decayed them), so the lookups create nothing.
+        # The batch fills the same version-keyed dicts that
+        # classify()/interest_sum() consult, one gather per table for
+        # every cold key (the receive path afterwards hits warm
+        # entries).  Sender sums are filled for destinations too —
+        # harmless extra memo entries, and cheaper in the batch than a
+        # second cold pass for the relay comparison.
+        table_r = self.table(receiver_id)
+        cached = self._sum_cache.get(receiver_id)
+        if cached is None or cached[0] != table_r.version:
+            cached = (table_r.version, {}, {})
+            self._sum_cache[receiver_id] = cached
+        sums_r = cached[1]
+        roles_r = cached[2]
+        table_s = self.table(sender_id)
+        cached = self._sum_cache.get(sender_id)
+        if cached is None or cached[0] != table_s.version:
+            cached = (table_s.version, {}, {})
+            self._sum_cache[sender_id] = cached
+        sums_s = cached[1]
+
+        # Single pass: per-message filters fused with cold-key
+        # collection.
+        candidates: List[Message] = []
+        miss_r: List[Tuple[Tuple[str, ...], np.ndarray]] = []
+        miss_s: List[Tuple[Tuple[str, ...], np.ndarray]] = []
+        has_seen = receiver.has_seen
+        receiver_capacity = receiver.buffer.capacity
+        for message in sender.buffer.messages():
+            if has_seen(message.uuid):
+                continue
+            if message.size > receiver_capacity:
+                continue
+            candidates.append(message)
+            key = message.keyword_sequence
+            # interest_sum()/classify() each warm only their own dict,
+            # so sums and roles can be cold independently; recomputing
+            # a warm half alongside the cold one is bit-identical.
+            if key not in sums_r or key not in roles_r:
+                sums_r[key] = None  # reserve so duplicates batch once
+                roles_r[key] = None
+                miss_r.append((key, self._message_ids(message)))
+            if key not in sums_s:
+                sums_s[key] = None
+                miss_s.append((key, self._message_ids(message)))
+        if not candidates:
+            return []
+        if miss_r:
+            table_r.batch_fill(miss_r, sums_r, roles_r)
+        if miss_s:
+            table_s.batch_fill(miss_s, sums_s, None)
+
+        # Pass 3: the original per-message decision, now pure dict
+        # reads.  ``strength > sums_s[key]`` is wants_as_relay() on the
+        # identical floats.
         destinations: List[Tuple[float, Message]] = []
         relays: List[Tuple[float, Message]] = []
-        for message in sender.buffer.messages():
-            if receiver.has_seen(message.uuid):
-                continue
-            if message.size > receiver.buffer.capacity:
-                continue
-            role = self.classify(receiver_id, message)
-            strength = self.interest_sum(receiver_id, message)
-            if role == "destination":
+        for message in candidates:
+            key = message.keyword_sequence
+            strength = sums_r[key]
+            if roles_r[key] == "destination":
                 destinations.append((strength, message))
-            elif self.wants_as_relay(sender_id, receiver_id, message):
+            elif strength > sums_s[key]:
                 relays.append((strength, message))
         destinations.sort(key=lambda item: (-item[0], item[1].uuid))
         relays.sort(key=lambda item: (-item[0], item[1].uuid))
@@ -494,7 +1239,10 @@ class ChitChatRouter(Router):
 
     def relay_trust(self, receiver_id: int, message: Message) -> float:
         """Average tag weight — the paper's relay-threshold signal."""
-        return self.table(receiver_id).average_for(message.keywords)
+        ids = self._message_ids(message)
+        if ids.size == 0:
+            return 0.0
+        return self.table(receiver_id).sum_for_ids(ids) / ids.size
 
     # ------------------------------------------------------------------
     # World hooks

@@ -341,3 +341,85 @@ class TestVersionTokenAndCaches:
         table = InterestTable(["flood"])
         table._records["dead"] = InterestRecord(0.0, False, 0.0)
         assert table.snapshot_weights() == [("flood", 0.5, True)]
+
+
+class TestScalarVectorParity:
+    """The small-table scalar fast paths must match the ufunc paths.
+
+    ``_SCALAR_ROWS_MAX`` is a pure speed knob: every row sees the
+    identical IEEE expression on either side of it, so running the same
+    history entirely through the scalar paths and entirely through the
+    vector paths must land on bit-identical table state.
+    """
+
+    def _seasoned(self):
+        import numpy as np  # noqa: F401 - keeps helper self-contained
+
+        table = InterestTable(["flood", "fire", "medical"], created_at=0.0)
+        snapshots = [
+            [("water", 0.7, True), ("food", 0.31, False),
+             ("flood", 0.9, True)],
+            [("shelter", 0.001, False), ("fire", 0.44, False),
+             ("rescue", 0.62, True)],
+            [("water", 0.2, False), ("power", 0.015, False)],
+        ]
+        now = 0.0
+        for i, snap in enumerate(snapshots):
+            now = 10.0 * (i + 1)
+            table.decay(now, {"flood"} if i % 2 else set(), beta=0.05)
+            table.grow_from_weights(
+                snap, now, 7.5 + i,
+                growth_scale=0.8 if i != 1 else 20.0,  # i=1 hits the clamp
+                elapsed_cap=60.0,
+            )
+        return table, now
+
+    def _state(self, table):
+        return (
+            table._weight.tobytes(), table._present.tobytes(),
+            table._direct.tobytes(), table._last.tobytes(),
+            table.version, table._members_version,
+        )
+
+    def test_decay_and_growth_paths_bitwise_equal(self, monkeypatch):
+        from repro.routing import chitchat as chitchat_module
+
+        states = []
+        for forced_max in (10_000, -1):  # scalar-everywhere, vector-everywhere
+            monkeypatch.setattr(
+                chitchat_module, "_SCALAR_ROWS_MAX", forced_max
+            )
+            table, now = self._seasoned()
+            # beta=5.0 over 13s pushes "power" (w=0.015) below the prune
+            # threshold, so the dead-row branch is exercised on both paths.
+            table.decay(now + 13.0, {"fire", "water"}, beta=5.0)
+            states.append(self._state(table))
+        assert states[0] == states[1]
+
+    def test_batch_fill_matches_per_key_queries(self):
+        import numpy as np
+
+        table, _ = self._seasoned()
+        capacity = table._present.size
+        id_of = table._index.id_of
+        queries = [
+            ("warm", np.asarray(
+                [id_of("flood"), id_of("water")], dtype=np.int64)),
+            ("empty", np.empty(0, dtype=np.int64)),
+            ("out-of-range", np.asarray(
+                [capacity + 5, capacity + 9], dtype=np.int64)),
+            ("mixed", np.asarray(
+                [id_of("food"), capacity + 2, id_of("rescue")],
+                dtype=np.int64)),
+        ]
+        misses = [((key,), ids) for key, ids in queries]
+        sums, roles = {}, {}
+        table.batch_fill(misses, sums, roles)
+        for (key,), ids in misses:
+            expected_sum = table.sum_for_ids(ids)
+            expected_role = (
+                "destination" if table.any_direct_ids(ids) else "relay"
+            )
+            assert sums[(key,)] == expected_sum
+            assert type(sums[(key,)]) is type(expected_sum)
+            assert roles[(key,)] == expected_role

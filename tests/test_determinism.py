@@ -53,6 +53,51 @@ class TestGoldenSummary:
         assert first == second
 
 
+class TestWorldCoreEquivalence:
+    def test_object_core_matches_golden(self, tiny):
+        """The legacy core still reproduces the committed golden."""
+        summary = run_scenario(
+            tiny.replace(world_core="object"), "incentive", seed=1
+        ).summary()
+        golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        assert summary == golden
+
+    def test_soa_core_matches_object_core(self, tiny):
+        soa = run_scenario(
+            tiny.replace(world_core="soa"), "incentive", seed=1
+        ).summary()
+        legacy = run_scenario(
+            tiny.replace(world_core="object"), "incentive", seed=1
+        ).summary()
+        assert soa == legacy
+
+
+class TestShardedDetectionDeterminism:
+    """Spatial sharding must not perturb a single draw anywhere."""
+
+    def test_sharded_matches_unsharded(self, tiny):
+        base = run_scenario(tiny, "incentive", seed=1).summary()
+        sharded = run_scenario(
+            tiny.replace(detect_regions=4), "incentive", seed=1
+        ).summary()
+        assert sharded == base
+
+    def test_parallel_sharded_matches_unsharded(self, tiny):
+        base = run_scenario(tiny, "incentive", seed=1).summary()
+        fanned = run_scenario(
+            tiny.replace(detect_regions=4, detect_workers=2),
+            "incentive", seed=1,
+        ).summary()
+        assert fanned == base
+
+    def test_sharded_matches_golden(self, tiny):
+        summary = run_scenario(
+            tiny.replace(detect_regions=3), "incentive", seed=1
+        ).summary()
+        golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        assert summary == golden
+
+
 class TestSerialVsParallel:
     def test_run_averaged_parallel_bit_identical(self, tiny):
         """The issue's acceptance criterion: workers=4 == workers=1."""

@@ -1,0 +1,181 @@
+"""Spatial region sharding: unit tests and the determinism contract.
+
+The contract (see :mod:`repro.mobility.regions`): contact detection
+over 1 region, N regions, and N regions fanned out over a process pool
+produces **bit-identical** contact traces — same pairs, same floats —
+for every mobility model.  Region ownership (lower-id endpoint's strip)
+plus a one-radius halo guarantees each in-range pair is found exactly
+once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MobilityError
+from repro.mobility.contact import detect_contacts, pair_arrays
+from repro.mobility.regions import (
+    RegionGrid,
+    detect_contacts_sharded,
+    make_model,
+    region_pair_arrays,
+    sharded_pair_arrays,
+)
+from repro.sim.rng import RandomStreams
+
+AREA = (600.0, 400.0)
+RADIUS = 50.0
+
+
+def _positions(n, seed, area=AREA):
+    rng = np.random.default_rng(seed)
+    return rng.uniform((0.0, 0.0), area, size=(n, 2))
+
+
+class TestRegionGrid:
+    def test_bounds_partition_the_arena(self):
+        grid = RegionGrid(AREA, 4)
+        assert grid.n_regions == 4
+        edges = [grid.bounds(r) for r in range(4)]
+        assert edges[0][0] == 0.0
+        assert edges[-1][1] == pytest.approx(AREA[0])
+        for (_, hi), (lo, _) in zip(edges, edges[1:]):
+            assert hi == pytest.approx(lo)
+
+    def test_min_width_caps_region_count(self):
+        # 600 m wide / 100 m min width -> at most 6 strips.
+        grid = RegionGrid(AREA, 64, min_width=100.0)
+        assert grid.n_regions == 6
+        assert grid.strip_width >= 100.0
+
+    def test_single_region_always_allowed(self):
+        grid = RegionGrid(AREA, 1, min_width=10_000.0)
+        assert grid.n_regions == 1
+
+    def test_region_of_clips_out_of_range_positions(self):
+        grid = RegionGrid(AREA, 3)
+        x = np.asarray([-5.0, 0.0, AREA[0] - 1e-9, AREA[0] + 5.0])
+        regions = grid.region_of_x(x)
+        assert regions.tolist() == [0, 0, 2, 2]
+
+    def test_halo_members(self):
+        grid = RegionGrid((300.0, 100.0), 3)
+        positions = np.asarray([
+            [40.0, 0.0],    # region 0, inside halo of region 1 (>= 100-50)
+            [95.0, 0.0],    # region 0, in halo of 1
+            [150.0, 0.0],   # region 1 proper
+            [205.0, 0.0],   # region 2, in halo of 1
+            [260.0, 0.0],   # region 2, outside halo of 1
+        ])
+        members = grid.halo_members(positions, 1, 50.0)
+        assert members.tolist() == [1, 2, 3]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(MobilityError):
+            RegionGrid((0.0, 100.0), 2)
+        with pytest.raises(MobilityError):
+            RegionGrid(AREA, 0)
+        with pytest.raises(MobilityError):
+            RegionGrid(AREA, 2, min_width=-1.0)
+        with pytest.raises(MobilityError):
+            RegionGrid(AREA, 2).bounds(5)
+
+
+class TestPairOwnership:
+    @given(
+        n=st.integers(min_value=0, max_value=120),
+        seed=st.integers(min_value=0, max_value=1000),
+        regions=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_pairs_equal_global_pairs(self, n, seed, regions):
+        """Union over regions == the single-sweep pair set, exactly."""
+        positions = _positions(n, seed)
+        grid = RegionGrid(AREA, regions, min_width=RADIUS)
+        global_a, global_b = pair_arrays(positions, RADIUS)
+        shard_a, shard_b = sharded_pair_arrays(positions, RADIUS, grid)
+        want = sorted(zip(global_a.tolist(), global_b.tolist()))
+        got = sorted(zip(shard_a.tolist(), shard_b.tolist()))
+        assert got == want
+
+    @given(
+        n=st.integers(min_value=2, max_value=80),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_each_pair_owned_by_exactly_one_region(self, n, seed):
+        positions = _positions(n, seed)
+        grid = RegionGrid(AREA, 5, min_width=RADIUS)
+        seen = {}
+        for region in range(grid.n_regions):
+            node_a, node_b = region_pair_arrays(
+                positions, RADIUS, grid, region
+            )
+            for pair in zip(node_a.tolist(), node_b.tolist()):
+                assert pair not in seen, (
+                    f"pair {pair} owned by both region "
+                    f"{seen[pair]} and {region}"
+                )
+                seen[pair] = region
+        global_a, global_b = pair_arrays(positions, RADIUS)
+        assert len(seen) == global_a.size
+
+    def test_empty_region_contributes_nothing(self):
+        grid = RegionGrid(AREA, 4, min_width=RADIUS)
+        positions = np.asarray([[10.0, 10.0], [20.0, 10.0]])  # region 0
+        for region in range(1, grid.n_regions):
+            node_a, node_b = region_pair_arrays(
+                positions, RADIUS, grid, region
+            )
+            assert node_a.size == 0
+
+
+class TestShardingDeterminism:
+    """1 region vs N regions vs parallel: bit-identical traces."""
+
+    KW = dict(
+        n_nodes=40, area=AREA, seed=9, radius=RADIUS,
+        duration=300.0, scan_interval=10.0,
+    )
+
+    @pytest.mark.parametrize(
+        "kind", ("random-waypoint", "random-walk", "manhattan")
+    )
+    def test_serial_sharded_matches_classic_detector(self, kind):
+        rng = RandomStreams(self.KW["seed"]).get("mobility")
+        model = make_model(kind, self.KW["n_nodes"], AREA, rng)
+        classic = detect_contacts(
+            model, radius=RADIUS,
+            duration=self.KW["duration"],
+            scan_interval=self.KW["scan_interval"],
+        )
+        sharded = detect_contacts_sharded(kind=kind, regions=6, **self.KW)
+        assert sharded.contacts == classic.contacts
+
+    @pytest.mark.parametrize(
+        "kind", ("random-waypoint", "random-walk", "manhattan")
+    )
+    def test_one_region_matches_many_regions(self, kind):
+        one = detect_contacts_sharded(kind=kind, regions=1, **self.KW)
+        many = detect_contacts_sharded(kind=kind, regions=8, **self.KW)
+        assert one.contacts == many.contacts
+
+    def test_parallel_workers_match_serial(self):
+        serial = detect_contacts_sharded(
+            kind="random-waypoint", regions=6, workers=1, **self.KW
+        )
+        fanned = detect_contacts_sharded(
+            kind="random-waypoint", regions=6, workers=3, **self.KW
+        )
+        assert fanned.contacts == serial.contacts
+
+    def test_worker_surplus_is_harmless(self):
+        """More workers than regions must not change anything."""
+        serial = detect_contacts_sharded(
+            kind="random-walk", regions=2, workers=1, **self.KW
+        )
+        fanned = detect_contacts_sharded(
+            kind="random-walk", regions=2, workers=8, **self.KW
+        )
+        assert fanned.contacts == serial.contacts

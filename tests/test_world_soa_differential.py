@@ -1,0 +1,164 @@
+"""Differential harness: legacy object world vs the SoA world core.
+
+The struct-of-arrays core (``repro.network.world_soa``) is an
+*optimisation*, not a behaviour change: stepped on identical seeds it
+must produce event-for-event identical runs — same contact sequence,
+same transfers, same deliveries, same token balances, same floats.
+This suite is the migration contract: every scenario dimension that
+exercises a different world-core code path (mobility model, scheme,
+fault injection) runs under both cores and the results are compared
+exactly.
+
+Float equality here is deliberate.  The SoA core batches what the
+object core did one event at a time, and batching is only safe because
+it preserves the scalar accumulation order (see
+``repro.network.world_state``).  Any drift — even in the last ulp —
+fails these tests.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.faults import FaultConfig
+
+MOBILITY_MODELS = ("random-waypoint", "random-walk", "manhattan")
+SCHEMES = ("incentive", "chitchat", "epidemic")
+
+#: Light fault mix: link-layer loss plus churn, the two fault paths the
+#: world core itself mediates (blackouts need batteries; see the
+#: battery test below).
+FAULTS = FaultConfig(loss_probability=0.05, mean_uptime=1800.0)
+
+
+def _run_both(config, scheme, seed):
+    """One (object, SoA) run pair on identical seeds."""
+    legacy = run_scenario(
+        config.replace(world_core="object"), scheme, seed=seed
+    )
+    soa = run_scenario(config.replace(world_core="soa"), scheme, seed=seed)
+    return legacy, soa
+
+
+def _normalise_uuids(lines):
+    """Rewrite message uuids to first-appearance ordinals.
+
+    Message uuids come from a process-global counter, so the second run
+    in a process numbers its messages with an offset.  Order of first
+    appearance is deterministic, so renumbering restores comparability
+    without masking real divergence.
+    """
+    mapping = {}
+
+    def sub(match):
+        uuid = match.group(0)
+        if uuid not in mapping:
+            mapping[uuid] = f"msg-{len(mapping):08d}"
+        return mapping[uuid]
+
+    pattern = re.compile(r"msg-\d+(?:-f\d+)?")
+    normalised = []
+    for line in lines:
+        line = pattern.sub(sub, line)
+        if '"type":"engine-run"' in line or '"type":"run-end"' in line:
+            # The SoA core batches per-shard movement into fewer engine
+            # events; the raw event count is scheduler bookkeeping, not
+            # behaviour.  Everything else in the record must still match
+            # (run-end carries supply, escrow and every balance).
+            line = re.sub(r'"events":\d+', '"events":0', line)
+        normalised.append(line)
+    return normalised
+
+
+class TestDifferentialMatrix:
+    """3 mobility models x 3 schemes x fault/no-fault, both cores."""
+
+    @pytest.mark.parametrize("mobility", MOBILITY_MODELS)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize(
+        "faults", (None, FAULTS), ids=("no-fault", "fault")
+    )
+    def test_summaries_bit_identical(self, mobility, scheme, faults):
+        config = ScenarioConfig.tiny(mobility=mobility, faults=faults)
+        legacy, soa = _run_both(config, scheme, seed=11)
+        assert legacy.summary() == soa.summary()
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_ledger_balances_bit_identical(self, scheme):
+        config = ScenarioConfig.tiny()
+        legacy, soa = _run_both(config, scheme, seed=5)
+        ledger_l = getattr(legacy.router, "ledger", None)
+        ledger_s = getattr(soa.router, "ledger", None)
+        if ledger_l is None:
+            assert ledger_s is None
+            return
+        assert ledger_l.balances() == ledger_s.balances()
+
+    def test_fault_summaries_bit_identical(self):
+        config = ScenarioConfig.tiny(faults=FAULTS, max_retransmissions=2)
+        legacy, soa = _run_both(config, "incentive", seed=13)
+        assert legacy.fault_summary() == soa.fault_summary()
+        assert legacy.summary() == soa.summary()
+
+    def test_battery_blackouts_bit_identical(self):
+        """The SoA battery override replicates the scalar drain path."""
+        config = ScenarioConfig.tiny(
+            battery_capacity=400.0,
+            faults=FaultConfig(recharge_interval=600.0, recharge_amount=150.0),
+        )
+        legacy, soa = _run_both(config, "incentive", seed=17)
+        assert legacy.summary() == soa.summary()
+
+
+class TestDifferentialEventTrace:
+    """Event-for-event equivalence on the full JSONL trace."""
+
+    def test_traces_identical_modulo_uuid_offset(self, tmp_path):
+        config = ScenarioConfig.tiny()
+        path_l = tmp_path / "legacy.jsonl"
+        path_s = tmp_path / "soa.jsonl"
+        run_scenario(
+            config.replace(world_core="object"), "incentive", seed=2,
+            trace_path=str(path_l),
+        )
+        run_scenario(
+            config.replace(world_core="soa"), "incentive", seed=2,
+            trace_path=str(path_s),
+        )
+        lines_l = _normalise_uuids(path_l.read_text().splitlines())
+        lines_s = _normalise_uuids(path_s.read_text().splitlines())
+        assert lines_l == lines_s
+
+    def test_soa_trace_passes_conservation_audit(self, tmp_path):
+        from repro.trace.audit import replay_trace
+
+        config = ScenarioConfig.tiny()
+        path = tmp_path / "soa.jsonl"
+        run_scenario(config, "incentive", seed=2, trace_path=str(path))
+        report = replay_trace(str(path))
+        assert report.ok, report
+
+
+class TestFloatParity500:
+    """Satellite: exact float equality at 500 nodes (paper population).
+
+    The batched SoA path must use the same accumulation order as the
+    scalar path; at 500 nodes with the full Table 5.1 physics any
+    order drift shows up in the summary floats.  Short clock keeps the
+    test in tier-1 budget.
+    """
+
+    def test_500_node_run_exact_float_equality(self):
+        config = ScenarioConfig.paper_scale(duration=600.0, ttl=600.0)
+        legacy, soa = _run_both(config, "incentive", seed=1)
+        summary_l = legacy.summary()
+        summary_s = soa.summary()
+        assert summary_l == summary_s
+        # Belt and braces: JSON round-trip (the golden-file transport)
+        # must agree too.
+        assert json.dumps(summary_l, sort_keys=True) == json.dumps(
+            summary_s, sort_keys=True
+        )
