@@ -60,6 +60,38 @@ def test_chitchat_weight_exchange(benchmark):
     benchmark(exchange)
 
 
+def test_interest_decay_legacy_per_table(benchmark):
+    """256 per-node decay calls — the pre-fused-store hot path."""
+    from repro.experiments.bench import _bench_interest_decay_legacy
+
+    _name, run = _bench_interest_decay_legacy()
+    benchmark(run)
+
+
+def test_interest_decay_fused_store(benchmark):
+    """The same 256 tables decayed in one fused-store call."""
+    from repro.experiments.bench import _bench_interest_decay_fused
+
+    _name, run = _bench_interest_decay_fused()
+    benchmark(run)
+
+
+def test_gossip_merge_legacy_per_subject(benchmark):
+    """600 per-subject ``merge_opinion`` calls — the historical loop."""
+    from repro.experiments.bench import _bench_gossip_merge_legacy
+
+    _name, run = _bench_gossip_merge_legacy()
+    benchmark(run)
+
+
+def test_gossip_merge_fused_arrays(benchmark):
+    """The same 600-subject merge as one whole-book array pass."""
+    from repro.experiments.bench import _bench_gossip_merge_fused
+
+    _name, run = _bench_gossip_merge_fused()
+    benchmark(run)
+
+
 def test_paper_scale_contact_trace_one_hour(benchmark):
     """Paper-scale mobility for one simulated hour (24x less than the
     full run, same per-second cost)."""

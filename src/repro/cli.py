@@ -26,7 +26,9 @@ environment variable).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.config import ScenarioConfig
@@ -272,6 +274,33 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _maybe_profile(args: argparse.Namespace, label: str):
+    """cProfile the suite when ``--profile``; dump pstats next to the
+    report.
+
+    The dump (``BENCH_<label>.pstats``) is the raw :mod:`pstats` format
+    — load it with ``python -m pstats`` or ``snakeviz`` — so the next
+    perf PR starts from measured hot paths instead of guesses.
+    """
+    if not getattr(args, "profile", False):
+        yield
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        pstats_path = out / f"BENCH_{label}.pstats"
+        profiler.dump_stats(pstats_path)
+        print(f"wrote {pstats_path}")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
         compare,
@@ -284,11 +313,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_scale(args)
 
     label = args.label or ("quick" if args.quick else "full")
-    report = run_suite(
-        quick=args.quick,
-        rounds=args.rounds,
-        include_paper=not args.no_paper,
-    )
+    with _maybe_profile(args, label):
+        report = run_suite(
+            quick=args.quick,
+            rounds=args.rounds,
+            include_paper=not args.no_paper,
+        )
     rows = [
         [name, f"{data['mean'] * 1e3:.3f}", f"{data['stddev'] * 1e3:.3f}",
          f"{data['best'] * 1e3:.3f}", f"{data['rounds']:.0f}"]
@@ -368,7 +398,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _bench_scale(args: argparse.Namespace) -> int:
     """The ``repro-dtn bench scale`` suite (see bench_scale module)."""
-    from repro.experiments.bench import compare, load_report, save_report
+    from repro.experiments.bench import (
+        compare,
+        load_report,
+        save_report,
+        speedups,
+    )
     from repro.experiments.bench_scale import run_scale_suite
 
     baseline_points = None
@@ -377,14 +412,16 @@ def _bench_scale(args: argparse.Namespace) -> int:
             (float(pair.split(":")[0]), float(pair.split(":")[1]))
             for pair in args.baseline_points
         ]
-    report = run_scale_suite(
-        tiers=args.tiers,
-        audit=args.audit,
-        baseline_points=baseline_points,
-        baseline_label=args.baseline_label,
-        detect_regions=args.regions,
-        detect_workers=args.detect_workers,
-    )
+    label = args.label or "scale"
+    with _maybe_profile(args, label):
+        report = run_scale_suite(
+            tiers=args.tiers,
+            audit=args.audit,
+            baseline_points=baseline_points,
+            baseline_label=args.baseline_label,
+            detect_regions=args.regions,
+            detect_workers=args.detect_workers,
+        )
     rows = [
         [name,
          f"{probe['wall_seconds']:.1f}",
@@ -419,7 +456,6 @@ def _bench_scale(args: argparse.Namespace) -> int:
                   f"-> measured "
                   f"{report['scale'][name]['wall_seconds']:.1f}s "
                   f"({entry['improvement']:.1f}x throughput/node)")
-    label = args.label or "scale"
     path = save_report(report, args.out, label)
     print(f"wrote {path}")
     if not args.no_root:
@@ -445,6 +481,22 @@ def _bench_scale(args: argparse.Namespace) -> int:
         f"no scale tier regressed more than {args.threshold:.1f}x "
         f"against {args.baseline}"
     )
+    if args.min_speedup is not None:
+        # The optimisation-PR gate: the fresh run must *beat* the
+        # committed baseline, not merely avoid regressing against it.
+        gains = speedups(report, baseline, name_prefix="scale_")
+        too_slow = False
+        for name, gain in sorted(gains.items()):
+            print(f"scale speedup {name}: {gain:.2f}x vs {args.baseline}")
+            if gain < args.min_speedup:
+                print(
+                    f"SPEEDUP GATE {name}: {gain:.2f}x < required "
+                    f"{args.min_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                too_slow = True
+        if too_slow:
+            return 1
     return 0
 
 
@@ -657,8 +709,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--tiers", nargs="+", default=["10k"], metavar="TIER",
-        help="scale suite tiers to run: 10k, 100k, 1m (default: 10k; "
-             "the 1M smoke is opt-in — expect minutes and several GB)",
+        help="scale suite tiers to run: 1k, 10k, 100k, 1m (default: "
+             "10k; the 1M smoke is opt-in — expect minutes and "
+             "several GB)",
     )
     bench.add_argument(
         "--audit", action="store_true",
@@ -682,6 +735,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--baseline-label", default=None, metavar="TEXT",
         help="scale suite: provenance note for --baseline-points",
+    )
+    bench.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="scale suite: with --baseline, require every shared "
+             "scale_* tier to be at least X times faster (calibrated) "
+             "— the gate an optimisation PR commits to",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="run the suite under cProfile and dump "
+             "BENCH_<label>.pstats next to the report",
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -302,11 +302,15 @@ class IncentiveLayer(Router):
             receiver.node_id, message
         )
         best_sum = receiver_sum
-        for other_link in self.world.active_links(sender.node_id):
-            peer_id = other_link.peer_of(sender.node_id)
-            best_sum = max(
-                best_sum, self.substrate.relay_affinity(peer_id, message)
+        relay_affinity = self.substrate.relay_affinity
+        sender_id = sender.node_id
+        # Zero-copy open-link view: affinity reads touch nothing that
+        # could mutate the link set.
+        for other_link in self.world.open_links(sender_id):
+            peer_id = (
+                other_link.b if other_link.a == sender_id else other_link.a
             )
+            best_sum = max(best_sum, relay_affinity(peer_id, message))
         interest_ratio = receiver_sum / best_sum if best_sum > 0 else 0.0
 
         i_s = software_incentive(
@@ -523,14 +527,17 @@ class IncentiveLayer(Router):
         """Operator *DecideBestRelay*: is the candidate the strongest
         currently-connected relay for this message?"""
         candidate_sum = self.substrate.relay_affinity(candidate_id, message)
-        for link in self.world.active_links(sender_id):
-            peer_id = link.peer_of(sender_id)
+        world = self.world
+        node = world.node
+        relay_affinity = self.substrate.relay_affinity
+        uuid = message.uuid
+        for link in world.open_links(sender_id):
+            peer_id = link.b if link.a == sender_id else link.a
             if peer_id == candidate_id:
                 continue
-            peer = self.world.node(peer_id)
-            if peer.has_seen(message.uuid):
+            if node(peer_id).has_seen(uuid):
                 continue
-            if self.substrate.relay_affinity(peer_id, message) > candidate_sum:
+            if relay_affinity(peer_id, message) > candidate_sum:
                 return False
         return True
 
@@ -546,6 +553,19 @@ class IncentiveLayer(Router):
 
     def on_contact_end(self, link: Link) -> None:
         self.substrate.on_contact_end(link)
+
+    # Batched contact hooks pass straight through: the layer adds no
+    # per-contact state of its own to the decay/growth phases (its
+    # exchange work still runs per pair from on_contact_start).
+    @property
+    def supports_contact_batching(self) -> bool:
+        return self.substrate.supports_contact_batching
+
+    def prepare_contact_batch(self, pairs) -> None:
+        self.substrate.prepare_contact_batch(pairs)
+
+    def contact_end_batch(self, links) -> None:
+        self.substrate.contact_end_batch(links)
 
     def on_message_received(self, transfer: Transfer, link: Link) -> None:
         pending = self._pending_payments.pop(id(transfer), None)
@@ -677,20 +697,32 @@ class IncentiveLayer(Router):
         return source_rating
 
     def _forward_onward(self, holder_id: int, message: Message) -> None:
-        """Incentive-aware re-offer on the holder's other active links."""
-        holder = self.world.node(holder_id)
-        if message.uuid not in holder.buffer:
+        """Incentive-aware re-offer on the holder's other active links.
+
+        Iterates the world's zero-copy open-link view: offers only
+        queue transfers (battery/link bookkeeping happens in transfer
+        callbacks, not here), so nothing mutates the link set while we
+        walk it — and this runs once per received copy, so the
+        ``active_links`` list build it replaced was a real cost.
+        """
+        world = self.world
+        holder = world.node(holder_id)
+        uuid = message.uuid
+        if uuid not in holder.buffer:
             return
-        for link in self.world.active_links(holder_id):
-            peer_id = link.peer_of(holder_id)
-            peer = self.world.node(peer_id)
-            if peer.has_seen(message.uuid):
+        node = world.node
+        classify = self.substrate.classify
+        wants_as_relay = self.substrate.wants_as_relay
+        offer = self._offer
+        for link in world.open_links(holder_id):
+            peer_id = link.b if link.a == holder_id else link.a
+            if node(peer_id).has_seen(uuid):
                 continue
-            role = self.classify(peer_id, message)
+            role = classify(peer_id, message)
             if role == "destination":
-                self._offer(link, holder_id, peer_id, message, role)
-            elif self.wants_as_relay(holder_id, peer_id, message):
-                self._offer(link, holder_id, peer_id, message, "relay")
+                offer(link, holder_id, peer_id, message, role)
+            elif wants_as_relay(holder_id, peer_id, message):
+                offer(link, holder_id, peer_id, message, "relay")
 
     # ------------------------------------------------------------------
     # Custody loss: promises die with the copy they rode on

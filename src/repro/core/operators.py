@@ -178,6 +178,32 @@ class Operators:
         """Current device rating of ``subject`` at ``observer``."""
         return self._protocol.reputation.book(observer_id).score(subject_id)
 
+    # -- Whole-population analytics ------------------------------------
+    def interest_matrix(self) -> Tuple[List[int], List[str], np.ndarray]:
+        """Dense ``[node x keyword]`` snapshot of current weights.
+
+        Returns ``(node_ids, keywords, weights)`` where
+        ``weights[i, j]`` is node ``node_ids[i]``'s ChitChat weight for
+        ``keywords[j]`` (0.0 for keywords the node holds no record of).
+        Over the fused interest store (``SoAWorld``) this is a single
+        row gather from the shared 2-D array; over per-node tables it
+        is a scalar walk producing the same floats — absent rows hold
+        exactly 0.0 in both backends.
+        """
+        node_ids = self._world.node_ids()
+        # Materialise every table first: creation interns the node's
+        # direct interests, and the keyword axis must cover them all.
+        tables = [self._protocol.table(node_id) for node_id in node_ids]
+        index = self._protocol.keyword_index
+        keywords = [index.name_of(kid) for kid in range(len(index))]
+        weights = np.zeros((len(node_ids), len(keywords)))
+        for i, table in enumerate(tables):
+            present = table._present[:len(keywords)]
+            weights[i, np.flatnonzero(present)] = (
+                table._weight[:len(keywords)][present]
+            )
+        return node_ids, keywords, weights
+
     # -- Function 11: Enrich -------------------------------------------
     def enrich(
         self, node_id: int, message: Message, annotations: Sequence[str]

@@ -88,24 +88,64 @@ class ReputationBook:
         # Running average of *own* message ratings per subject.
         self._own_sum: Dict[int, float] = {}
         self._own_count: Dict[int, int] = {}
-        # Current combined score (own average merged with hearsay).
-        self._scores: Dict[int, float] = {}
+        # Current combined score (own average merged with hearsay),
+        # held as a sorted subject-id array with parallel values: the
+        # gossip exchange — the hot path, whose cost grows with the
+        # population — merges whole books with a few ufuncs instead of
+        # a dict pass per subject (see ReputationSystem.exchange).
+        # Single-subject updates (rating, hearsay, forget) are the cold
+        # path and pay an O(n) insert/delete only on membership change.
+        self._subjects: np.ndarray = np.empty(0, dtype=np.int64)
+        self._values: np.ndarray = np.empty(0, dtype=np.float64)
         #: Event-trace sink plus a sim-clock accessor; wired by
         #: :meth:`ReputationSystem.attach_trace` when tracing is on.
         self.trace: TraceRecorder = NULL_RECORDER
         self._clock: Optional[Callable[[], float]] = None
 
+    def _position(self, subject: int) -> int:
+        """``subject``'s index in the sorted arrays, or -1 if absent."""
+        subjects = self._subjects
+        pos = int(np.searchsorted(subjects, subject))
+        if pos < subjects.size and subjects[pos] == subject:
+            return pos
+        return -1
+
+    def _set_score(self, subject: int, value: float) -> None:
+        subjects = self._subjects
+        pos = int(np.searchsorted(subjects, subject))
+        if pos < subjects.size and subjects[pos] == subject:
+            self._values[pos] = value
+        else:
+            # Hand-rolled single insert: np.insert's generic machinery
+            # (index normalisation, fancy-index dispatch) dominates at
+            # this call volume.  Same layout, same dtype.
+            values = self._values
+            n = subjects.size
+            new_subjects = np.empty(n + 1, dtype=subjects.dtype)
+            new_subjects[:pos] = subjects[:pos]
+            new_subjects[pos] = subject
+            new_subjects[pos + 1:] = subjects[pos:]
+            new_values = np.empty(n + 1, dtype=values.dtype)
+            new_values[:pos] = values[:pos]
+            new_values[pos] = value
+            new_values[pos + 1:] = values[pos:]
+            self._subjects = new_subjects
+            self._values = new_values
+
     def known_subjects(self) -> Iterable[int]:
-        """Node ids this book holds an opinion about."""
-        return tuple(self._scores)
+        """Node ids this book holds an opinion about (ascending)."""
+        return tuple(self._subjects.tolist())
 
     def has_opinion(self, subject: int) -> bool:
         """Whether any rating (own or heard) exists for ``subject``."""
-        return subject in self._scores
+        return self._position(subject) >= 0
 
     def score(self, subject: int) -> float:
         """Current rating of ``subject`` (default when unknown)."""
-        return self._scores.get(subject, self._params.default_rating)
+        pos = self._position(subject)
+        if pos < 0:
+            return self._params.default_rating
+        return float(self._values[pos])
 
     def own_average(self, subject: int) -> Optional[float]:
         """Average of own message ratings for ``subject`` (None if none)."""
@@ -131,16 +171,17 @@ class ReputationBook:
         self._own_count[subject] = self._own_count.get(subject, 0) + 1
         # Case 1 defines the node rating as the average of own message
         # ratings; hearsay is layered on top whenever it arrives.
-        self._scores[subject] = self._own_sum[subject] / self._own_count[subject]
+        score = self._own_sum[subject] / self._own_count[subject]
+        self._set_score(subject, score)
         if self.trace.enabled:
             self.trace.emit({
                 "type": "rating",
                 "t": self._clock() if self._clock is not None else 0.0,
                 "rater": self.owner, "subject": subject,
                 "rating": float(message_rating),
-                "score": self._scores[subject],
+                "score": score,
             })
-        return self._scores[subject]
+        return score
 
     def forget(self, subject: int) -> bool:
         """Erase every opinion this book holds about ``subject``.
@@ -154,8 +195,11 @@ class ReputationBook:
         Returns:
             Whether any opinion (own or heard) existed.
         """
-        existed = subject in self._scores
-        self._scores.pop(subject, None)
+        pos = self._position(subject)
+        existed = pos >= 0
+        if existed:
+            self._subjects = np.delete(self._subjects, pos)
+            self._values = np.delete(self._values, pos)
         self._own_sum.pop(subject, None)
         self._own_count.pop(subject, None)
         return existed
@@ -174,13 +218,15 @@ class ReputationBook:
                 f"got {heard_score!r}"
             )
         alpha = self._params.alpha
-        if subject in self._scores:
-            self._scores[subject] = (
-                (1.0 - alpha) * heard_score + alpha * self._scores[subject]
+        pos = self._position(subject)
+        if pos >= 0:
+            merged = (1.0 - alpha) * heard_score + alpha * float(
+                self._values[pos]
             )
-        else:
-            self._scores[subject] = heard_score
-        return self._scores[subject]
+            self._values[pos] = merged
+            return merged
+        self._set_score(subject, heard_score)
+        return heard_score
 
     def award_multiplier(
         self, deliverer: int, path_ratings: Iterable[float]
@@ -239,64 +285,111 @@ class ReputationSystem:
             self._books[node_id] = book
         return book
 
+    @staticmethod
+    def _merge_arrays(
+        subjects: np.ndarray,
+        values: np.ndarray,
+        peer_subjects: np.ndarray,
+        peer_values: np.ndarray,
+        alpha: float,
+        one_minus_alpha: float,
+        a: int,
+        b: int,
+    ) -> tuple:
+        """One side of the gossip merge, as fresh arrays.
+
+        Returns ``(new_subjects, new_values, merged_count)``.  Pure with
+        respect to its inputs — both sides of an exchange are computed
+        from the pre-exchange arrays before either book is written,
+        which is the snapshot discipline that keeps gossip symmetric.
+        The EWMA ``(1 - alpha) * heard + alpha * mine`` is kept verbatim
+        per element, and a subject unknown to the receiver adopts the
+        heard score outright — exactly
+        :meth:`ReputationBook.merge_opinion`, minus the per-subject
+        call.  Opinions about the interlocutors ``a``/``b`` are dropped
+        before merging (the self-praise guard).
+        """
+        keep = (peer_subjects != a) & (peer_subjects != b)
+        if not keep.all():
+            peer_subjects = peer_subjects[keep]
+            peer_values = peer_values[keep]
+        merged_count = int(peer_subjects.size)
+        if merged_count == 0:
+            return subjects, values, 0
+        if subjects.size == 0:
+            return peer_subjects.copy(), peer_values.copy(), merged_count
+        pos = np.searchsorted(subjects, peer_subjects)
+        clipped = np.minimum(pos, subjects.size - 1)
+        found = subjects[clipped] == peer_subjects
+        if found.any():
+            where = clipped[found]
+            merged = (
+                one_minus_alpha * peer_values[found]
+                + alpha * values[where]
+            )
+            new_values = values.copy()
+            new_values[where] = merged
+        else:
+            new_values = values
+        adopt = ~found
+        if adopt.any():
+            # Hand-rolled multi-insert (np.insert is generic and slow
+            # on this path): ``pos`` is nondecreasing because
+            # ``peer_subjects`` is sorted, so the k-th adopted subject
+            # lands at output index ``positions[k] + k`` and the old
+            # elements fill the remaining slots in order — the exact
+            # layout ``np.insert(subjects, positions, ...)`` produces.
+            positions = pos[adopt]
+            n_add = positions.size
+            total = subjects.size + n_add
+            ins = positions + np.arange(n_add)
+            old = np.ones(total, dtype=bool)
+            old[ins] = False
+            new_subjects = np.empty(total, dtype=subjects.dtype)
+            new_subjects[ins] = peer_subjects[adopt]
+            new_subjects[old] = subjects
+            out_values = np.empty(total, dtype=new_values.dtype)
+            out_values[ins] = peer_values[adopt]
+            out_values[old] = new_values
+            new_values = out_values
+        else:
+            new_subjects = subjects
+        return new_subjects, new_values, merged_count
+
     def exchange(self, a: int, b: int) -> None:
         """Contact-time gossip: each side merges the other's opinions.
 
         Opinions about the interlocutors themselves are skipped — a node
         neither rates itself nor lets the peer vouch for itself
         (self-praise would be the obvious whitewashing channel).
+
+        This is the hot path at scale: books grow with the population,
+        so the merge runs as array ops over the sorted books (one
+        ``searchsorted`` plus a handful of ufuncs per side) rather than
+        a dict pass per subject.  Scores are floats under the identical
+        EWMA expression, so results are bit-identical to the historical
+        per-subject loop; only membership *order* differs (sorted
+        instead of insertion order), which nothing consumes.
         """
         book_a = self.book(a)
         book_b = self.book(b)
-        scores_a = book_a._scores
-        scores_b = book_b._scores
-        # Snapshot first so the exchange is symmetric.  The loops below
-        # inline :meth:`ReputationBook.merge_opinion` — stored scores
-        # are already range-checked, the owner/interlocutor skips are
-        # the ``(a, b)`` guards, and the EWMA expression is kept
-        # verbatim so the result is bit-identical to the method call.
-        # This is the hot path at scale: books grow with the population,
-        # so per-subject call overhead compounds superlinearly.
-        items_a = list(scores_a.items())
-        items_b = list(scores_b.items())
         alpha = self._params.alpha
         one_minus_alpha = 1.0 - alpha
-        # Build each side's merge as a dict comprehension, drop the
-        # interlocutor subjects afterwards, and apply in one bulk
-        # ``update``: subjects are unique dict keys, so evaluating the
-        # EWMA for ``a``/``b`` and popping the result is equivalent to
-        # skipping them item-by-item, and ``update`` appends new
-        # subjects in exactly the comprehension's (= peer book's)
-        # insertion order while leaving existing positions untouched.
-        get_a = scores_a.get
-        updates_a = {
-            subject: (
-                heard
-                if (mine := get_a(subject)) is None
-                else one_minus_alpha * heard + alpha * mine
-            )
-            for subject, heard in items_b
-        }
-        updates_a.pop(a, None)
-        updates_a.pop(b, None)
-        merged_a = len(updates_a)
-        scores_a.update(updates_a)
-        # Reads of ``scores_b`` happen before any write lands (the
-        # original loop read each subject exactly once, before its own
-        # write), so batching the writes cannot change what is read.
-        get_b = scores_b.get
-        updates_b = {
-            subject: (
-                heard
-                if (mine := get_b(subject)) is None
-                else one_minus_alpha * heard + alpha * mine
-            )
-            for subject, heard in items_a
-        }
-        updates_b.pop(a, None)
-        updates_b.pop(b, None)
-        merged_b = len(updates_b)
-        scores_b.update(updates_b)
+        merge = self._merge_arrays
+        new_subjects_a, new_values_a, merged_a = merge(
+            book_a._subjects, book_a._values,
+            book_b._subjects, book_b._values,
+            alpha, one_minus_alpha, a, b,
+        )
+        new_subjects_b, new_values_b, merged_b = merge(
+            book_b._subjects, book_b._values,
+            book_a._subjects, book_a._values,
+            alpha, one_minus_alpha, a, b,
+        )
+        book_a._subjects = new_subjects_a
+        book_a._values = new_values_a
+        book_b._subjects = new_subjects_b
+        book_b._values = new_values_b
         if self.trace.enabled:
             # One record per exchange (not per subject) keeps gossip
             # from dominating the trace volume at paper scale.

@@ -10,6 +10,10 @@ micro benchmarks gates scale regressions too.
 
 Tiers
 -----
+``1k``
+    1,000 nodes, ten simulated minutes — the CI smoke tier: cheap
+    enough to run per PR with ``--audit``, gating the batched SoA
+    contact path on a clean conservation replay.
 ``10k``
     10,000 nodes, one simulated hour — the PR-gating tier.  Also the
     tier the conservation audit replays (``--audit``): the run is
@@ -62,6 +66,7 @@ _M2_PER_NODE = 1e4
 
 #: tier name -> (n_nodes, simulated seconds, benchmark name)
 SCALE_TIERS: Dict[str, Tuple[int, float, str]] = {
+    "1k": (1_000, 600.0, "scale_1k_10min"),
     "10k": (10_000, 3_600.0, "scale_10k_1h"),
     "100k": (100_000, 600.0, "scale_100k_10min"),
     "1m": (1_000_000, 60.0, "scale_1m_smoke"),

@@ -383,18 +383,31 @@ class World:
             return True
         return bool(enabled(self.streams.get("behavior")))
 
-    def _contact_up(self, pair: Tuple[int, int]) -> None:
+    def _admit_contact(self, pair: Tuple[int, int]) -> bool:
+        """The admission half of a contact-up event.
+
+        Runs every check — node existence, duplicate live link, and the
+        behaviour gates (which consume the behaviour RNG stream) — in
+        exactly the order the historical monolithic handler did, but
+        creates nothing.  Split out so batching world cores can admit a
+        whole tick's pairs first and open them afterwards.
+        """
         a, b = pair
         if a not in self._nodes or b not in self._nodes:
-            return
+            return False
         if self._links.get(pair) is not None and not self._links[pair].closed:
-            return
+            return False
         # A selfish node's radio is usually off: the contact only forms
         # when both endpoints participate (Paper I, experiment A).
         if not self._behavior_allows_contact(self._nodes[a]):
-            return
+            return False
         if not self._behavior_allows_contact(self._nodes[b]):
-            return
+            return False
+        return True
+
+    def _open_contact(self, pair: Tuple[int, int]) -> None:
+        """The opening half: create the link, trace it, start routing."""
+        a, b = pair
         fault_hook = None
         if self.faults is not None and self.faults.config.lossy:
             fault_hook = self.faults.transfer_verdict
@@ -412,10 +425,20 @@ class World:
             })
         self.router.on_contact_start(link)
 
-    def _contact_down(self, pair: Tuple[int, int]) -> None:
+    def _contact_up(self, pair: Tuple[int, int]) -> None:
+        if self._admit_contact(pair):
+            self._open_contact(pair)
+
+    def _close_contact(self, pair: Tuple[int, int]) -> Optional[Link]:
+        """Pop, unregister, close and trace the pair's live link.
+
+        Returns the closed link (``None`` when there was no live link),
+        so callers decide when the router's ``on_contact_end`` runs —
+        the batching core defers it for non-interleaved pairs.
+        """
         link = self._links.pop(pair, None)
         if link is None or link.closed:
-            return
+            return None
         a, b = pair
         self._links_by_node[a].remove(link)
         self._links_by_node[b].remove(link)
@@ -425,7 +448,12 @@ class World:
                 "type": "contact-down", "t": self.now, "a": a, "b": b,
                 "reason": "mobility",
             })
-        self.router.on_contact_end(link)
+        return link
+
+    def _contact_down(self, pair: Tuple[int, int]) -> None:
+        link = self._close_contact(pair)
+        if link is not None:
+            self.router.on_contact_end(link)
 
     # ------------------------------------------------------------------
     # Faults: churn, blackouts, recharge (driven by the FaultInjector)

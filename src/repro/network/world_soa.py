@@ -55,6 +55,7 @@ from repro.messages.message import Message
 from repro.metrics.collector import MetricsCollector
 from repro.mobility.trace import ContactTrace
 from repro.network.energy import EnergyModel
+from repro.network.link import Link
 from repro.network.node import Node
 from repro.network.world import World
 from repro.network.world_state import WorldState
@@ -145,16 +146,8 @@ class SoAWorld(World):
         See the module docstring for why this fires in exactly the
         object core's order.
         """
-        contact_up = self._contact_up
-        contact_down = self._contact_down
-
-        def run_up(batch: List[Tuple[int, int]]) -> None:
-            for pair in batch:
-                contact_up(pair)
-
-        def run_down(batch: List[Tuple[int, int]]) -> None:
-            for pair in batch:
-                contact_down(pair)
+        run_up = self._run_up_batch
+        run_down = self._run_down_batch
 
         def batches():
             current: Optional[Tuple[float, str]] = None
@@ -185,6 +178,75 @@ class SoAWorld(World):
             )
             for (time, kind), batch in batches()
         )
+
+    # ------------------------------------------------------------------
+    # Batched tick execution
+    # ------------------------------------------------------------------
+    def _run_up_batch(self, batch: List[Tuple[int, int]]) -> None:
+        """One contact-up tick: admit, batch-prepare, open.
+
+        With a batching router this splits the per-pair handler into
+        three phases — (1) admission for every pair in trace order
+        (consuming the behaviour RNG stream exactly as the per-pair
+        loop does: admission outcomes cannot be changed by earlier
+        pairs' exchanges, whose transfers settle at strictly later
+        events), (2) one ``prepare_contact_batch`` so non-interleaved
+        pairs decay vectorised, then (3) the open/trace/exchange half
+        per admitted pair in order.  A pair admitted earlier in the
+        batch suppresses later duplicates before their RNG draws —
+        the same skip the live-link check performs per-pair.  Without
+        a batching router this is the plain per-pair loop.
+        """
+        router = self.router
+        if not router.supports_contact_batching:
+            contact_up = self._contact_up
+            for pair in batch:
+                contact_up(pair)
+            return
+        admit = self._admit_contact
+        admitted: List[Tuple[int, int]] = []
+        admitted_set: Set[Tuple[int, int]] = set()
+        for pair in batch:
+            if pair in admitted_set:
+                continue
+            if admit(pair):
+                admitted.append(pair)
+                admitted_set.add(pair)
+        if not admitted:
+            return
+        router.prepare_contact_batch(admitted)
+        open_contact = self._open_contact
+        for pair in admitted:
+            open_contact(pair)
+
+    def _run_down_batch(self, batch: List[Tuple[int, int]]) -> None:
+        """One contact-down tick: close in order, batch the growths.
+
+        Every live pair is popped, closed and traced at its per-pair
+        point (aborting in-flight transfers exactly as before).  The
+        router's ``on_contact_end`` — the ChitChat growth phase — is
+        deferred for *every* closed pair to one ``contact_end_batch``
+        call in close order: close/abort handling never reads interest
+        tables, so nothing between a growth's legacy point and the end
+        of the batch observes it, and the router reconstructs each
+        node's own growth order exactly via round decomposition (see
+        ``ChitChatRouter.contact_end_batch``).
+        """
+        router = self.router
+        if not router.supports_contact_batching:
+            contact_down = self._contact_down
+            for pair in batch:
+                contact_down(pair)
+            return
+        close = self._close_contact
+        deferred: List["Link"] = []
+        for pair in batch:
+            link = close(pair)
+            if link is None:
+                continue
+            deferred.append(link)
+        if deferred:
+            router.contact_end_batch(deferred)
 
     # ------------------------------------------------------------------
     # Array-backed batteries

@@ -104,6 +104,21 @@ class WorldState:
         self.reputation = np.zeros(n, dtype=np.float64)
         self.region = np.zeros(n, dtype=np.int64)
         self.alive = np.ones(n, dtype=bool)
+        #: Fused [node-row × keyword] interest-weight store (see
+        #: :class:`repro.routing.chitchat.InterestStore`), attached by
+        #: a batching router at bind time; ``None`` until then.  Lives
+        #: here so router tick state sits beside the other per-node
+        #: arrays and survives router re-binds to the same world.
+        self.interest_store = None
+
+    def attach_interest_store(self, store) -> None:
+        """Adopt ``store`` as the world's fused interest-weight store.
+
+        Called by :meth:`repro.routing.chitchat.ChitChatRouter.bind`
+        when it binds to an array-core world; the presence of this
+        method is also what marks the world as fused-store capable.
+        """
+        self.interest_store = store
 
     # ------------------------------------------------------------------
     # Identity

@@ -72,6 +72,14 @@ class Router(abc.ABC):
     #: Short name used in reports (override in subclasses).
     name: str = "router"
 
+    #: Whether the world may drive this router through the batched
+    #: contact hooks (:meth:`prepare_contact_batch` /
+    #: :meth:`contact_end_batch`).  Only routers that have proven the
+    #: batched forms bit-identical to the per-contact hooks opt in
+    #: (ChitChat over the fused interest store); the world falls back
+    #: to the per-pair path otherwise.
+    supports_contact_batching: bool = False
+
     #: Whether a destination keeps a copy in its buffer to serve further
     #: destinations.  Substrates whose reception semantics terminate at
     #: the destination (PRoPHET, Spray-and-Wait) set this False; the
@@ -107,6 +115,34 @@ class Router(abc.ABC):
 
     def on_contact_end(self, link: Link) -> None:
         """A contact went down (in-flight transfers already aborted)."""
+
+    # ------------------------------------------------------------------
+    # Batched contact hooks (opt-in; see supports_contact_batching)
+    # ------------------------------------------------------------------
+    def prepare_contact_batch(
+        self, pairs: List[Tuple[int, int]]
+    ) -> None:
+        """All admitted pairs of one contact-up tick, before any opens.
+
+        Called by batching world cores once per up tick so a router can
+        run pre-exchange state updates (ChitChat's RTSR decay) as
+        vectorised passes over whatever subset it can prove safe,
+        marking those sides so the per-pair hooks skip them.  The
+        default does nothing — :meth:`prepare_contact` still runs per
+        pair from :meth:`on_contact_start`.
+        """
+
+    def contact_end_batch(self, links: List[Link]) -> None:
+        """Every closed link of one contact-down tick, in close order.
+
+        Called by batching world cores instead of per-pair
+        :meth:`on_contact_end`; the router may reorder or fuse the
+        per-link work as long as the result is bit-identical (ChitChat
+        uses round decomposition).  The default simply replays the
+        per-link hook in order.
+        """
+        for link in links:
+            self.on_contact_end(link)
 
     @abc.abstractmethod
     def on_message_received(self, transfer: Transfer, link: Link) -> None:

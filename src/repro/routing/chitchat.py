@@ -45,6 +45,7 @@ from repro.routing.base import Router
 __all__ = [
     "InterestRecord",
     "InterestTable",
+    "InterestStore",
     "KeywordIndex",
     "ChitChatRouter",
     "psi_case",
@@ -896,6 +897,271 @@ class InterestTable:
         )
 
 
+class _StoreTable(InterestTable):
+    """An :class:`InterestTable` whose arrays are rows of a fused store.
+
+    ``_weight``/``_direct``/``_last``/``_present`` are 1-D views over
+    one row of the store's 2-D arrays, so every inherited method works
+    unchanged — reads and writes land in the fused store.  The only
+    override is capacity growth: a row view cannot be grown in place,
+    so ``_ensure`` asks the store to widen *all* rows and re-attach the
+    views.
+    """
+
+    def __init__(self, store: "InterestStore", row: int):
+        self._store = store
+        self._row = row
+        self._index = store.index
+        self.version = 0
+        self._members_version = 0
+        self._keywords_view = None
+        self._keywords_view_key = -1
+        self._ids_view = None
+        self._ids_view_key = -1
+        self._ids_list_view = None
+        self._ids_list_key = -1
+        self._attach()
+
+    def _attach(self) -> None:
+        """(Re)bind the array views to this table's store row."""
+        store = self._store
+        row = self._row
+        self._weight = store._w[row]
+        self._direct = store._d[row]
+        self._last = store._l[row]
+        self._present = store._p[row]
+
+    def _ensure(self, keyword_id: int) -> None:
+        if keyword_id < self._present.size:
+            return
+        self._store.ensure_columns(keyword_id)
+
+
+class InterestStore:
+    """The fused ``[node-row × keyword]`` interest-weight store.
+
+    One pair of 2-D float64 arrays (weights, last-contact stamps) plus
+    two bool masks (direct, present) back *every* interest table the
+    router creates, with columns indexed by the shared
+    :class:`KeywordIndex` and one row per node table in creation order.
+    Owned by ``WorldState`` on the SoA path (see
+    ``WorldState.attach_interest_store``); the object-core ``World``
+    keeps standalone per-node tables.
+
+    Per-table semantics are untouched — tables are :class:`_StoreTable`
+    row views and run the exact :class:`InterestTable` code.  What the
+    fusion buys is the *batched* tick operations (:meth:`batch_decay`,
+    :meth:`batch_grow_pairs`): contacts in one scan tick whose
+    endpoints do not interleave run their Algorithm 1/2 updates as a
+    handful of ufuncs over a ``(contacts, keywords)`` block instead of
+    two Python calls per contact.  Both batched forms evaluate the
+    identical IEEE expression per element as the per-table paths, so
+    results are bit-identical (the differential harness and the fused
+    property tests pin this).
+
+    Rows are assigned lazily (tables are created on first contact), so
+    memory scales with the *touched* population, not the configured one.
+    """
+
+    def __init__(self, index: KeywordIndex, *, rows: int = 64):
+        self.index = index
+        columns = max(8, len(index))
+        rows = max(8, rows)
+        self._w = np.zeros((rows, columns), dtype=np.float64)
+        self._d = np.zeros((rows, columns), dtype=bool)
+        self._l = np.zeros((rows, columns), dtype=np.float64)
+        self._p = np.zeros((rows, columns), dtype=bool)
+        self._tables: List[_StoreTable] = []
+
+    @property
+    def columns(self) -> int:
+        """Current column capacity (>= ``len(self.index)``)."""
+        return self._w.shape[1]
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def create_table(
+        self, direct_interests: Iterable[str], created_at: float
+    ) -> _StoreTable:
+        """A fresh table over the next free row, seeded like
+        ``InterestTable(direct_interests, created_at)``."""
+        row = len(self._tables)
+        if row >= self._w.shape[0]:
+            self._grow_rows(row + 1)
+        table = _StoreTable(self, row)
+        # Register before seeding: seeding may widen the columns, which
+        # re-attaches every registered row view (including this one).
+        self._tables.append(table)
+        for keyword in direct_interests:
+            keyword_id = table._slot(keyword)
+            table._weight[keyword_id] = 0.5
+            table._direct[keyword_id] = True
+            table._last[keyword_id] = created_at
+            table._present[keyword_id] = True
+        return table
+
+    def _grow_rows(self, need: int) -> None:
+        old = self._w.shape[0]
+        new = max(old * 2, need)
+        for name in ("_w", "_d", "_l", "_p"):
+            array = getattr(self, name)
+            grown = np.zeros((new, array.shape[1]), dtype=array.dtype)
+            grown[:old] = array
+            setattr(self, name, grown)
+        for table in self._tables:
+            table._attach()
+
+    def ensure_columns(self, keyword_id: int) -> None:
+        """Widen all rows to cover ``keyword_id`` (geometric growth)."""
+        old = self._w.shape[1]
+        if keyword_id < old:
+            return
+        new = max(old * 2, keyword_id + 1)
+        for name in ("_w", "_d", "_l", "_p"):
+            array = getattr(self, name)
+            grown = np.zeros((array.shape[0], new), dtype=array.dtype)
+            grown[:, :old] = array
+            setattr(self, name, grown)
+        for table in self._tables:
+            table._attach()
+
+    # ------------------------------------------------------------------
+    # Batched tick operations
+    # ------------------------------------------------------------------
+    def batch_decay(
+        self,
+        rows: np.ndarray,
+        connected: np.ndarray,
+        now: float,
+        *,
+        beta: float,
+        prune_below: float = 1e-3,
+    ) -> None:
+        """Algorithm 1 over many rows at once.
+
+        Args:
+            rows: Store rows to decay.  The caller guarantees they are
+                pairwise non-interfering (no row is another's connected
+                peer) and that each has at least one present column —
+                the per-table path early-returns (no stamp, no version
+                bump) on empty tables, so empty rows must not be here.
+            connected: ``(len(rows), columns)`` bool mask of keyword
+                columns held by each row's currently-connected peers.
+            now: Current time ``T_c``.
+            beta: Decay constant.
+            prune_below: Transient prune threshold.
+
+        Per element this evaluates exactly the per-table expression
+        (stamp connected ``T_l`` first, ``(w - half)/max(beta·dt, 1) +
+        half``, prune transients below the threshold), so the floats
+        are bit-identical to ``InterestTable.decay``.
+        """
+        W = self._w[rows]
+        D = self._d[rows]
+        P = self._p[rows]
+        L = np.where(connected, now, self._l[rows])
+        elapsed = now - L
+        stale = P & (elapsed > 0.0)
+        denominator = np.maximum(beta * elapsed, 1.0)
+        half = D * 0.5
+        decayed = (W - half) / denominator + half
+        prune = stale & ~D & (decayed < prune_below)
+        new_w = np.where(stale, decayed, W)
+        new_w[prune] = 0.0
+        self._w[rows] = new_w
+        self._l[rows] = L
+        self._p[rows] = P & ~prune
+        stale_any = stale.any(axis=1)
+        prune_any = prune.any(axis=1)
+        tables = self._tables
+        for k, row in enumerate(rows.tolist()):
+            if stale_any[k]:
+                table = tables[row]
+                table.version += 1
+                if prune_any[k]:
+                    table._members_version += 1
+
+    def batch_grow_pairs(
+        self,
+        rows_a: np.ndarray,
+        rows_b: np.ndarray,
+        effective: np.ndarray,
+        now: float,
+        *,
+        growth_scale: float,
+    ) -> None:
+        """Algorithm 2, two-sided, over many contact pairs at once.
+
+        Args:
+            rows_a: First-endpoint store rows, one per ended contact.
+            rows_b: Second-endpoint rows.  All rows across both arrays
+                are distinct (the caller defers only non-interleaved
+                pairs), so the two scatter-writes cannot collide.
+            effective: Per-pair ``min(elapsed, cap)``; strictly > 0
+                (zero-duration contacts are filtered by the caller, as
+                the per-table path early-returns on them).
+            now: Current time.
+            growth_scale: Growth increment scale.
+
+        Both sides grow from the *pre-exchange* gather of the other, so
+        the update is symmetric exactly like
+        ``ChitChatRouter.run_rtsr_growth``'s snapshot discipline.
+        Absent columns hold weight exactly ``0.0`` by table invariant,
+        so their deltas are ``0.0`` and they stay inactive — the same
+        filtering ``snapshot_arrays`` performs.
+        """
+        W_a = self._w[rows_a]
+        D_a = self._d[rows_a]
+        P_a = self._p[rows_a]
+        W_b = self._w[rows_b]
+        D_b = self._d[rows_b]
+        P_b = self._p[rows_b]
+        eff = effective[:, None]
+        self._grow_side(
+            rows_a, W_a, D_a, P_a, W_b, D_b, eff, now, growth_scale
+        )
+        self._grow_side(
+            rows_b, W_b, D_b, P_b, W_a, D_a, eff, now, growth_scale
+        )
+
+    def _grow_side(
+        self,
+        rows: np.ndarray,
+        W: np.ndarray,
+        D: np.ndarray,
+        P: np.ndarray,
+        peer_w: np.ndarray,
+        peer_d: np.ndarray,
+        eff: np.ndarray,
+        now: float,
+        growth_scale: float,
+    ) -> None:
+        # Same psi select and float expression (left to right) as
+        # ``grow_from_arrays``; peer-absent columns contribute delta
+        # exactly 0.0 and stay inactive.
+        psi = np.where(P, np.where(D, 2, 4), 6) - peer_d
+        delta = growth_scale * peer_w * eff / psi
+        active = delta > 0.0
+        fresh = active & ~P
+        grown = active & P
+        new_w = np.where(grown, np.minimum(W + delta, 1.0), W)
+        new_w = np.where(fresh, np.minimum(delta, 1.0), new_w)
+        self._w[rows] = new_w
+        self._d[rows] = D & ~fresh
+        self._l[rows] = np.where(active, now, self._l[rows])
+        self._p[rows] = P | fresh
+        changed = active.any(axis=1)
+        acquired = fresh.any(axis=1)
+        tables = self._tables
+        for k, row in enumerate(rows.tolist()):
+            if changed[k]:
+                table = tables[row]
+                table.version += 1
+                if acquired[k]:
+                    table._members_version += 1
+
+
 class ChitChatRouter(Router):
     """The plain ChitChat protocol — the paper's comparison baseline.
 
@@ -970,28 +1236,62 @@ class ChitChatRouter(Router):
         #: weight exchanges move id arrays, not strings.
         self.keyword_index = KeywordIndex()
         self._tables: Dict[int, InterestTable] = {}
-        # Per-message keyword-id arrays, keyed by the ordered keyword
-        # sequence.  Ids follow the iteration order of the message's
+        #: Fused [node × keyword] store backing every table when bound
+        #: to an array-core world (see :meth:`bind`); None on the
+        #: object-core path, where tables own their arrays.
+        self._store: Optional[InterestStore] = None
+        #: ``(pair, node)`` decay sides already run (or proven no-ops)
+        #: by :meth:`prepare_contact_batch` this tick;
+        #: ``run_rtsr_decay`` consumes and skips them side by side.
+        self._predecayed: Set[Tuple[Tuple[int, int], int]] = set()
+        # Interned memo keys: ordered keyword sequence -> small int.
+        # Messages cache their key in ``_memo_key`` (invalidated on
+        # annotate), so the hot paths hash one int instead of a string
+        # tuple on every memo lookup.  Equal sequences share a key —
+        # exactly the sharing the tuple keys gave.
+        self._memo_keys: Dict[Tuple[str, ...], int] = {}
+        # Per-message keyword-id arrays, keyed by the interned memo
+        # key.  Ids follow the iteration order of the message's
         # keyword frozenset (identical sequences build identically
         # iterating frozensets), which is the order the scalar sum
         # accumulated in — the bit-parity requirement.
-        self._message_id_cache: Dict[Tuple[str, ...], np.ndarray] = {}
+        self._message_id_cache: Dict[int, np.ndarray] = {}
         # Retransmission attempts used per (receiver_id, message uuid).
         self._retry_counts: Dict[Tuple[int, str], int] = {}
         # Memoised interest sums and destination/relay roles: node id ->
-        # (table version at compute time, {message keyword sequence ->
-        # S}, {message keyword sequence -> role}).  A node's whole cache
-        # is discarded the moment its table version moves on, so decay,
-        # growth and subscriptions invalidate every dependent sum and
+        # (table version at compute time, {memo key -> S},
+        # {memo key -> role}).  A node's whole cache is discarded the
+        # moment its table version moves on, so decay, growth and
+        # subscriptions invalidate every dependent sum and
         # classification at once (see InterestTable.version).
         self._sum_cache: Dict[
             int,
-            Tuple[
-                int,
-                Dict[Tuple[str, ...], float],
-                Dict[Tuple[str, ...], str],
-            ],
+            Tuple[int, Dict[int, float], Dict[int, str]],
         ] = {}
+
+    def bind(self, world) -> None:
+        """Attach to ``world``; adopt the fused store on array cores.
+
+        A world exposing a ``WorldState`` (``world.state``, also visible
+        through the incentive layer's substrate context) owns a fused
+        :class:`InterestStore`; every table this router creates becomes
+        a row of it and the world may drive the batched contact hooks.
+        Object-core worlds get standalone per-node tables — the
+        reference implementation stays untouched.
+        """
+        super().bind(world)
+        state = getattr(world, "state", None)
+        if state is not None and hasattr(state, "attach_interest_store"):
+            store = getattr(state, "interest_store", None)
+            if store is None or store.index is not self.keyword_index:
+                store = InterestStore(self.keyword_index)
+                state.attach_interest_store(store)
+            self._store = store
+
+    @property
+    def supports_contact_batching(self) -> bool:
+        """Batched contact hooks need the fused store (SoA path only)."""
+        return self._store is not None
 
     # ------------------------------------------------------------------
     # RTSR state
@@ -1001,11 +1301,16 @@ class ChitChatRouter(Router):
         existing = self._tables.get(node_id)
         if existing is None:
             node = self.world.node(node_id)
-            existing = InterestTable(
-                node.interests,
-                created_at=self.world.now,
-                index=self.keyword_index,
-            )
+            if self._store is not None:
+                existing = self._store.create_table(
+                    node.interests, created_at=self.world.now
+                )
+            else:
+                existing = InterestTable(
+                    node.interests,
+                    created_at=self.world.now,
+                    index=self.keyword_index,
+                )
             self._tables[node_id] = existing
         return existing
 
@@ -1026,16 +1331,36 @@ class ChitChatRouter(Router):
             cached = (table.version, {}, {})
             self._sum_cache[node_id] = cached
         sums = cached[1]
-        key = message.keyword_sequence
+        key = message._memo_key
+        if key is None:
+            key = self._intern_key(message)
         value = sums.get(key)
         if value is None:
-            value = table.sum_for_ids(self._message_ids(message))
+            value = table.sum_for_ids(self._message_ids(message, key))
             sums[key] = value
         return value
 
-    def _message_ids(self, message: Message) -> np.ndarray:
-        """``message``'s keywords as ids, in frozenset iteration order."""
-        key = message.keyword_sequence
+    def _intern_key(self, message: Message) -> int:
+        """Assign (or look up) the interned memo key for ``message``.
+
+        Cold path of the ``message._memo_key`` cache: sequences seen
+        before reuse their int, new ones take the next one.
+        """
+        sequence = message.keyword_sequence
+        keys = self._memo_keys
+        key = keys.get(sequence)
+        if key is None:
+            key = len(keys)
+            keys[sequence] = key
+        message._memo_key = key
+        return key
+
+    def _message_ids(self, message: Message, key: int) -> np.ndarray:
+        """``message``'s keywords as ids, in frozenset iteration order.
+
+        ``key`` must be ``message``'s interned memo key (the caller
+        already has it on every path).
+        """
         ids = self._message_id_cache.get(key)
         if ids is None:
             id_of = self.keyword_index.id_of
@@ -1081,8 +1406,18 @@ class ChitChatRouter(Router):
 
     def run_rtsr_decay(self, link: Link) -> None:
         """Phase one of the weight exchange: decay on both endpoints."""
+        predecayed = self._predecayed
         now = self.world.now
-        for node_id in link.pair:
+        pair = link.pair
+        for node_id in pair:
+            if predecayed:
+                key = (pair, node_id)
+                if key in predecayed:
+                    # prepare_contact_batch already ran this side's
+                    # decay (in the batched form, bit-identical) or
+                    # proved it a no-op; don't decay twice.
+                    predecayed.discard(key)
+                    continue
             self.table(node_id).decay(
                 now, self._connected_ids(node_id), beta=self.beta
             )
@@ -1127,10 +1462,12 @@ class ChitChatRouter(Router):
             cached = (table.version, {}, {})
             self._sum_cache[receiver_id] = cached
         roles = cached[2]
-        key = message.keyword_sequence
+        key = message._memo_key
+        if key is None:
+            key = self._intern_key(message)
         role = roles.get(key)
         if role is None:
-            if table.any_direct_ids(self._message_ids(message)):
+            if table.any_direct_ids(self._message_ids(message, key)):
                 role = "destination"
             else:
                 role = "relay"
@@ -1185,28 +1522,31 @@ class ChitChatRouter(Router):
 
         # Single pass: per-message filters fused with cold-key
         # collection.
-        candidates: List[Message] = []
-        miss_r: List[Tuple[Tuple[str, ...], np.ndarray]] = []
-        miss_s: List[Tuple[Tuple[str, ...], np.ndarray]] = []
+        candidates: List[Tuple[int, Message]] = []
+        miss_r: List[Tuple[int, np.ndarray]] = []
+        miss_s: List[Tuple[int, np.ndarray]] = []
         has_seen = receiver.has_seen
         receiver_capacity = receiver.buffer.capacity
+        intern_key = self._intern_key
         for message in sender.buffer.messages():
             if has_seen(message.uuid):
                 continue
             if message.size > receiver_capacity:
                 continue
-            candidates.append(message)
-            key = message.keyword_sequence
+            key = message._memo_key
+            if key is None:
+                key = intern_key(message)
+            candidates.append((key, message))
             # interest_sum()/classify() each warm only their own dict,
             # so sums and roles can be cold independently; recomputing
             # a warm half alongside the cold one is bit-identical.
             if key not in sums_r or key not in roles_r:
                 sums_r[key] = None  # reserve so duplicates batch once
                 roles_r[key] = None
-                miss_r.append((key, self._message_ids(message)))
+                miss_r.append((key, self._message_ids(message, key)))
             if key not in sums_s:
                 sums_s[key] = None
-                miss_s.append((key, self._message_ids(message)))
+                miss_s.append((key, self._message_ids(message, key)))
         if not candidates:
             return []
         if miss_r:
@@ -1219,8 +1559,7 @@ class ChitChatRouter(Router):
         # identical floats.
         destinations: List[Tuple[float, Message]] = []
         relays: List[Tuple[float, Message]] = []
-        for message in candidates:
-            key = message.keyword_sequence
+        for key, message in candidates:
             strength = sums_r[key]
             if roles_r[key] == "destination":
                 destinations.append((strength, message))
@@ -1239,7 +1578,10 @@ class ChitChatRouter(Router):
 
     def relay_trust(self, receiver_id: int, message: Message) -> float:
         """Average tag weight — the paper's relay-threshold signal."""
-        ids = self._message_ids(message)
+        key = message._memo_key
+        if key is None:
+            key = self._intern_key(message)
+        ids = self._message_ids(message, key)
         if ids.size == 0:
             return 0.0
         return self.table(receiver_id).sum_for_ids(ids) / ids.size
@@ -1251,6 +1593,152 @@ class ChitChatRouter(Router):
         """Phase one of the weight exchange: decay on both endpoints."""
         self.run_rtsr_decay(link)
 
+    def prepare_contact_batch(
+        self, pairs: List[Tuple[int, int]]
+    ) -> None:
+        """Run the decay phase for a whole admitted contact batch.
+
+        The world (SoA core) calls this once per contact-up tick with
+        every admitted pair, *before* any link is created or exchange
+        runs.  Every node's **first** decay of the tick runs here as
+        one vectorised pass over the fused store; the per-pair
+        ``run_rtsr_decay`` skips exactly those sides and runs the rest
+        (second and later occurrences of the same node) sequentially at
+        their legacy per-pair point.
+
+        Why first occurrences are always batchable: a node's table is
+        read between its own decays only by the message exchanges of
+        its *own* earlier pairs (interest sums), and before its first
+        pair of the tick it has none — so its first decay commutes from
+        its legacy position to the head of the tick.  Its stamp mask —
+        the open peers' membership the per-pair path reads through
+        ``_connected_ids`` — is its tick-start open peers plus its
+        first partner, all known up front.  Membership only *shrinks*
+        during an up tick (growth and subscriptions happen elsewhere),
+        and the single shrinking operation is the decay prune — so the
+        one ordering hazard is a row pruning mid-tick, which would make
+        a neighbour's mask depend on where in the tick it is read.
+        Nodes that could prune are found up front by a conservative
+        vectorised test (lightest transient weight under twice the
+        prune threshold times the node's largest possible divisor
+        raised to its pair count this tick — a 2x margin over the
+        sequential-division drift, bounded rowwise from below); they
+        and every batch node reading their membership (partners and
+        tick-start open neighbours) fall back to the exact sequential
+        path.  At paper densities this demotes ~3% of pairs.
+
+        Empty tables are a special case on both paths: the per-table
+        decay early-returns on them (no stamp, no version bump), and
+        membership cannot appear during an up tick, so *all* their
+        sides are marked as done without running anything.
+        """
+        store = self._store
+        if store is None:
+            return
+        predecayed = self._predecayed
+        predecayed.clear()
+        world = self.world
+        now = world.now
+        beta = self.beta
+        open_links = world.open_links
+        table = self.table
+        # Node -> [(pair, partner), ...] in tick order; the first entry
+        # is the occurrence the batch takes over.
+        occurrences: Dict[int, List[Tuple[Tuple[int, int], int]]] = {}
+        for pair in pairs:
+            a, b = pair
+            occurrences.setdefault(a, []).append((pair, b))
+            occurrences.setdefault(b, []).append((pair, a))
+        # Materialise every table this tick's decays would create (the
+        # per-pair path creates partner and open-peer tables inside
+        # ``_connected_ids``; fresh-table contents do not depend on
+        # creation order within the tick) and collect each batch
+        # node's tick-start open-peer rows once.
+        start_peer_rows: Dict[int, List[int]] = {}
+        for node in occurrences:
+            table(node)
+            rows = []
+            for link in open_links(node):
+                peer = link.b if link.a == node else link.a
+                rows.append(table(peer)._row)
+            start_peer_rows[node] = rows
+        nodes = list(occurrences)
+        n_nodes = len(nodes)
+        node_rows = np.fromiter(
+            (table(n)._row for n in nodes), dtype=np.intp, count=n_nodes
+        )
+        presence = store._p[node_rows]
+        present_any = presence.any(axis=1)
+        # Conservative prune risk as row scalars: a node can prune only
+        # if its lightest transient weight divided by its *largest*
+        # possible per-tick divisor, applied once per occurrence, dips
+        # under twice the prune threshold.  This bounds the exact
+        # per-element test (weight / den**k per keyword) from below, so
+        # it only ever demotes more — and keeps the matrix maths to
+        # two masked reductions instead of a dense power.
+        transient = presence & ~store._d[node_rows]
+        wmin = np.where(
+            transient, store._w[node_rows], np.inf
+        ).min(axis=1)
+        lmin = np.where(
+            transient, store._l[node_rows], np.inf
+        ).min(axis=1)
+        denmax = np.maximum(beta * (now - lmin), 1.0)
+        k = np.fromiter(
+            (len(occurrences[n]) for n in nodes),
+            dtype=np.float64, count=n_nodes,
+        )
+        risky = wmin < 2e-3 * denmax ** k
+        pruny = {nodes[i] for i in np.flatnonzero(risky)}
+        tainted = set(pruny)
+        if pruny:
+            for n in pruny:
+                for _pair, partner in occurrences[n]:
+                    tainted.add(partner)
+            pruny_rows = {int(table(n)._row) for n in pruny}
+            for n in nodes:
+                if n in tainted:
+                    continue
+                for row in start_peer_rows[n]:
+                    if row in pruny_rows:
+                        tainted.add(n)
+                        break
+        batch_idx: List[int] = []
+        flat_peer_rows: List[int] = []
+        starts: List[int] = []
+        for i in range(n_nodes):
+            n = nodes[i]
+            occ = occurrences[n]
+            if not present_any[i]:
+                for pair, _partner in occ:
+                    predecayed.add((pair, n))
+                continue
+            if n in tainted:
+                continue
+            batch_idx.append(i)
+            predecayed.add((occ[0][0], n))
+            # Stamp mask sources: tick-start open peers, then the first
+            # partner (whose link exists by the time the per-pair path
+            # would have read it).
+            starts.append(len(flat_peer_rows))
+            flat_peer_rows.extend(start_peer_rows[n])
+            flat_peer_rows.append(int(table(occ[0][1])._row))
+        if not batch_idx:
+            return
+        # Segment-OR the gathered peer membership rows into one
+        # connected mask per batched node (every segment is non-empty:
+        # the first partner is always there).
+        gathered = store._p[
+            np.asarray(flat_peer_rows, dtype=np.intp)
+        ]
+        connected = np.logical_or.reduceat(
+            gathered, np.asarray(starts, dtype=np.intp), axis=0
+        )
+        store.batch_decay(
+            node_rows[np.asarray(batch_idx, dtype=np.intp)],
+            connected, now, beta=beta,
+        )
+
     def on_contact_start(self, link: Link) -> None:
         self.prepare_contact(link)
         self._exchange(link)
@@ -1258,6 +1746,61 @@ class ChitChatRouter(Router):
     def on_contact_end(self, link: Link) -> None:
         elapsed = self.world.now - link.opened_at
         self.run_rtsr_growth(link, elapsed)
+
+    def contact_end_batch(self, links: List[Link]) -> None:
+        """Run the growth phase for a whole tick of ended contacts.
+
+        The world (SoA core) defers ``on_contact_end`` for *every*
+        closed pair of the down tick and hands them here in close
+        order.  The down tick reads interest tables only through these
+        growths (close/abort handling touches none), so the only order
+        that matters is each node's own growth sequence.  That is
+        preserved exactly by round decomposition: a pair's round is one
+        past the latest round either endpoint already appears in, so
+        within a round every node appears at most once (the distinct-
+        rows contract of ``batch_grow_pairs``) and a node's growths run
+        in the same relative order as the per-pair path.  Each round is
+        one store-level pass — snapshot-gather both sides first, then
+        scatter, the same symmetry discipline as ``run_rtsr_growth`` —
+        so the result is bit-identical.  At paper densities almost
+        every pair lands in round zero.
+        """
+        store = self._store
+        if store is None:
+            for link in links:
+                self.on_contact_end(link)
+            return
+        now = self.world.now
+        cap = self.growth_elapsed_cap
+        table = self.table
+        last_round: Dict[int, int] = {}
+        rounds: List[Tuple[List[int], List[int], List[float]]] = []
+        for link in links:
+            elapsed = now - link.opened_at
+            clipped = min(elapsed, cap)
+            if clipped <= 0.0:
+                # Zero-duration contact: every delta is exactly 0.0 and
+                # the per-pair path writes nothing (version included).
+                # An exact no-op — skipped without consuming a round.
+                continue
+            a, b = link.pair
+            r = max(last_round.get(a, -1), last_round.get(b, -1)) + 1
+            last_round[a] = r
+            last_round[b] = r
+            if r == len(rounds):
+                rounds.append(([], [], []))
+            rows_a, rows_b, effective = rounds[r]
+            rows_a.append(table(a)._row)
+            rows_b.append(table(b)._row)
+            effective.append(clipped)
+        for rows_a, rows_b, effective in rounds:
+            store.batch_grow_pairs(
+                np.asarray(rows_a, dtype=np.intp),
+                np.asarray(rows_b, dtype=np.intp),
+                np.asarray(effective, dtype=np.float64),
+                now,
+                growth_scale=self.growth_scale,
+            )
 
     def _exchange(self, link: Link) -> None:
         """Offer messages in both directions after the RTSR update."""

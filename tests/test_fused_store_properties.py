@@ -1,0 +1,302 @@
+"""Property tests pinning the fused router state to the legacy state.
+
+Two model-based equivalences back the tick-batched router state
+(DESIGN.md "Tick-batched router state"):
+
+* Random decay/growth/add_direct sequences applied to an
+  :class:`~repro.routing.chitchat.InterestStore` (via its batched
+  operations) and to standalone per-node
+  :class:`~repro.routing.chitchat.InterestTable` objects produce
+  **bit-identical** weights, direct flags and membership.
+* Random rate/merge/exchange/forget sequences applied to the
+  array-backed :class:`~repro.core.reputation.ReputationBook` and to a
+  plain-dict reference model produce bit-identical scores — including
+  the ``forget()`` whitewashing-erase path.
+
+Exact ``==`` on floats throughout: the batched forms evaluate the same
+IEEE expression per element, so any drift is a bug, not tolerance.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incentive import IncentiveParams
+from repro.core.reputation import ReputationSystem
+from repro.routing.chitchat import InterestStore, InterestTable, KeywordIndex
+
+PARAMS = IncentiveParams()
+
+BETA = 0.01
+GROWTH_SCALE = 0.01
+ELAPSED_CAP = 600.0
+
+N_NODES = 6
+KEYWORDS = [f"k{i}" for i in range(6)]
+
+
+# ----------------------------------------------------------------------
+# Interest store vs per-node tables
+# ----------------------------------------------------------------------
+@st.composite
+def interest_scenarios(draw):
+    direct = [
+        draw(st.lists(st.sampled_from(KEYWORDS), max_size=3, unique=True))
+        for _ in range(N_NODES)
+    ]
+    n_ops = draw(st.integers(min_value=0, max_value=20))
+    ops = []
+    for _ in range(n_ops):
+        dt = draw(st.floats(min_value=0.0, max_value=500.0,
+                            allow_nan=False))
+        kind = draw(st.sampled_from(["decay", "grow", "add_direct"]))
+        if kind == "decay":
+            nodes = draw(st.lists(
+                st.integers(min_value=0, max_value=N_NODES - 1),
+                min_size=1, max_size=N_NODES, unique=True,
+            ))
+            connected = {
+                node: draw(st.lists(st.sampled_from(KEYWORDS),
+                                    max_size=4, unique=True))
+                for node in nodes
+            }
+            ops.append(("decay", dt, nodes, connected))
+        elif kind == "grow":
+            order = draw(st.permutations(range(N_NODES)))
+            n_pairs = draw(st.integers(min_value=1,
+                                       max_value=N_NODES // 2))
+            pairs = [
+                (order[2 * k], order[2 * k + 1]) for k in range(n_pairs)
+            ]
+            elapsed = [
+                draw(st.floats(min_value=0.0, max_value=900.0,
+                               allow_nan=False))
+                for _ in pairs
+            ]
+            ops.append(("grow", dt, pairs, elapsed))
+        else:
+            node = draw(st.integers(min_value=0, max_value=N_NODES - 1))
+            keyword = draw(st.sampled_from(KEYWORDS))
+            ops.append(("add_direct", dt, node, keyword))
+    return direct, ops
+
+
+def _table_state(table):
+    return (
+        {kw: table.weight(kw) for kw in KEYWORDS},
+        {kw: table.is_direct(kw) for kw in KEYWORDS},
+        set(table.keywords),
+    )
+
+
+class TestInterestStoreEquivalence:
+    @given(interest_scenarios())
+    @settings(max_examples=150, deadline=None)
+    def test_batched_store_matches_per_node_tables(self, scenario):
+        direct, ops = scenario
+        legacy_index = KeywordIndex()
+        legacy = [
+            InterestTable(interests, 0.0, index=legacy_index)
+            for interests in direct
+        ]
+        fused_index = KeywordIndex()
+        store = InterestStore(fused_index, rows=4)
+        fused = [
+            store.create_table(interests, created_at=0.0)
+            for interests in direct
+        ]
+        now = 0.0
+        for op in ops:
+            kind, dt = op[0], op[1]
+            now += dt
+            if kind == "decay":
+                _, _, nodes, connected = op
+                for node in nodes:
+                    legacy[node].decay(
+                        now, set(connected[node]), beta=BETA
+                    )
+                live = [
+                    node for node in nodes
+                    if fused[node].present_ids().size > 0
+                ]
+                if live:
+                    mask = np.zeros(
+                        (len(live), store.columns), dtype=bool
+                    )
+                    for k, node in enumerate(live):
+                        for kw in connected[node]:
+                            kid = fused_index.get(kw)
+                            if kid is not None and kid < store.columns:
+                                mask[k, kid] = True
+                    rows = np.array(
+                        [fused[node]._row for node in live],
+                        dtype=np.intp,
+                    )
+                    store.batch_decay(rows, mask, now, beta=BETA)
+            elif kind == "grow":
+                _, _, pairs, elapsed = op
+                for (a, b), duration in zip(pairs, elapsed):
+                    # Legacy two-sided growth: snapshot both first
+                    # (run_rtsr_growth's symmetry discipline).
+                    ids_a, w_a, d_a = legacy[a].snapshot_arrays()
+                    ids_b, w_b, d_b = legacy[b].snapshot_arrays()
+                    legacy[a].grow_from_arrays(
+                        ids_b, w_b, d_b, now, duration,
+                        growth_scale=GROWTH_SCALE,
+                        elapsed_cap=ELAPSED_CAP,
+                    )
+                    legacy[b].grow_from_arrays(
+                        ids_a, w_a, d_a, now, duration,
+                        growth_scale=GROWTH_SCALE,
+                        elapsed_cap=ELAPSED_CAP,
+                    )
+                live_pairs = [
+                    ((a, b), min(duration, ELAPSED_CAP))
+                    for (a, b), duration in zip(pairs, elapsed)
+                    if min(duration, ELAPSED_CAP) > 0.0
+                ]
+                if live_pairs:
+                    store.batch_grow_pairs(
+                        np.array([fused[a]._row
+                                  for (a, _), _ in live_pairs],
+                                 dtype=np.intp),
+                        np.array([fused[b]._row
+                                  for (_, b), _ in live_pairs],
+                                 dtype=np.intp),
+                        np.array([eff for _, eff in live_pairs]),
+                        now,
+                        growth_scale=GROWTH_SCALE,
+                    )
+            else:
+                _, _, node, keyword = op
+                legacy[node].add_direct(keyword, now)
+                fused[node].add_direct(keyword, now)
+            for node in range(N_NODES):
+                assert _table_state(fused[node]) == _table_state(
+                    legacy[node]
+                ), f"node {node} diverged after {kind}"
+
+
+# ----------------------------------------------------------------------
+# Array-backed reputation books vs a dict reference model
+# ----------------------------------------------------------------------
+class _ReferenceBooks:
+    """Plain-dict replay of the historical per-subject reputation code."""
+
+    def __init__(self, node_ids, alpha, default):
+        self.alpha = alpha
+        self.default = default
+        self.scores = {node: {} for node in node_ids}
+        self.own_sum = {node: {} for node in node_ids}
+        self.own_count = {node: {} for node in node_ids}
+
+    def rate(self, observer, subject, rating):
+        self.own_sum[observer][subject] = (
+            self.own_sum[observer].get(subject, 0.0) + rating
+        )
+        self.own_count[observer][subject] = (
+            self.own_count[observer].get(subject, 0) + 1
+        )
+        self.scores[observer][subject] = (
+            self.own_sum[observer][subject]
+            / self.own_count[observer][subject]
+        )
+
+    def merge(self, observer, subject, heard):
+        if subject == observer:
+            return
+        scores = self.scores[observer]
+        if subject in scores:
+            scores[subject] = (
+                (1.0 - self.alpha) * heard + self.alpha * scores[subject]
+            )
+        else:
+            scores[subject] = heard
+
+    def exchange(self, a, b):
+        one_minus_alpha = 1.0 - self.alpha
+        snap_a = dict(self.scores[a])
+        snap_b = dict(self.scores[b])
+        for receiver, snapshot, peer_snap in (
+            (a, snap_a, snap_b), (b, snap_b, snap_a)
+        ):
+            scores = self.scores[receiver]
+            for subject, heard in peer_snap.items():
+                if subject == a or subject == b:
+                    continue
+                if subject in snapshot:
+                    scores[subject] = (
+                        one_minus_alpha * heard
+                        + self.alpha * snapshot[subject]
+                    )
+                else:
+                    scores[subject] = heard
+
+    def forget(self, subject):
+        for node in self.scores:
+            self.scores[node].pop(subject, None)
+            self.own_sum[node].pop(subject, None)
+            self.own_count[node].pop(subject, None)
+
+
+@st.composite
+def reputation_scenarios(draw):
+    subjects = st.integers(min_value=0, max_value=7)
+    nodes = st.integers(min_value=0, max_value=4)
+    ratings = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+    ops = draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("rate"), nodes, subjects, ratings),
+            st.tuples(st.just("merge"), nodes, subjects, ratings),
+            st.tuples(st.just("exchange"), nodes, nodes),
+            st.tuples(st.just("forget"), subjects),
+        ),
+        max_size=40,
+    ))
+    return ops
+
+
+class TestReputationBookEquivalence:
+    @given(reputation_scenarios())
+    @settings(max_examples=150, deadline=None)
+    def test_array_books_match_dict_reference(self, ops):
+        node_ids = list(range(5))
+        system = ReputationSystem(PARAMS)
+        for node in node_ids:
+            system.book(node)
+        reference = _ReferenceBooks(
+            node_ids, PARAMS.alpha, PARAMS.default_rating
+        )
+        for op in ops:
+            if op[0] == "rate":
+                _, observer, subject, rating = op
+                system.book(observer).rate_message(subject, rating)
+                reference.rate(observer, subject, rating)
+            elif op[0] == "merge":
+                _, observer, subject, heard = op
+                system.book(observer).merge_opinion(subject, heard)
+                reference.merge(observer, subject, heard)
+            elif op[0] == "exchange":
+                _, a, b = op
+                if a == b:
+                    continue
+                system.exchange(a, b)
+                reference.exchange(a, b)
+            else:
+                _, subject = op
+                system.forget_subject(subject)
+                reference.forget(subject)
+            for node in node_ids:
+                book = system.book(node)
+                known = book.known_subjects()
+                assert set(known) == set(reference.scores[node])
+                # known_subjects is sorted ascending by contract.
+                assert list(known) == sorted(known)
+                for subject in known:
+                    assert book.score(subject) == (
+                        reference.scores[node][subject]
+                    ), f"score diverged at observer {node}"
+                for subject, count in reference.own_count[node].items():
+                    assert book.own_average(subject) == (
+                        reference.own_sum[node][subject] / count
+                    )

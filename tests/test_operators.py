@@ -117,6 +117,19 @@ class TestRatingOperators:
         assert ops.rate_node(0, 2) == 1.0
 
 
+class TestInterestMatrix:
+    def test_interest_matrix_snapshot(self, bound):
+        world, router, ops = bound
+        ops.increment_weights(2, 0, elapsed=100.0)
+        node_ids, keywords, weights = ops.interest_matrix()
+        assert node_ids == [0, 1, 2]
+        col = {kw: j for j, kw in enumerate(keywords)}
+        assert weights[0, col["flood"]] == 0.5
+        assert weights[1, col["fire"]] == 0.5
+        assert weights[2, col["flood"]] > 0.0
+        assert weights.shape == (3, len(keywords))
+
+
 class TestEnrichOperator:
     def test_enrich_adds_and_meters(self, bound):
         world, router, ops = bound
