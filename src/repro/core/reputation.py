@@ -30,7 +30,9 @@ inspecting the image would produce (DESIGN.md substitutions table).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional
+from typing import (
+    Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
 
 import numpy as np
 
@@ -249,6 +251,21 @@ class ReputationBook:
         return min(max(multiplier, 0.0), 1.0)
 
 
+class _PlannedBook:
+    """Scratch holder for a planned (not yet applied) book state.
+
+    Duck-types the two attributes :meth:`ReputationSystem._exchange_sides`
+    touches, so later gossip rounds can be merged without disturbing the
+    real books mid-tick (award computations read them between exchanges).
+    """
+
+    __slots__ = ("_subjects", "_values")
+
+    def __init__(self, subjects: np.ndarray, values: np.ndarray):
+        self._subjects = subjects
+        self._values = values
+
+
 class ReputationSystem:
     """All nodes' reputation books plus the gossip exchange."""
 
@@ -390,13 +407,307 @@ class ReputationSystem:
         book_a._values = new_values_a
         book_b._subjects = new_subjects_b
         book_b._values = new_values_b
+        self.record_gossip(a, b, merged_a, merged_b)
+
+    def record_gossip(
+        self, a: int, b: int, merged_a: int, merged_b: int
+    ) -> None:
+        """Emit the per-exchange gossip trace record.
+
+        One record per exchange (not per subject) keeps gossip from
+        dominating the trace volume at paper scale.  Split out of
+        :meth:`exchange` so a merge performed early by
+        :meth:`exchange_batch` can still surface its record at the
+        moment the sequential schedule would have run the exchange,
+        keeping traced batched runs record-for-record identical.
+        """
         if self.trace.enabled:
-            # One record per exchange (not per subject) keeps gossip
-            # from dominating the trace volume at paper scale.
             self.trace.emit({
                 "type": "gossip", "t": self._now(), "a": a, "b": b,
                 "merged_a": merged_a, "merged_b": merged_b,
             })
+
+    def exchange_batch(
+        self, pairs: Sequence[Tuple[int, int]]
+    ) -> List[Tuple[int, int, int, int]]:
+        """Gossip for many *disjoint* contact pairs in one grouped pass.
+
+        The caller must guarantee no node id appears in more than one
+        pair (the tick batcher only submits first-occurrence pairs), so
+        every book is read and written by exactly one side-pair and the
+        pre-exchange snapshot discipline of :meth:`exchange` holds
+        trivially: all giver arrays are captured before any book is
+        written.
+
+        Instead of two :meth:`_merge_arrays` calls per pair (each with
+        its own ``searchsorted`` + ufunc set-up), the 2·N receiver
+        books are concatenated into one pair of arrays with each block
+        offset by ``block_id * BASE`` — subject ids are nonnegative and
+        bounded, so the encoded array is globally strictly increasing
+        and a *single* ``searchsorted`` locates every heard opinion in
+        every book at once.  Per-element clipping to the owning block's
+        end keeps lookups in-block, the EWMA runs verbatim as one ufunc
+        over all found positions, and the adopted subjects multi-insert
+        with the same ``positions + rank`` layout ``_merge_arrays``
+        uses, generalised across blocks with a ``bincount``/``cumsum``
+        rank.  Every written book gets freshly copied arrays, so no two
+        books ever alias storage (``forget`` on one cannot disturb
+        another).
+
+        No trace records are emitted here — the returned
+        ``(a, b, merged_a, merged_b)`` tuples are replayed through
+        :meth:`record_gossip` by the caller at each pair's sequential
+        exchange point.
+
+        Falls back to the per-side scalar merge if any subject id is
+        negative (the offset encoding requires nonnegative ids); the
+        results are identical either way.
+        """
+        # Capture every side up front: (receiver book, receiver
+        # subjects/values, giver subjects/values, a, b).
+        sides: list = []
+        for a, b in pairs:
+            book_a = self.book(a)
+            book_b = self.book(b)
+            sides.append((
+                book_a, book_a._subjects, book_a._values,
+                book_b._subjects, book_b._values, a, b,
+            ))
+            sides.append((
+                book_b, book_b._subjects, book_b._values,
+                book_a._subjects, book_a._values, a, b,
+            ))
+        return self._exchange_sides(sides, pairs)
+
+    def exchange_batch_rounds(
+        self, pairs: Sequence[Tuple[int, int]]
+    ) -> List[Tuple[int, int, int, int, Optional[tuple]]]:
+        """Gossip for *all* same-tick pairs, decomposed into rounds.
+
+        :meth:`exchange_batch` requires disjoint pairs; this driver
+        lifts that restriction with the same round decomposition the
+        growth batch uses: a pair's round is one past the latest round
+        either endpoint already sits in, so within a round every node
+        appears at most once and each node's merges replay in per-pair
+        order.  Round zero (both endpoints' first appearance of the
+        tick) is applied to the books immediately — no earlier pair of
+        the tick reads or writes those books, so the merge commutes to
+        the head of the tick.  Later rounds CANNOT be applied early:
+        award computations of earlier pairs read member books between
+        exchanges.  Their merges are therefore *planned* here on
+        scratch holders (each round's inputs are the previous round's
+        outputs) and returned as deferred array assignments the caller
+        applies at each pair's sequential exchange point — the book
+        then steps through exactly the states the per-pair path would
+        produce, visible to every interleaved read at the right time.
+
+        Returns ``(a, b, merged_a, merged_b, deferred)`` per pair,
+        where ``deferred`` is ``None`` for round-zero pairs (already
+        applied) or ``(book_a, subjects_a, values_a, book_b,
+        subjects_b, values_b)`` to assign at the exchange point.  The
+        deferred arrays are either the book's own current arrays (a
+        side that heard nothing) or fresh merge outputs, so the
+        no-aliasing discipline of :meth:`exchange_batch` carries over.
+        """
+        last_round: Dict[int, int] = {}
+        rounds: List[list] = []
+        for pair in pairs:
+            a, b = pair
+            r = last_round.get(a, -1)
+            r_b = last_round.get(b, -1)
+            if r_b > r:
+                r = r_b
+            r += 1
+            if r == len(rounds):
+                rounds.append([])
+            rounds[r].append(pair)
+            last_round[a] = r
+            last_round[b] = r
+        out: List[Tuple[int, int, int, int, Optional[tuple]]] = []
+        if not rounds:
+            return out
+        for a, b, merged_a, merged_b in self.exchange_batch(rounds[0]):
+            out.append((a, b, merged_a, merged_b, None))
+        if len(rounds) == 1:
+            return out
+        planned: Dict[int, _PlannedBook] = {}
+        planned_get = planned.get
+        for round_pairs in rounds[1:]:
+            sides: list = []
+            for a, b in round_pairs:
+                state_a = planned_get(a)
+                if state_a is None:
+                    book = self.book(a)
+                    planned[a] = state_a = _PlannedBook(
+                        book._subjects, book._values
+                    )
+                state_b = planned_get(b)
+                if state_b is None:
+                    book = self.book(b)
+                    planned[b] = state_b = _PlannedBook(
+                        book._subjects, book._values
+                    )
+                sides.append((
+                    state_a, state_a._subjects, state_a._values,
+                    state_b._subjects, state_b._values, a, b,
+                ))
+                sides.append((
+                    state_b, state_b._subjects, state_b._values,
+                    state_a._subjects, state_a._values, a, b,
+                ))
+            for a, b, merged_a, merged_b in self._exchange_sides(
+                sides, round_pairs
+            ):
+                state_a = planned[a]
+                state_b = planned[b]
+                out.append((a, b, merged_a, merged_b, (
+                    self.book(a), state_a._subjects, state_a._values,
+                    self.book(b), state_b._subjects, state_b._values,
+                )))
+        return out
+
+    def _exchange_sides(
+        self, sides: list, pairs: Sequence[Tuple[int, int]]
+    ) -> List[Tuple[int, int, int, int]]:
+        """Grouped-merge core shared by :meth:`exchange_batch` (writing
+        real books) and :meth:`exchange_batch_rounds` (writing scratch
+        holders): ``sides[0]`` only needs ``_subjects``/``_values``
+        attributes."""
+        alpha = self._params.alpha
+        one_minus_alpha = 1.0 - alpha
+        n_sides = len(sides)
+        giver_sizes = np.fromiter(
+            (side[3].size for side in sides), dtype=np.int64, count=n_sides,
+        )
+        total_giver = int(giver_sizes.sum())
+        if total_giver == 0:
+            return [(a, b, 0, 0) for a, b in pairs]
+        G = np.concatenate([side[3] for side in sides])
+        GV = np.concatenate([side[4] for side in sides])
+        seg_ids = np.repeat(np.arange(n_sides), giver_sizes)
+        negative = bool((G < 0).any()) or any(
+            side[1].size and side[1][0] < 0 for side in sides
+        )
+        if negative:
+            counts: list = []
+            for book, subjects, values, g_subj, g_val, a, b in sides:
+                new_s, new_v, count = self._merge_arrays(
+                    subjects, values, g_subj, g_val,
+                    alpha, one_minus_alpha, a, b,
+                )
+                book._subjects = new_s
+                book._values = new_v
+                counts.append(count)
+            return [
+                (pairs[i][0], pairs[i][1], counts[2 * i], counts[2 * i + 1])
+                for i in range(len(pairs))
+            ]
+        # Self-praise guard for every side in one vector op.
+        A_rep = np.repeat(
+            np.fromiter((s[5] for s in sides), dtype=np.int64, count=n_sides),
+            giver_sizes,
+        )
+        B_rep = np.repeat(
+            np.fromiter((s[6] for s in sides), dtype=np.int64, count=n_sides),
+            giver_sizes,
+        )
+        keep = (G != A_rep) & (G != B_rep)
+        kept_counts = np.bincount(seg_ids[keep], minlength=n_sides)
+        # Partition sides: untouched (nothing heard), whole-adopt
+        # (empty receiver), and grouped-merge (the common case).
+        grouped_idx: list = []
+        for i, side in enumerate(sides):
+            kept = int(kept_counts[i])
+            if kept == 0:
+                continue
+            if side[1].size == 0:
+                sel = keep & (seg_ids == i)
+                side[0]._subjects = G[sel].copy()
+                side[0]._values = GV[sel].copy()
+            else:
+                grouped_idx.append(i)
+        if grouped_idx:
+            self._merge_blocks(
+                sides, grouped_idx, G, GV, seg_ids, keep,
+                kept_counts, alpha, one_minus_alpha,
+            )
+        return [
+            (pairs[i][0], pairs[i][1],
+             int(kept_counts[2 * i]), int(kept_counts[2 * i + 1]))
+            for i in range(len(pairs))
+        ]
+
+    @staticmethod
+    def _merge_blocks(
+        sides: list,
+        grouped_idx: list,
+        G: np.ndarray,
+        GV: np.ndarray,
+        seg_ids: np.ndarray,
+        keep: np.ndarray,
+        kept_counts: np.ndarray,
+        alpha: float,
+        one_minus_alpha: float,
+    ) -> None:
+        """The grouped searchsorted/EWMA/multi-insert over all blocks.
+
+        Each block is one (receiver book, kept giver opinions) side with
+        a nonempty receiver.  Mirrors :meth:`_merge_arrays` branch for
+        branch; see :meth:`exchange_batch` for the encoding argument.
+        """
+        m = len(grouped_idx)
+        block_of_seg = np.full(len(sides), -1, dtype=np.int64)
+        block_of_seg[grouped_idx] = np.arange(m)
+        g_sel = keep & (block_of_seg[seg_ids] >= 0)
+        P = G[g_sel]
+        PV = GV[g_sel]
+        pblock = block_of_seg[seg_ids[g_sel]]
+        r_sizes = np.fromiter(
+            (sides[i][1].size for i in grouped_idx),
+            dtype=np.int64, count=m,
+        )
+        R = np.concatenate([sides[i][1] for i in grouped_idx])
+        RV = np.concatenate([sides[i][2] for i in grouped_idx])
+        r_starts = np.concatenate(([0], np.cumsum(r_sizes)[:-1]))
+        r_ends = r_starts + r_sizes
+        base = int(max(R.max(), P.max())) + 1
+        r_off = np.repeat(np.arange(m) * base, r_sizes)
+        pos = np.searchsorted(R + r_off, P + pblock * base)
+        # searchsorted can land one past the block (subject greater
+        # than everything the receiver knows); clip into the block so
+        # the found-comparison below reads the right book.
+        clipped = np.minimum(pos, r_ends[pblock] - 1)
+        found = R[clipped] == P
+        RV_new = RV
+        if found.any():
+            where = clipped[found]
+            RV_new = RV.copy()
+            RV_new[where] = (
+                one_minus_alpha * PV[found] + alpha * RV[where]
+            )
+        adopt = ~found
+        positions = (pos - r_starts[pblock])[adopt]
+        ablock = pblock[adopt]
+        add_counts = np.bincount(ablock, minlength=m)
+        add_starts = np.concatenate(([0], np.cumsum(add_counts)[:-1]))
+        rank = np.arange(positions.size) - add_starts[ablock]
+        out_sizes = r_sizes + add_counts
+        out_starts = np.concatenate(([0], np.cumsum(out_sizes)[:-1]))
+        total_out = int(out_sizes.sum())
+        out_subjects = np.empty(total_out, dtype=np.int64)
+        out_values = np.empty(total_out, dtype=np.float64)
+        ins = out_starts[ablock] + positions + rank
+        old = np.ones(total_out, dtype=bool)
+        old[ins] = False
+        out_subjects[ins] = P[adopt]
+        out_subjects[old] = R
+        out_values[ins] = PV[adopt]
+        out_values[old] = RV_new
+        for j, i in enumerate(grouped_idx):
+            start = int(out_starts[j])
+            end = start + int(out_sizes[j])
+            sides[i][0]._subjects = out_subjects[start:end].copy()
+            sides[i][0]._values = out_values[start:end].copy()
 
     def forget_subject(self, subject: int) -> int:
         """Erase every node's opinion about ``subject``.

@@ -370,6 +370,24 @@ class World:
         self._disconnect_node(node_id, reason="blackout")
         self.metrics.on_blackout()
 
+    def node_available(self, node_id: int) -> bool:
+        """Whether ``node_id`` exists and is up (powered, not faulted).
+
+        The fault-state half of :meth:`_behavior_allows_contact` —
+        deliberately *without* the behaviour gate, which models radio
+        duty-cycling (a probabilistic per-contact coin that consumes
+        the behaviour RNG stream) rather than the node being dark.
+        Routers consult this before spending bounded resources, e.g. a
+        retransmission attempt, on a peer that cannot receive.
+        """
+        if node_id not in self._nodes:
+            return False
+        if self._battery_dead(node_id):
+            return False
+        if self.faults is not None and self.faults.is_down(node_id):
+            return False
+        return True
+
     def _behavior_allows_contact(self, node: Node) -> bool:
         if self._battery_dead(node.node_id):
             return False
@@ -496,6 +514,10 @@ class World:
                     })
                 self.router.on_message_dropped(node_id, message)
             node.seen = set(node.delivered) | set(node.generated)
+            # Router-side volatile state (interest tables, memo caches)
+            # is part of what a wipe loses; fire after the buffer drain
+            # so the router saw every drop first.
+            self.router.on_node_wiped(node_id)
         self.metrics.on_node_crash()
 
     def on_node_restarted(self, node_id: int) -> None:

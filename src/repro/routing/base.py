@@ -60,6 +60,12 @@ class RoutingContext(Protocol):
     def schedule_in(self, delay: float, callback, *, label: str = ""):
         """Schedule ``callback`` after ``delay`` seconds (backoff timers)."""
 
+    def node_available(self, node_id: int) -> bool:
+        """Whether ``node_id`` exists and is currently up (powered, not
+        faulted out).  Routers consult this before spending bounded
+        resources — e.g. a retransmission attempt — on a peer that
+        cannot receive anyway."""
+
 
 class Router(abc.ABC):
     """Base class for routing protocols.
@@ -156,6 +162,17 @@ class Router(abc.ABC):
 
     def on_message_dropped(self, node_id: int, message: Message) -> None:
         """A buffered message was evicted to make room for another."""
+
+    def on_node_wiped(self, node_id: int) -> None:
+        """A churn crash wiped ``node_id``'s state (wipe policy only).
+
+        Fired by the world *after* the node's buffer was drained (each
+        drop already went through :meth:`on_message_dropped`) and its
+        seen-set reset.  Routers holding per-node protocol state keyed
+        by id — interest tables, memo caches — must return it to the
+        freshly-created condition here, since the restarted identity
+        must not observe pre-crash state.  Default: no state, no-op.
+        """
 
     def finalize(self, now: float) -> None:
         """The run is over; settle or release any outstanding state.

@@ -533,6 +533,37 @@ class InterestTable:
             for i in np.flatnonzero(self._present & self._direct)
         )
 
+    def reset(
+        self, direct_interests: Iterable[str], created_at: float
+    ) -> None:
+        """Return the table to its freshly-created state.
+
+        Used by the churn wipe path: a node that loses its volatile
+        state restarts with exactly the table a brand-new node gets —
+        zero rows, then its direct subscriptions re-seeded at weight
+        0.5, and (crucially) :attr:`version` back at 0.  Works for both
+        standalone tables and fused-store row views (all writes are
+        in-place on the backing arrays).
+        """
+        self._weight[:] = 0.0
+        self._direct[:] = False
+        self._last[:] = 0.0
+        self._present[:] = False
+        self.version = 0
+        self._members_version = 0
+        self._keywords_view = None
+        self._keywords_view_key = -1
+        self._ids_view = None
+        self._ids_view_key = -1
+        self._ids_list_view = None
+        self._ids_list_key = -1
+        for keyword in direct_interests:
+            keyword_id = self._slot(keyword)
+            self._weight[keyword_id] = 0.5
+            self._direct[keyword_id] = True
+            self._last[keyword_id] = created_at
+            self._present[keyword_id] = True
+
     def add_direct(self, keyword: str, now: float) -> None:
         """Subscribe to a new keyword (operator function *Subscribe*)."""
         self.version += 1
@@ -1256,8 +1287,41 @@ class ChitChatRouter(Router):
         # iterating frozensets), which is the order the scalar sum
         # accumulated in — the bit-parity requirement.
         self._message_id_cache: Dict[int, np.ndarray] = {}
-        # Retransmission attempts used per (receiver_id, message uuid).
-        self._retry_counts: Dict[Tuple[int, str], int] = {}
+        # Retransmission attempts used: message uuid -> {receiver_id ->
+        # attempts}.  Grouped by uuid so the whole book for a message
+        # drops in O(1) when its TTL expires, and a receiver's budget
+        # is pruned the moment a copy lands (no further retry can ever
+        # fire usefully for it) — long runs stay bounded and a node
+        # that re-originates a uuid after churn starts with a fresh
+        # budget (see on_message_expired / _prune_retries).
+        self._retry_counts: Dict[str, Dict[int, int]] = {}
+        # Selections precomputed by the tick batcher:
+        # (sender, receiver) -> (tick time, select_messages result).
+        # Consumed (popped) by select_messages; the time stamp guards
+        # against an entry leaking past its contact-up event.
+        self._preselected: Dict[
+            Tuple[int, int], Tuple[float, List[Tuple[Message, str]]]
+        ] = {}
+        # Per-sender buffer snapshots for the batched selection:
+        # node id -> (buffer mutation counter, (messages, uuids, sizes,
+        # uuid ranks, memo keys) as parallel lists in buffer order).
+        # Keying on the mutation counter is sound because annotations —
+        # the only other way a buffered message's selection identity
+        # can change — happen only in the same event as (and after)
+        # the buffer.add that bumped the counter, never between a
+        # snapshot build and its use (snapshots are built and consumed
+        # inside contact-up events; enrichment runs in
+        # transfer-completion events).
+        self._buffer_snaps: Dict[
+            int,
+            Tuple[
+                int,
+                Tuple[
+                    List[Message], List[str], List[int],
+                    List[int], List[int],
+                ],
+            ],
+        ] = {}
         # Memoised interest sums and destination/relay roles: node id ->
         # (table version at compute time, {memo key -> S},
         # {memo key -> role}).  A node's whole cache is discarded the
@@ -1325,7 +1389,9 @@ class ChitChatRouter(Router):
         whose iteration order depends on construction order, and
         bit-identical results require replaying exactly that order.
         """
-        table = self.table(node_id)
+        table = self._tables.get(node_id)
+        if table is None:
+            table = self.table(node_id)
         cached = self._sum_cache.get(node_id)
         if cached is None or cached[0] != table.version:
             cached = (table.version, {}, {})
@@ -1456,7 +1522,9 @@ class ChitChatRouter(Router):
         cache): a contact classifies every buffered message against the
         same table, and the answer only changes when the table does.
         """
-        table = self.table(receiver_id)
+        table = self._tables.get(receiver_id)
+        if table is None:
+            table = self.table(receiver_id)
         cached = self._sum_cache.get(receiver_id)
         if cached is None or cached[0] != table.version:
             cached = (table.version, {}, {})
@@ -1493,6 +1561,15 @@ class ChitChatRouter(Router):
             first, then relays by descending receiver interest strength
             (so the most valuable transfers survive short contacts).
         """
+        pre = self._preselected
+        if pre:
+            entry = pre.pop((sender_id, receiver_id), None)
+            if entry is not None and entry[0] == self.world.now:
+                # Precomputed by _preselect in this tick's batch hook;
+                # the stamp check discards anything that somehow
+                # outlived its contact-up event (e.g. an admitted pair
+                # whose exchange a subclass suppressed).
+                return entry[1]
         sender = self.world.node(sender_id)
         if len(sender.buffer) == 0:
             return []
@@ -1645,27 +1722,42 @@ class ChitChatRouter(Router):
         # Node -> [(pair, partner), ...] in tick order; the first entry
         # is the occurrence the batch takes over.
         occurrences: Dict[int, List[Tuple[Tuple[int, int], int]]] = {}
+        occ_get = occurrences.get
         for pair in pairs:
             a, b = pair
-            occurrences.setdefault(a, []).append((pair, b))
-            occurrences.setdefault(b, []).append((pair, a))
+            lst = occ_get(a)
+            if lst is None:
+                occurrences[a] = [(pair, b)]
+            else:
+                lst.append((pair, b))
+            lst = occ_get(b)
+            if lst is None:
+                occurrences[b] = [(pair, a)]
+            else:
+                lst.append((pair, a))
         # Materialise every table this tick's decays would create (the
         # per-pair path creates partner and open-peer tables inside
         # ``_connected_ids``; fresh-table contents do not depend on
         # creation order within the tick) and collect each batch
         # node's tick-start open-peer rows once.
+        tables = self._tables
+        tables_get = tables.get
         start_peer_rows: Dict[int, List[int]] = {}
         for node in occurrences:
-            table(node)
+            if node not in tables:
+                table(node)
             rows = []
             for link in open_links(node):
                 peer = link.b if link.a == node else link.a
-                rows.append(table(peer)._row)
+                peer_table = tables_get(peer)
+                if peer_table is None:
+                    peer_table = table(peer)
+                rows.append(peer_table._row)
             start_peer_rows[node] = rows
         nodes = list(occurrences)
         n_nodes = len(nodes)
         node_rows = np.fromiter(
-            (table(n)._row for n in nodes), dtype=np.intp, count=n_nodes
+            (tables[n]._row for n in nodes), dtype=np.intp, count=n_nodes
         )
         presence = store._p[node_rows]
         present_any = presence.any(axis=1)
@@ -1695,7 +1787,7 @@ class ChitChatRouter(Router):
             for n in pruny:
                 for _pair, partner in occurrences[n]:
                     tainted.add(partner)
-            pruny_rows = {int(table(n)._row) for n in pruny}
+            pruny_rows = {int(tables[n]._row) for n in pruny}
             for n in nodes:
                 if n in tainted:
                     continue
@@ -1706,38 +1798,335 @@ class ChitChatRouter(Router):
         batch_idx: List[int] = []
         flat_peer_rows: List[int] = []
         starts: List[int] = []
+        present_list = present_any.tolist()
+        predecayed_add = predecayed.add
         for i in range(n_nodes):
             n = nodes[i]
             occ = occurrences[n]
-            if not present_any[i]:
+            if not present_list[i]:
                 for pair, _partner in occ:
-                    predecayed.add((pair, n))
+                    predecayed_add((pair, n))
                 continue
             if n in tainted:
                 continue
             batch_idx.append(i)
-            predecayed.add((occ[0][0], n))
+            predecayed_add((occ[0][0], n))
             # Stamp mask sources: tick-start open peers, then the first
             # partner (whose link exists by the time the per-pair path
             # would have read it).
             starts.append(len(flat_peer_rows))
             flat_peer_rows.extend(start_peer_rows[n])
-            flat_peer_rows.append(int(table(occ[0][1])._row))
-        if not batch_idx:
-            return
-        # Segment-OR the gathered peer membership rows into one
-        # connected mask per batched node (every segment is non-empty:
-        # the first partner is always there).
-        gathered = store._p[
-            np.asarray(flat_peer_rows, dtype=np.intp)
-        ]
-        connected = np.logical_or.reduceat(
-            gathered, np.asarray(starts, dtype=np.intp), axis=0
+            flat_peer_rows.append(int(tables[occ[0][1]]._row))
+        if batch_idx:
+            # Segment-OR the gathered peer membership rows into one
+            # connected mask per batched node (every segment is
+            # non-empty: the first partner is always there).
+            gathered = store._p[
+                np.asarray(flat_peer_rows, dtype=np.intp)
+            ]
+            connected = np.logical_or.reduceat(
+                gathered, np.asarray(starts, dtype=np.intp), axis=0
+            )
+            store.batch_decay(
+                node_rows[np.asarray(batch_idx, dtype=np.intp)],
+                connected, now, beta=beta,
+            )
+        self._preselect(pairs, now)
+
+    def _buffer_entries(
+        self, node
+    ) -> Tuple[
+        List[Message], List[str], List[int], List[int], List[int]
+    ]:
+        """Snapshot of ``node``'s buffer for the batched selection.
+
+        Parallel lists ``(messages, uuids, sizes, ranks, keys)`` in
+        buffer (arrival) order; rank is the message's position in the
+        uuid-sorted order of this buffer, which is all the global
+        lexsort needs to replay the ``(-strength, uuid)`` tiebreak —
+        ties can only form between messages of the same buffer — and
+        ``keys`` are the interned memo keys (interning here keeps the
+        per-side hot loop free of attribute checks).  Cached on
+        :attr:`MessageBuffer.mutations`, valid because uuid/size/
+        keywords are immutable and annotation (which the counter
+        ignores) never touches them.
+        """
+        buffer = node.buffer
+        token = buffer.mutations
+        snap = self._buffer_snaps.get(node.node_id)
+        if snap is not None and snap[0] == token:
+            return snap[1]
+        messages = buffer.messages()
+        by_uuid = sorted(range(len(messages)), key=lambda i: messages[i].uuid)
+        ranks = [0] * len(messages)
+        for rank, i in enumerate(by_uuid):
+            ranks[i] = rank
+        intern_key = self._intern_key
+        entry = (
+            messages,
+            [m.uuid for m in messages],
+            [m.size for m in messages],
+            ranks,
+            [
+                m._memo_key if m._memo_key is not None else intern_key(m)
+                for m in messages
+            ],
         )
-        store.batch_decay(
-            node_rows[np.asarray(batch_idx, dtype=np.intp)],
-            connected, now, beta=beta,
-        )
+        self._buffer_snaps[node.node_id] = (token, entry)
+        return entry
+
+    def _preselect(self, pairs: List[Tuple[int, int]], now: float) -> None:
+        """Precompute ``select_messages`` for every provably-safe side.
+
+        Runs at the tail of :meth:`prepare_contact_batch`, after the
+        batched decay.  A pair is safe when *both* its sides are in
+        ``_predecayed`` — each endpoint's table is then final for the
+        tick by the time that pair's exchange runs (its only decay of
+        the tick already happened here, or it is empty and decay is a
+        no-op), and everything else ``select_messages`` reads is frozen
+        for the whole up tick: buffers, seen-sets and capacities only
+        change in transfer-completion events (``send_message`` just
+        queues), and the whole tick's opens run inside one engine
+        callback.  So computing all safe sides now, against the same
+        state their sequential calls would see, is bit-identical — and
+        lets candidate filtering, interest sums, classification and the
+        ``(-strength, uuid)`` ordering run as one fused pass instead of
+        two table gathers and two Python sorts per pair.
+
+        Unsafe sides (multi-occurrence or prune-tainted nodes) are
+        simply not stored; their ``select_messages`` calls take the
+        sequential path unchanged.
+        """
+        preselected = self._preselected
+        preselected.clear()
+        predecayed = self._predecayed
+        store = self._store
+        world = self.world
+        node_of = world.node
+        message_ids = self._message_ids
+        sum_cache = self._sum_cache
+        table = self.table
+
+        # Per-node memo dicts, version-checked once per tick (versions
+        # cannot move between here and the safe pairs' exchanges).
+        caches: Dict[int, Tuple[Dict[int, float], Dict[int, str]]] = {}
+
+        def memo_for(node_id: int) -> Tuple[Dict[int, float], Dict[int, str]]:
+            entry = caches.get(node_id)
+            if entry is None:
+                t = table(node_id)
+                cached = sum_cache.get(node_id)
+                if cached is None or cached[0] != t.version:
+                    cached = (t.version, {}, {})
+                    sum_cache[node_id] = cached
+                entry = (cached[1], cached[2])
+                caches[node_id] = entry
+            return entry
+
+        # Unified slot table: one ``(value, is-destination)`` entry per
+        # needed table read, so the keep/order decision below is pure
+        # array gathers.  Warm entries copy the memo value at creation;
+        # cold ones queue a fused-store gather request and are filled
+        # (and written back to the memos) after the batch compute.
+        # Receiver- and sender-space slots are indexed separately — a
+        # receiver slot needs the sum *and* the role warm, a sender
+        # slot only the sum — so one node can occupy a slot in each
+        # space for the same key; the cold recompute is bit-identical
+        # and the memo writeback idempotent, exactly like the
+        # sequential path's "harmless extra memo entries".
+        rslot_index: Dict[Tuple[int, int], int] = {}
+        sslot_index: Dict[Tuple[int, int], int] = {}
+        slot_vals: List[float] = []
+        slot_dest: List[bool] = []
+        req_slots: List[int] = []
+        req_rows: List[int] = []
+        req_keys: List[int] = []
+        req_sums: List[Dict[int, float]] = []
+        req_roles: List[Dict[int, str]] = []
+        key_slots: Dict[int, List[int]] = {}
+        key_ids: Dict[int, np.ndarray] = {}
+
+        sides: List[Tuple[int, int]] = []
+        flat_side: List[int] = []
+        flat_rank: List[int] = []
+        flat_rslot: List[int] = []
+        flat_sslot: List[int] = []
+        flat_msg: List[Message] = []
+        append_side = flat_side.append
+        append_rank = flat_rank.append
+        append_rs = flat_rslot.append
+        append_ss = flat_sslot.append
+        append_msg = flat_msg.append
+
+        for pair in pairs:
+            a, b = pair
+            if (pair, a) not in predecayed or (pair, b) not in predecayed:
+                continue
+            for sender_id, receiver_id in ((a, b), (b, a)):
+                side = len(sides)
+                sides.append((sender_id, receiver_id))
+                messages, uuids, sizes, ranks, keys = self._buffer_entries(
+                    node_of(sender_id)
+                )
+                if not messages:
+                    continue
+                receiver = node_of(receiver_id)
+                seen = receiver.seen
+                receiver_capacity = receiver.buffer.capacity
+                sums_r, roles_r = memo_for(receiver_id)
+                sums_s, roles_s = memo_for(sender_id)
+                recv_row = table(receiver_id)._row
+                send_row = table(sender_id)._row
+                local: Dict[int, Tuple[int, int]] = {}
+                local_get = local.get
+                for i, uuid in enumerate(uuids):
+                    if uuid in seen or sizes[i] > receiver_capacity:
+                        continue
+                    key = keys[i]
+                    slots = local_get(key)
+                    if slots is None:
+                        rs = rslot_index.get((receiver_id, key))
+                        if rs is None:
+                            rs = len(slot_vals)
+                            rslot_index[(receiver_id, key)] = rs
+                            if key in sums_r and key in roles_r:
+                                slot_vals.append(sums_r[key])
+                                slot_dest.append(
+                                    roles_r[key] == "destination"
+                                )
+                            else:
+                                slot_vals.append(0.0)
+                                slot_dest.append(False)
+                                req_slots.append(rs)
+                                req_rows.append(recv_row)
+                                req_keys.append(key)
+                                req_sums.append(sums_r)
+                                req_roles.append(roles_r)
+                                if key not in key_ids:
+                                    key_ids[key] = message_ids(
+                                        messages[i], key
+                                    )
+                                key_slots.setdefault(key, []).append(
+                                    len(req_rows) - 1
+                                )
+                        ss = sslot_index.get((sender_id, key))
+                        if ss is None:
+                            ss = len(slot_vals)
+                            sslot_index[(sender_id, key)] = ss
+                            if key in sums_s:
+                                slot_vals.append(sums_s[key])
+                                slot_dest.append(False)
+                            else:
+                                slot_vals.append(0.0)
+                                slot_dest.append(False)
+                                req_slots.append(ss)
+                                req_rows.append(send_row)
+                                req_keys.append(key)
+                                req_sums.append(sums_s)
+                                req_roles.append(roles_s)
+                                if key not in key_ids:
+                                    key_ids[key] = message_ids(
+                                        messages[i], key
+                                    )
+                                key_slots.setdefault(key, []).append(
+                                    len(req_rows) - 1
+                                )
+                        local[key] = slots = (rs, ss)
+                    append_side(side)
+                    append_rank(ranks[i])
+                    append_rs(slots[0])
+                    append_ss(slots[1])
+                    append_msg(messages[i])
+
+        if req_rows:
+            kmax = max(key_ids[key].size for key in key_slots)
+            n_req = len(req_rows)
+            if kmax == 0:
+                sums_list = [0] * n_req
+                dest_list = [False] * n_req
+            else:
+                ids_mat = np.zeros((n_req, kmax), dtype=np.int64)
+                valid = np.zeros((n_req, kmax), dtype=bool)
+                empty_reqs: List[int] = []
+                for key, slots in key_slots.items():
+                    ids = key_ids[key]
+                    n = ids.size
+                    if n == 0:
+                        empty_reqs.extend(slots)
+                        continue
+                    ids_mat[slots, :n] = ids
+                    valid[slots, :n] = True
+                rows_arr = np.asarray(req_rows, dtype=np.intp)
+                # Mirrors sum_for_ids/any_direct_ids exactly: ids at or
+                # beyond the column capacity contribute weight 0.0 and
+                # direct False; the accumulation is left-to-right with
+                # trailing 0.0 padding, which never moves an IEEE sum
+                # (weights are never -0.0).
+                eff = valid & (ids_mat < store.columns)
+                safe_ids = np.where(eff, ids_mat, 0)
+                Wm = store._w[rows_arr[:, None], safe_ids]
+                Wm[~eff] = 0.0
+                acc = Wm[:, 0]
+                for j in range(1, kmax):
+                    acc = acc + Wm[:, j]
+                dest = (
+                    store._p[rows_arr[:, None], safe_ids]
+                    & store._d[rows_arr[:, None], safe_ids]
+                    & eff
+                ).any(axis=1)
+                sums_list = acc.tolist()
+                dest_list = dest.tolist()
+                for pos in empty_reqs:
+                    # sum_for_ids returns the int 0 for an empty id
+                    # array — preserve the exact memo contents.
+                    sums_list[pos] = 0
+                    dest_list[pos] = False
+            for pos in range(n_req):
+                value = sums_list[pos]
+                is_dest = dest_list[pos]
+                key = req_keys[pos]
+                req_sums[pos][key] = value
+                req_roles[pos][key] = (
+                    "destination" if is_dest else "relay"
+                )
+                slot = req_slots[pos]
+                slot_vals[slot] = value
+                slot_dest[slot] = is_dest
+
+        results: List[List[Tuple[Message, str]]] = [[] for _ in sides]
+        if flat_msg:
+            vals = np.asarray(slot_vals, dtype=np.float64)
+            dests = np.asarray(slot_dest, dtype=bool)
+            rs_arr = np.asarray(flat_rslot, dtype=np.intp)
+            S_r = vals[rs_arr]
+            dest_flags = dests[rs_arr]
+            keep = dest_flags | (
+                S_r > vals[np.asarray(flat_sslot, dtype=np.intp)]
+            )
+            kept = np.flatnonzero(keep)
+            if kept.size:
+                # One global lexsort replays every side's two sequential
+                # sorts: primary = side, then destinations before
+                # relays, then descending strength, then the uuid rank
+                # (ranks are per-buffer, but ties only form within one
+                # side's buffer).  -0.0 vs 0.0 compare equal in both
+                # sorts, so the negation is safe.
+                side_arr = np.asarray(flat_side, dtype=np.intp)
+                rank_arr = np.asarray(flat_rank, dtype=np.int64)
+                order = np.lexsort((
+                    rank_arr[kept],
+                    -S_r[kept],
+                    ~dest_flags[kept],
+                    side_arr[kept],
+                ))
+                dflags = dest_flags.tolist()
+                for idx in kept[order].tolist():
+                    results[flat_side[idx]].append((
+                        flat_msg[idx],
+                        "destination" if dflags[idx] else "relay",
+                    ))
+        for i, side_pair in enumerate(sides):
+            preselected[side_pair] = (now, results[i])
 
     def on_contact_start(self, link: Link) -> None:
         self.prepare_contact(link)
@@ -1821,6 +2210,7 @@ class ChitChatRouter(Router):
         else:
             if not self.world.accept_relay(receiver, message):
                 return
+        self._prune_retries(message.uuid, receiver.node_id)
         self._forward_onward(receiver.node_id, message)
 
     # ------------------------------------------------------------------
@@ -1835,14 +2225,26 @@ class ChitChatRouter(Router):
             return
         if transfer.abort_reason not in self.RETRYABLE_ABORTS:
             return
-        key = (transfer.receiver, transfer.message.uuid)
-        used = self._retry_counts.get(key, 0)
+        # Check the receiver can actually take the retry *before*
+        # consuming an attempt: under blackout/churn faults the abort
+        # often races the receiver going dark, and a budgeted attempt
+        # burned on a dark node is denied to a real later contact.
+        # Worlds that cannot answer (unit-test stubs) skip the guard.
+        available = getattr(self.world, "node_available", None)
+        if available is not None and not available(transfer.receiver):
+            return
+        uuid = transfer.message.uuid
+        per_receiver = self._retry_counts.get(uuid)
+        used = 0 if per_receiver is None else per_receiver.get(
+            transfer.receiver, 0
+        )
         if used >= self.max_retransmissions:
             return
-        self._retry_counts[key] = used + 1
+        if per_receiver is None:
+            per_receiver = self._retry_counts[uuid] = {}
+        per_receiver[transfer.receiver] = used + 1
         delay = self.retransmit_backoff * (2 ** used)
         sender_id, receiver_id = transfer.sender, transfer.receiver
-        uuid = transfer.message.uuid
         # Lazy label: retransmission timers are scheduled in bulk under
         # fault injection and most never surface their label.
         self.world.schedule_in(
@@ -1864,6 +2266,74 @@ class ChitChatRouter(Router):
             return  # another path got it there first
         if self._reoffer(link, sender_id, receiver_id, message) is not None:
             self.world.metrics.on_retransmission()
+
+    def _prune_retries(self, uuid: str, receiver_id: int) -> None:
+        """Drop the retry budget entry a landed copy made unusable.
+
+        Once ``receiver_id`` has the message, every future retry toward
+        it no-ops at ``_retransmit``'s has-seen check, so the counter
+        is dead weight — and on long runs the dead weight is the leak
+        this fixes.  The whole per-uuid book goes when its last
+        receiver entry does (TTL expiry drops the rest, see
+        :meth:`on_message_expired`).
+        """
+        per_receiver = self._retry_counts.get(uuid)
+        if per_receiver is not None:
+            per_receiver.pop(receiver_id, None)
+            if not per_receiver:
+                del self._retry_counts[uuid]
+
+    def on_copy_received(
+        self,
+        transfer: Transfer,
+        receiver_id: int,
+        message: Message,
+        role: str,
+        accepted: bool,
+    ) -> None:
+        """Layer-driven receives must prune like the native path does.
+
+        The incentive layer performs the receive itself and tells the
+        substrate through this hook (it never calls
+        ``on_message_received``), so the retry-book pruning has to
+        happen here too.  A copy marks the receiver as having seen the
+        message when the buffer accepted it or it was delivered as a
+        destination (delivery marks ``seen`` even when the destination
+        keeps no relay copy); a refused relay copy leaves the budget
+        alone.
+        """
+        if accepted or role == "destination":
+            self._prune_retries(message.uuid, receiver_id)
+
+    def on_message_expired(self, node_id: int, message: Message) -> None:
+        """TTL expiry: drop the message's whole retry book.
+
+        TTL is measured from message *creation*, so every copy expires
+        in the same sweep — once the first copy goes, no node can offer
+        the uuid again and the counters can never be consulted.  A node
+        that re-originates the uuid after churn then starts with the
+        fresh budget it should.
+        """
+        self._retry_counts.pop(message.uuid, None)
+
+    def on_node_wiped(self, node_id: int) -> None:
+        """Churn wipe: protocol state must restart from scratch.
+
+        The RTSR weights are volatile state, so the wipe policy resets
+        the node's table to its freshly-created condition (direct
+        subscriptions re-seeded, version 0) — and the version reset is
+        exactly why the memo entries *must* go: a pre-crash memo keyed
+        at version ``V`` would collide with the restarted table once it
+        has taken ``V`` updates, serving sums for weights that no
+        longer exist.  The buffer snapshot cache goes for the same
+        reason (the mutation counter keeps counting across the wipe,
+        but snapshot entries hold pre-crash message objects).
+        """
+        table = self._tables.get(node_id)
+        if table is not None:
+            table.reset(self.world.node(node_id).interests, self.world.now)
+        self._sum_cache.pop(node_id, None)
+        self._buffer_snaps.pop(node_id, None)
 
     def _reoffer(
         self, link: Link, sender_id: int, receiver_id: int, message: Message

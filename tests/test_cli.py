@@ -207,14 +207,20 @@ class TestBench:
         assert (tmp_path / "BENCH_same.json").exists()
 
     def test_bench_passes_against_own_baseline(self, tmp_path, capsys):
+        # This exercises the CLI comparison plumbing, not real
+        # performance (the scale gate does that), so de-flake it:
+        # best-of-3 rounds instead of a single sample, and a loose
+        # threshold — on a loaded machine even back-to-back runs of
+        # identical code can differ by 2-3x on sub-millisecond benches.
         assert main([
-            "bench", "--quick", "--rounds", "1", "--no-paper",
+            "bench", "--quick", "--rounds", "3", "--no-paper",
             "--out", str(tmp_path), "--label", "base", "--no-root",
         ]) == 0
         code = main([
-            "bench", "--quick", "--rounds", "1", "--no-paper",
+            "bench", "--quick", "--rounds", "3", "--no-paper",
             "--out", str(tmp_path), "--label", "again", "--no-root",
             "--baseline", str(tmp_path / "BENCH_base.json"),
+            "--threshold", "8.0",
         ])
         assert code == 0
         assert "no benchmark regressed" in capsys.readouterr().out

@@ -302,7 +302,11 @@ class TestWipeChurnExercisesIdempotence:
                 churn_policy="wipe",
             )
         )
-        result = run_scenario(config, "incentive", seed=1)
+        # Seed chosen so the scenario actually produces re-received
+        # copies: wiped nodes now also restart their RTSR tables and
+        # retry budgets are no longer burned on dark receivers, which
+        # changed which encounters re-offer paid-for copies.
+        result = run_scenario(config, "incentive", seed=10)
         ledger = result.router.ledger
         assert ledger.duplicate_settlements > 0
         # ...and despite the duplicates, no key paid twice.
