@@ -10,6 +10,7 @@ Usage::
     repro-dtn run --trace out/run.jsonl      # + JSONL event trace
     repro-dtn trace audit out/run.jsonl      # replay + conservation audit
     repro-dtn trace contacts contacts.jsonl  # save a contact trace
+    repro-dtn hetero         # 3-class population comparison + audit
     repro-dtn faults --losses 0 0.1 0.3 --churn --retransmissions 2
     repro-dtn bench --quick --baseline benchmarks/BENCH_optimized.json
 
@@ -76,9 +77,21 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_schemes(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+
     specs = all_specs()
     if args.tag is not None:
-        wanted = set(tagged(args.tag))
+        try:
+            wanted = set(tagged(args.tag))
+        except ConfigurationError:
+            # Exit non-zero with the full vocabulary: a typo in a
+            # script must fail loudly, not print an empty table.
+            print(
+                f"unknown scheme tag {args.tag!r}; known tags: "
+                + " ".join(sorted(KNOWN_TAGS)),
+                file=sys.stderr,
+            )
+            return 2
         specs = tuple(spec for spec in specs if spec.name in wanted)
     print(format_table(
         ["scheme", "tags", "description"],
@@ -500,6 +513,74 @@ def _bench_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hetero(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError, TraceError
+    from repro.experiments.hetero import breakdown_rows, hetero_sweep
+
+    try:
+        config = ScenarioConfig.hetero(
+            pedestrian=args.pedestrian,
+            vehicular=args.vehicular,
+            infrastructure=args.infrastructure,
+            n_nodes=args.nodes,
+            duration=args.duration,
+        )
+    except ConfigurationError as exc:
+        print(f"invalid population: {exc}", file=sys.stderr)
+        return 2
+    seeds = list(range(1, args.seeds + 1))
+    try:
+        records = hetero_sweep(
+            config,
+            schemes=args.schemes,
+            seeds=seeds,
+            trace_dir=args.trace_dir,
+        )
+    except TraceError as exc:
+        print(f"AUDIT VIOLATION: {exc}", file=sys.stderr)
+        return 1
+
+    rows = []
+    for scheme, seed, name, nodes, mdr, delivered, intended, delay, \
+            balance in breakdown_rows(records):
+        rows.append([
+            scheme,
+            str(seed),
+            name,
+            str(nodes),
+            f"{mdr:.4f}",
+            f"{delivered}/{intended}",
+            f"{delay:.0f}",
+            "-" if balance is None else f"{balance:.2f}",
+        ])
+    print(format_table(
+        ["scheme", "seed", "class", "nodes", "MDR", "delivered",
+         "delay (s)", "mean balance"],
+        rows,
+        title=f"per-class breakdown: {config.n_nodes} nodes, "
+              f"{config.duration / 3600:.1f} h, mix "
+              f"{args.pedestrian:.0%}/{args.vehicular:.0%}/"
+              f"{args.infrastructure:.0%}",
+    ))
+    overall = {}
+    for record in records:
+        overall.setdefault(record["scheme"], []).append(
+            record["summary"]["mdr"]
+        )
+    print(format_table(
+        ["scheme", "overall MDR"],
+        [
+            [scheme, f"{sum(values) / len(values):.4f}"]
+            for scheme, values in overall.items()
+        ],
+        title=f"{len(seeds)} seed(s), schemes on identical contacts",
+    ))
+    print(
+        "conservation audit clean for every (scheme, seed) run"
+    )
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.experiments.faults import fault_sweep
 
@@ -602,8 +683,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered schemes (names, tags, one-line docs)",
     )
     schemes.add_argument(
-        "--tag", choices=sorted(KNOWN_TAGS), default=None,
-        help="only schemes carrying this tag",
+        "--tag", default=None, metavar="TAG",
+        help="only schemes carrying this tag "
+             f"(one of: {' '.join(sorted(KNOWN_TAGS))})",
     )
     schemes.set_defaults(func=_cmd_schemes)
 
@@ -748,6 +830,50 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_<label>.pstats next to the report",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    hetero = commands.add_parser(
+        "hetero",
+        help="heterogeneous-population comparison: per-class delivery, "
+             "delay and token balances across schemes, every traced run "
+             "replayed through the conservation auditor",
+    )
+    hetero.add_argument(
+        "--schemes", nargs="+", choices=SCHEMES,
+        default=["incentive", "incentive-chitchat-hetero", "minority-game"],
+        help="schemes to compare on identical contacts (default: the "
+             "homogeneous-pricing baseline plus both class-aware "
+             "schemes)",
+    )
+    hetero.add_argument(
+        "--seeds", type=int, default=1,
+        help="number of seeds to run per scheme (default 1)",
+    )
+    hetero.add_argument(
+        "--nodes", type=int, default=120,
+        help="population size (default 120)",
+    )
+    hetero.add_argument(
+        "--duration", type=float, default=3_600.0,
+        help="simulated seconds (default 3600 = one hour)",
+    )
+    hetero.add_argument(
+        "--pedestrian", type=float, default=0.6, metavar="F",
+        help="pedestrian class fraction (default 0.6)",
+    )
+    hetero.add_argument(
+        "--vehicular", type=float, default=0.3, metavar="F",
+        help="vehicular class fraction (default 0.3)",
+    )
+    hetero.add_argument(
+        "--infrastructure", type=float, default=0.1, metavar="F",
+        help="infrastructure class fraction (default 0.1)",
+    )
+    hetero.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="keep the per-run JSONL event traces in DIR (temporary "
+             "files otherwise)",
+    )
+    hetero.set_defaults(func=_cmd_hetero)
 
     faults = commands.add_parser(
         "faults",

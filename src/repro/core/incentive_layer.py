@@ -36,7 +36,7 @@ implementation):
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -132,6 +132,12 @@ class IncentiveLayer(Router):
         collusion: When True, malicious raters give *perfect* ratings to
             fellow malicious nodes (collusive praise) instead of random
             noise — the attack model studied by the ablation benches.
+        class_multipliers: Optional mapping of population-class name to
+            a positive award factor; a deliverer's award is scaled by
+            its class's factor (unknown classes pay 1.0).  ``None`` —
+            the default, and the only value homogeneous schemes pass —
+            skips the lookup entirely, so legacy awards stay
+            bit-identical.
         escrow_timeout: Seconds after which an uncaptured escrow hold is
             reclaimable by its payer (see
             :meth:`~repro.core.ledger.TokenLedger.expire_holds`).  A
@@ -153,6 +159,7 @@ class IncentiveLayer(Router):
         destination_rating_probability: float = 1.0,
         collusion: bool = False,
         escrow_timeout: Optional[float] = None,
+        class_multipliers: Optional[Mapping[str, float]] = None,
     ):
         super().__init__()
         if isinstance(substrate, IncentiveLayer):
@@ -187,6 +194,17 @@ class IncentiveLayer(Router):
                 f"escrow_timeout must be > 0 or None, got {escrow_timeout!r}"
             )
         self.escrow_timeout = escrow_timeout
+        if class_multipliers is not None:
+            for cls_name, factor in class_multipliers.items():
+                if not factor > 0:
+                    raise ConfigurationError(
+                        f"class_multipliers[{cls_name!r}] must be > 0, "
+                        f"got {factor!r}"
+                    )
+            class_multipliers = {
+                str(k): float(v) for k, v in class_multipliers.items()
+            }
+        self.class_multipliers = class_multipliers
 
         # Promise a holder expects to collect at a destination:
         # (holder_id, uuid) -> tokens.
@@ -370,7 +388,12 @@ class IncentiveLayer(Router):
         multiplier = self.reputation.book(destination.node_id).award_multiplier(
             deliverer.node_id, message.path_ratings.values()
         )
-        return multiplier * (promise + i_t)
+        award = multiplier * (promise + i_t)
+        if self.class_multipliers is not None:
+            award *= self.class_multipliers.get(
+                self.node_class(deliverer.node_id), 1.0
+            )
+        return award
 
     # ------------------------------------------------------------------
     # Exchange

@@ -40,7 +40,7 @@ itself via the layer's delegation.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.core.enrichment import EnrichmentPolicy
 from repro.core.incentive import IncentiveParams
@@ -76,6 +76,10 @@ class IncentiveChitChatRouter(IncentiveLayer):
             :meth:`~repro.core.ledger.TokenLedger.expire_holds`).  A
             safety valve against holds stranded by faults the abort
             path never saw; ``None`` (default) disables the timeout.
+        class_multipliers: Optional population-class-name -> factor
+            mapping scaling delivery awards by the deliverer's class
+            (the heterogeneous schemes; see
+            :class:`~repro.core.incentive_layer.IncentiveLayer`).
         **chitchat_kwargs: Passed through to :class:`ChitChatRouter`.
     """
 
@@ -94,6 +98,7 @@ class IncentiveChitChatRouter(IncentiveLayer):
         destination_rating_probability: float = 1.0,
         collusion: bool = False,
         escrow_timeout: Optional[float] = None,
+        class_multipliers: Optional[Mapping[str, float]] = None,
         **chitchat_kwargs,
     ):
         super().__init__(
@@ -108,4 +113,5 @@ class IncentiveChitChatRouter(IncentiveLayer):
             destination_rating_probability=destination_rating_probability,
             collusion=collusion,
             escrow_timeout=escrow_timeout,
+            class_multipliers=class_multipliers,
         )

@@ -22,6 +22,12 @@ from repro.core.incentive import IncentiveParams
 from repro.errors import ConfigurationError
 from repro.faults import FaultConfig
 from repro.messages.generator import DEFAULT_PROFILES, MessageProfile
+from repro.population import (
+    NodeClassSpec,
+    mixed_population,
+    resolve_population,
+    validate_population,
+)
 
 __all__ = ["ScenarioConfig"]
 
@@ -130,6 +136,15 @@ class ScenarioConfig:
     #: not mid-run.  Excluded from mobility/trace-cache keys.
     scheme: Optional[str] = None
 
+    # Population
+    #: Heterogeneous node classes (see :mod:`repro.population`).  The
+    #: empty tuple — the default — means one class derived from the
+    #: scalar fields above, which therefore remain *validated views
+    #: onto the default class*: every pre-population config, CLI flag
+    #: and sweep keeps working (and stays bit-identical) unchanged.
+    #: Class overrides left as ``None`` inherit the matching scalar.
+    population: Tuple[NodeClassSpec, ...] = ()
+
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ConfigurationError("n_nodes must be >= 2")
@@ -142,17 +157,48 @@ class ScenarioConfig:
         if self.message_interval <= 0:
             raise ConfigurationError("message_interval must be > 0")
         if self.mobility not in (
-            "random-waypoint", "random-walk", "manhattan",
+            "random-waypoint", "random-walk", "manhattan", "static",
         ):
             raise ConfigurationError(
                 f"unknown mobility model {self.mobility!r}"
             )
-        if not 0.0 <= self.selfish_fraction <= 1.0:
-            raise ConfigurationError("selfish_fraction must be in [0, 1]")
-        if not 0.0 <= self.malicious_fraction <= 1.0:
-            raise ConfigurationError("malicious_fraction must be in [0, 1]")
+        for range_field in ("speed_range", "pause_range"):
+            lo, hi = getattr(self, range_field)
+            if not 0.0 <= lo <= hi:
+                raise ConfigurationError(
+                    f"{range_field} must satisfy 0 <= min <= max, got "
+                    f"{(lo, hi)!r}"
+                )
+        if self.scan_interval <= 0:
+            raise ConfigurationError(
+                f"scan_interval must be > 0, got {self.scan_interval!r}"
+            )
+        if self.transmission_radius <= 0:
+            raise ConfigurationError(
+                f"transmission_radius must be > 0, got "
+                f"{self.transmission_radius!r}"
+            )
+        if self.link_speed <= 0:
+            raise ConfigurationError(
+                f"link_speed must be > 0, got {self.link_speed!r}"
+            )
+        if self.buffer_capacity <= 0:
+            raise ConfigurationError(
+                f"buffer_capacity must be > 0, got {self.buffer_capacity!r}"
+            )
+        for fraction_field in (
+            "selfish_fraction", "malicious_fraction",
+            "participation_probability", "low_quality_probability",
+            "annotated_fraction",
+        ):
+            value = getattr(self, fraction_field)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{fraction_field} must be in [0, 1], got {value!r}"
+                )
         if self.max_retransmissions < 0:
             raise ConfigurationError("max_retransmissions must be >= 0")
+        validate_population(self.population)
         if self.world_core not in ("soa", "object"):
             raise ConfigurationError(
                 f"world_core must be 'soa' or 'object', got "
@@ -225,6 +271,32 @@ class ScenarioConfig:
         defaults.update(overrides)
         return cls(**defaults)
 
+    @classmethod
+    def hetero(
+        cls,
+        *,
+        pedestrian: float = 0.6,
+        vehicular: float = 0.3,
+        infrastructure: float = 0.1,
+        **overrides,
+    ) -> "ScenarioConfig":
+        """The :meth:`small` scenario over the 3-class preset mix.
+
+        Pedestrians inherit every scalar (Table 5.1 walkers);
+        vehicular and infrastructure classes override speed, radio and
+        buffers per :data:`repro.population.PRESET_CLASSES`.  Class
+        fractions must sum to 1; a fraction of 0 drops that class.
+        """
+        defaults = dict(
+            population=mixed_population(
+                pedestrian=pedestrian,
+                vehicular=vehicular,
+                infrastructure=infrastructure,
+            ),
+        )
+        defaults.update(overrides)
+        return cls.small(**defaults)
+
     # ------------------------------------------------------------------
     # Derived values & helpers
     # ------------------------------------------------------------------
@@ -241,6 +313,11 @@ class ScenarioConfig:
     def replace(self, **overrides) -> "ScenarioConfig":
         """A copy with ``overrides`` applied (frozen-dataclass update)."""
         return dataclasses.replace(self, **overrides)
+
+    def resolved_population(self):
+        """The population with every class override filled from the
+        scalars (one ``"default"`` class when ``population`` is empty)."""
+        return resolve_population(self)
 
     def with_tokens(self, initial_tokens: float) -> "ScenarioConfig":
         """A copy whose incentive endowment is ``initial_tokens``."""

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.agents.behaviors import assign_behaviors
 from repro.agents.roles import RoleHierarchy
 from repro.core.incentive_layer import IncentiveLayer
@@ -23,13 +25,15 @@ from repro.messages.generator import MessageGenerator
 from repro.messages.keywords import KeywordUniverse
 from repro.metrics.analysis import merge_summaries
 from repro.metrics.collector import MetricsCollector
+from repro.mobility.composite import make_population_model
 from repro.mobility.contact import detect_contacts
-from repro.mobility.regions import detect_contacts_sharded, make_model
+from repro.mobility.regions import detect_contacts_sharded
 from repro.mobility.trace import ContactTrace
 from repro.network.buffer import DropPolicy
 from repro.network.node import Node
 from repro.network.world import World
 from repro.network.world_soa import SoAWorld
+from repro.population import PopulationMap
 from repro.routing.base import Router
 from repro.schemes import resolve_scheme, scheme_names
 from repro.sim.engine import Engine
@@ -66,6 +70,9 @@ class RunResult:
     honest_ids: Set[int] = field(default_factory=set)
     #: Where this run's event trace was written (None when untraced).
     trace_path: Optional[str] = None
+    #: ``{node_id: class name}`` for heterogeneous populations
+    #: (``None`` on homogeneous runs, keeping legacy results identical).
+    node_classes: Optional[Dict[int, str]] = None
 
     @property
     def mdr(self) -> float:
@@ -88,6 +95,36 @@ class RunResult:
                 sum(1 for b in balances.values() if b < 1e-9)
             )
         return data
+
+    def class_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-class delivery/cost/balance metrics (hetero runs only).
+
+        Raises:
+            ConfigurationError: When the run had no heterogeneous
+                population (``node_classes`` is ``None``).
+        """
+        if self.node_classes is None:
+            raise ConfigurationError(
+                "class_breakdown() requires a heterogeneous population "
+                "(config.population with more than one class)"
+            )
+        breakdown = self.metrics.class_breakdown(self.node_classes)
+        ledger = getattr(self.router, "ledger", None)
+        if ledger is not None and ledger.total_endowment() > 0:
+            balances = ledger.balances()
+            for name, row in breakdown.items():
+                members = [
+                    node_id for node_id, cls in self.node_classes.items()
+                    if cls == name
+                ]
+                held = [balances.get(node_id, 0.0) for node_id in members]
+                row["mean_balance"] = (
+                    sum(held) / len(held) if held else 0.0
+                )
+                row["exhausted_accounts"] = float(
+                    sum(1 for b in held if b < 1e-9)
+                )
+        return breakdown
 
     def fault_summary(self) -> Dict[str, float]:
         """Robustness counters, kept separate from :meth:`summary`.
@@ -145,37 +182,52 @@ def build_contact_trace(
         cached = cache.get(config, seed)
         if cached is not None:
             return cached
-    if config.detect_regions > 1:
-        # Spatially sharded sweep — bit-identical to the classic path
-        # (tests/test_regions.py); worth it from ~10k nodes up.
-        trace = detect_contacts_sharded(
-            kind=config.mobility,
-            n_nodes=config.n_nodes,
-            area=config.area,
-            seed=seed,
+    resolved = config.resolved_population()
+    if len(resolved) > 1:
+        # Heterogeneous population: per-class mobility sub-models on
+        # dedicated streams, detection under per-node radii.  Spatial
+        # sharding (detect_regions > 1) is deliberately bypassed here:
+        # the strip/halo proof in repro.mobility.regions assumes one
+        # uniform radius, and sharding is purely a perf knob — results
+        # are defined by this single-sweep path (see DESIGN.md §11).
+        streams = RandomStreams(seed)
+        population = PopulationMap.build(config, streams)
+        model = make_population_model(config, streams, population)
+        trace = detect_contacts(
+            model,
             radius=config.transmission_radius,
             duration=config.duration,
             scan_interval=config.scan_interval,
-            speed_range=config.speed_range,
-            pause_range=config.pause_range,
+            radii=population.radii,
+        )
+    elif config.detect_regions > 1:
+        # Spatially sharded sweep — bit-identical to the classic path
+        # (tests/test_regions.py); worth it from ~10k nodes up.
+        cls0 = resolved[0]
+        trace = detect_contacts_sharded(
+            kind=cls0.mobility,
+            n_nodes=config.n_nodes,
+            area=config.area,
+            seed=seed,
+            radius=cls0.transmission_radius,
+            duration=config.duration,
+            scan_interval=config.scan_interval,
+            speed_range=cls0.speed_range,
+            pause_range=cls0.pause_range,
             manhattan_block=config.manhattan_block,
             regions=config.detect_regions,
             workers=config.detect_workers,
         )
     else:
+        cls0 = resolved[0]
         streams = RandomStreams(seed)
-        model = make_model(
-            config.mobility,
-            config.n_nodes,
-            config.area,
-            streams.get("mobility"),
-            speed_range=config.speed_range,
-            pause_range=config.pause_range,
-            manhattan_block=config.manhattan_block,
+        population = PopulationMap(
+            resolved, np.zeros(config.n_nodes, dtype=np.int64)
         )
+        model = make_population_model(config, streams, population)
         trace = detect_contacts(
             model,
-            radius=config.transmission_radius,
+            radius=cls0.transmission_radius,
             duration=config.duration,
             scan_interval=config.scan_interval,
         )
@@ -203,25 +255,76 @@ def _build_population(
     universe: KeywordUniverse,
     *,
     drop_policy: DropPolicy = DropPolicy.DROP_OLDEST,
+    population: Optional[PopulationMap] = None,
 ) -> Tuple[List[Node], Dict[int, object]]:
-    behaviors = assign_behaviors(
-        range(config.n_nodes),
-        streams.get("behavior-assignment"),
-        selfish_fraction=config.selfish_fraction,
-        malicious_fraction=config.malicious_fraction,
-        participation_probability=config.participation_probability,
-        low_quality_probability=config.low_quality_probability,
-    )
+    """Build the node objects and behaviour assignment for one run.
+
+    With a single-class (default) population this is exactly the legacy
+    construction — interests on the shared ``"interests"`` stream,
+    behaviours on ``"behavior-assignment"`` — consuming the same draws
+    in the same order (the bit-identity guarantee).  A heterogeneous
+    population samples each class on its own ``interests:{name}`` /
+    ``behavior-assignment:{name}`` streams over its members in
+    ascending id order, so classes never perturb one another; roles
+    stay global (the hierarchy is an organisational overlay, not a
+    device property).
+    """
+    if population is None:
+        population = PopulationMap.build(config, streams)
     hierarchy = RoleHierarchy(config.role_levels, config.role_fractions)
     ranks = hierarchy.assign(range(config.n_nodes), streams.get("roles"))
+    if not population.heterogeneous:
+        cls0 = population.classes[0]
+        behaviors = assign_behaviors(
+            range(config.n_nodes),
+            streams.get("behavior-assignment"),
+            selfish_fraction=cls0.selfish_fraction,
+            malicious_fraction=cls0.malicious_fraction,
+            participation_probability=config.participation_probability,
+            low_quality_probability=config.low_quality_probability,
+        )
+        nodes = [
+            Node(
+                node_id,
+                universe.sample_interests(
+                    streams.get("interests"), cls0.interests_per_node
+                ),
+                role=ranks[node_id],
+                buffer_capacity=cls0.buffer_capacity,
+                drop_policy=drop_policy,
+                behavior=behaviors[node_id],
+            )
+            for node_id in range(config.n_nodes)
+        ]
+        return nodes, behaviors
+    behaviors: Dict[int, object] = {}
+    interests: Dict[int, object] = {}
+    for index, cls in enumerate(population.classes):
+        members = population.members(index).tolist()
+        if not members:
+            continue
+        behaviors.update(
+            assign_behaviors(
+                members,
+                streams.get(f"behavior-assignment:{cls.name}"),
+                selfish_fraction=cls.selfish_fraction,
+                malicious_fraction=cls.malicious_fraction,
+                participation_probability=config.participation_probability,
+                low_quality_probability=config.low_quality_probability,
+            )
+        )
+        interest_rng = streams.get(f"interests:{cls.name}")
+        for node_id in members:
+            interests[node_id] = universe.sample_interests(
+                interest_rng, cls.interests_per_node
+            )
+    buffer_caps = population.buffer_capacities
     nodes = [
         Node(
             node_id,
-            universe.sample_interests(
-                streams.get("interests"), config.interests_per_node
-            ),
+            interests[node_id],
             role=ranks[node_id],
-            buffer_capacity=config.buffer_capacity,
+            buffer_capacity=int(buffer_caps[node_id]),
             drop_policy=drop_policy,
             behavior=behaviors[node_id],
         )
@@ -282,28 +385,45 @@ def run_scenario(
     try:
         streams = RandomStreams(seed)
         universe = KeywordUniverse(config.keyword_pool)
+        # Class assignment draws nothing for single-class populations,
+        # so building the map here leaves every legacy stream untouched.
+        population = PopulationMap.build(config, streams)
         # Under the incentive schemes, custody of a high-priority
         # message is worth more tokens, so rational nodes evict
         # low-priority messages first; baselines keep ONE's drop-oldest
         # buffers.  The policy is part of the scheme's registration.
         nodes, behaviors = _build_population(
-            config, streams, universe, drop_policy=spec.drop_policy
+            config, streams, universe, drop_policy=spec.drop_policy,
+            population=population,
         )
         router = spec.builder(config, universe)
         engine = Engine()
         world_cls = SoAWorld if config.world_core == "soa" else World
+        # Single-class scalars come from the resolved class (identical
+        # to the config scalars unless the one class carries overrides);
+        # heterogeneous worlds read the per-node arrays instead and the
+        # scalars are only fallbacks.
+        cls0 = population.classes[0]
+        hetero = population.heterogeneous
         world = world_cls(
             engine,
             nodes,
             router,
-            link_speed=config.link_speed,
+            link_speed=config.link_speed if hetero else cls0.link_speed,
             streams=streams,
             ttl=config.ttl,
-            nominal_distance=config.transmission_radius,
-            battery_capacity=config.battery_capacity,
+            nominal_distance=(
+                config.transmission_radius if hetero
+                else cls0.transmission_radius
+            ),
+            battery_capacity=(
+                config.battery_capacity if hetero
+                else cls0.battery_capacity
+            ),
             resume_partial_transfers=config.resume_partial_transfers,
             faults=config.faults,
             trace=recorder,
+            population=population,
         )
         generator = MessageGenerator(
             universe,
@@ -354,6 +474,11 @@ def run_scenario(
                 "type": "run-end", "t": world.now,
                 "events": engine.events_fired,
             }
+            if hetero:
+                end["node_classes"] = {
+                    str(node_id): name
+                    for node_id, name in population.names_by_node().items()
+                }
             ledger = getattr(router, "ledger", None)
             if ledger is not None and ledger.trace is recorder:
                 # Only trace-wired ledgers (the incentive protocol's)
@@ -387,6 +512,7 @@ def run_scenario(
         trace_path=(
             str(recorder.path) if recorder is not None else None
         ),
+        node_classes=population.names_by_node() if hetero else None,
     )
 
 

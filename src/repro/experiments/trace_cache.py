@@ -35,6 +35,7 @@ from typing import List, Optional, Union
 
 from repro.experiments.config import ScenarioConfig
 from repro.mobility.trace import ContactTrace
+from repro.population import spec_as_dict
 
 __all__ = [
     "MOBILITY_FIELDS",
@@ -73,6 +74,9 @@ def trace_cache_key(config: ScenarioConfig, seed: int) -> str:
 
     Only :data:`MOBILITY_FIELDS` participate, so two configs differing
     in, say, ``selfish_fraction`` map to the same cached trace.
+    Heterogeneous populations change per-class mobility and per-node
+    radii, so the class specs join the payload — but only when a
+    population is set, keeping every legacy cache key byte-identical.
     """
     payload = {
         "version": CACHE_FORMAT_VERSION,
@@ -81,6 +85,10 @@ def trace_cache_key(config: ScenarioConfig, seed: int) -> str:
     for name in MOBILITY_FIELDS:
         value = getattr(config, name)
         payload[name] = list(value) if isinstance(value, tuple) else value
+    if config.population:
+        payload["population"] = [
+            spec_as_dict(spec) for spec in config.population
+        ]
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
 

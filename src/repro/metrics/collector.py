@@ -19,7 +19,7 @@ aggregates from:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.messages.message import Message, Priority
 
@@ -260,6 +260,62 @@ class MetricsCollector:
             "enrichment_relevant": float(self.enrichment_relevant),
             "average_delay": self.average_delay(),
         }
+
+    def class_breakdown(
+        self, node_classes: Mapping[int, str]
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-population-class delivery metrics (heterogeneous runs).
+
+        Each message/destination pair is attributed twice: to the
+        *source's* class under ``created``/``sourced_*`` (how much a
+        class originates and how well its traffic fares) and to the
+        *destination's* class under ``intended``/``delivered``/``mdr``
+        (how well members of a class are served).  Kept out of
+        :meth:`summary` so homogeneous outputs stay bit-identical.
+
+        Args:
+            node_classes: node id -> class name for every node.
+        """
+        counters = (
+            "nodes", "created", "sourced_intended", "sourced_delivered",
+            "intended", "delivered", "bonus_deliveries", "delay_total",
+        )
+        rows: Dict[str, Dict[str, float]] = {
+            name: dict.fromkeys(counters, 0.0)
+            for name in sorted(set(node_classes.values()))
+        }
+
+        def row_of(node_id: int) -> Dict[str, float]:
+            name = node_classes.get(node_id, "default")
+            row = rows.get(name)
+            if row is None:
+                row = rows[name] = dict.fromkeys(counters, 0.0)
+            return row
+
+        for cls in node_classes.values():
+            rows[cls]["nodes"] += 1.0
+        for record in self._messages.values():
+            source_row = row_of(record.source)
+            source_row["created"] += 1.0
+            source_row["sourced_intended"] += float(record.intended_count)
+            source_row["sourced_delivered"] += float(record.delivered_count)
+            for destination in record.intended:
+                row_of(destination)["intended"] += 1.0
+            for destination, delivered_at in record.delivered_to.items():
+                row = row_of(destination)
+                row["delivered"] += 1.0
+                row["delay_total"] += delivered_at - record.created_at
+            for destination in record.bonus_delivered_to:
+                row_of(destination)["bonus_deliveries"] += 1.0
+        for row in rows.values():
+            row["mdr"] = (
+                row["delivered"] / row["intended"] if row["intended"] else 0.0
+            )
+            row["average_delay"] = (
+                row.pop("delay_total") / row["delivered"]
+                if row["delivered"] else 0.0
+            )
+        return rows
 
     def fault_summary(self) -> Dict[str, float]:
         """Fault-injection counters, separate from :meth:`summary`.

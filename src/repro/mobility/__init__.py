@@ -8,7 +8,11 @@ consumes.
 """
 
 from repro.mobility.base import MobilityModel
-from repro.mobility.contact import ContactDetector, detect_contacts
+from repro.mobility.composite import (
+    CompositePopulationModel,
+    make_population_model,
+)
+from repro.mobility.contact import ContactDetector, detect_contacts, hetero_pairs
 from repro.mobility.manhattan import ManhattanGrid
 from repro.mobility.one_trace import load_one_trace, save_one_trace
 from repro.mobility.random_walk import RandomWalk
@@ -30,10 +34,13 @@ __all__ = [
     "Contact",
     "ContactTrace",
     "ContactDetector",
+    "CompositePopulationModel",
     "RegionGrid",
     "detect_contacts",
     "detect_contacts_sharded",
+    "hetero_pairs",
     "make_model",
+    "make_population_model",
     "load_one_trace",
     "save_one_trace",
 ]

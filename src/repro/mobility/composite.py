@@ -1,0 +1,110 @@
+"""Per-class composite mobility for heterogeneous populations.
+
+Each node class gets its own sub-model (its own kind, speed/pause
+ranges and a dedicated ``mobility:{name}`` RNG stream); the composite
+scatters the sub-models' positions into one global ``(n, 2)`` array
+after every advance, so contact detection and the world see a single
+homogeneous interface.
+
+Stream discipline: a single-class population never reaches this module
+— :func:`make_population_model` falls through to the legacy
+:func:`~repro.mobility.regions.make_model` on the shared ``"mobility"``
+stream, keeping legacy runs bit-identical.  With several classes, each
+sub-model draws only from its class's stream, so editing one class's
+mobility leaves every other class's trajectory untouched (the
+isolation property pinned by ``tests/test_population.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.regions import make_model
+
+__all__ = ["CompositePopulationModel", "make_population_model"]
+
+
+class CompositePopulationModel(MobilityModel):
+    """Scatters per-class sub-model positions into one global array.
+
+    Args:
+        area: Arena ``(width, height)`` in metres.
+        submodels: One mobility model per class.
+        members: For each class, the ascending global node ids of its
+            members; together the index arrays partition ``0..n-1``.
+    """
+
+    def __init__(
+        self,
+        area: Tuple[float, float],
+        submodels: Sequence[MobilityModel],
+        members: Sequence[np.ndarray],
+    ):
+        n_nodes = sum(m.size for m in members)
+        # The base class wants an rng; the composite itself never draws.
+        super().__init__(n_nodes, area, np.random.default_rng(0))
+        self._submodels = list(submodels)
+        self._members = [np.asarray(m, dtype=np.int64) for m in members]
+        self._scatter()
+
+    def _scatter(self) -> None:
+        for model, member_ids in zip(self._submodels, self._members):
+            self._positions[member_ids] = model.positions
+
+    def advance(self, dt: float) -> None:
+        dt = self._check_dt(dt)
+        for model in self._submodels:
+            model.advance(dt)
+        self._scatter()
+
+
+def make_population_model(
+    config, streams, population
+) -> MobilityModel:
+    """Mobility for a resolved population (legacy path when single-class).
+
+    Args:
+        config: The :class:`~repro.experiments.config.ScenarioConfig`.
+        streams: The run's :class:`~repro.sim.rng.RandomStreams`.
+        population: The run's :class:`~repro.population.PopulationMap`.
+    """
+    if not population.heterogeneous:
+        # Single class: the legacy construction path on the shared
+        # "mobility" stream.  The resolved class carries the config
+        # scalars whenever no override is set, so a default population
+        # is bit-identical to the pre-population builder; a single
+        # class *with* overrides gets them honoured here too.
+        cls = population.classes[0]
+        return make_model(
+            cls.mobility,
+            config.n_nodes,
+            config.area,
+            streams.get("mobility"),
+            speed_range=cls.speed_range,
+            pause_range=cls.pause_range,
+            manhattan_block=config.manhattan_block,
+        )
+    submodels: List[MobilityModel] = []
+    members: List[np.ndarray] = []
+    for index, cls in enumerate(population.classes):
+        member_ids = population.members(index)
+        if member_ids.size == 0:
+            # A fraction small enough to round to zero seats: nothing
+            # to place, and the class's dedicated stream stays untouched.
+            continue
+        submodels.append(
+            make_model(
+                cls.mobility,
+                int(member_ids.size),
+                config.area,
+                streams.get(f"mobility:{cls.name}"),
+                speed_range=cls.speed_range,
+                pause_range=cls.pause_range,
+                manhattan_block=config.manhattan_block,
+            )
+        )
+        members.append(member_ids)
+    return CompositePopulationModel(config.area, submodels, members)

@@ -26,6 +26,7 @@ from repro.mobility.trace import Contact, ContactTrace
 __all__ = [
     "ContactDetector",
     "detect_contacts",
+    "hetero_pairs",
     "pair_arrays",
     "pairs_in_range",
 ]
@@ -131,6 +132,39 @@ def _pair_arrays_bruteforce(
     return np.concatenate(parts_a), np.concatenate(parts_b)
 
 
+def hetero_pairs(
+    positions: np.ndarray, radii: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """In-range pairs under per-node radii, as ``(a, b)`` arrays, a < b.
+
+    Contact semantics for heterogeneous radios: a pair is in range when
+    ``dist(a, b) <= max(r_a, r_b)`` — the stronger radio carries the
+    link (both directions, since DTN links are bidirectional bundles).
+    Every such pair lies within the global maximum radius, so the
+    property-tested cell list does the search at ``r = max(radii)`` and
+    a single vectorised per-pair threshold keeps the true pairs.
+    """
+    radii = np.asarray(radii, dtype=np.float64)
+    if radii.shape[0] != positions.shape[0]:
+        raise MobilityError(
+            f"radii must have one entry per node: {radii.shape[0]} radii "
+            f"for {positions.shape[0]} nodes"
+        )
+    if radii.size == 0 or positions.shape[0] < 2:
+        return _EMPTY_IDS, _EMPTY_IDS
+    rmax = float(radii.max())
+    if rmax <= 0:
+        raise MobilityError(f"radii must be > 0, got max {rmax!r}")
+    node_a, node_b = pair_arrays(positions, rmax)
+    if node_a.size == 0:
+        return node_a, node_b
+    dx = positions[node_a, 0] - positions[node_b, 0]
+    dy = positions[node_a, 1] - positions[node_b, 1]
+    limit = np.maximum(radii[node_a], radii[node_b])
+    within = dx * dx + dy * dy <= limit * limit
+    return node_a[within], node_b[within]
+
+
 def pairs_in_range(positions: np.ndarray, radius: float) -> Set[Tuple[int, int]]:
     """Return all node pairs within ``radius`` of each other.
 
@@ -159,12 +193,22 @@ class ContactDetector:
     ``(a << 32) | b``, kept sorted, plus each pair's start time — so the
     open/close diff between consecutive scans is two binary searches
     instead of Python set arithmetic.
+
+    Args:
+        radius: Uniform transmission radius in metres.
+        radii: Optional per-node radii for heterogeneous populations;
+            when given, :meth:`scan` searches via :func:`hetero_pairs`
+            (``dist <= max(r_a, r_b)`` per pair) and ``radius`` is
+            ignored for detection.
     """
 
-    def __init__(self, radius: float):
+    def __init__(self, radius: float, *, radii: "np.ndarray | None" = None):
         if radius <= 0:
             raise MobilityError(f"radius must be > 0, got {radius!r}")
         self._radius = float(radius)
+        self._radii = (
+            np.asarray(radii, dtype=np.float64) if radii is not None else None
+        )
         self._open_keys: np.ndarray = _EMPTY_IDS
         self._open_starts: np.ndarray = _EMPTY_STARTS
         self._closed: list = []
@@ -190,7 +234,10 @@ class ContactDetector:
             time: Sample time; must be strictly increasing across calls.
             positions: ``(n, 2)`` position array at that time.
         """
-        node_a, node_b = pair_arrays(positions, self._radius)
+        if self._radii is not None:
+            node_a, node_b = hetero_pairs(positions, self._radii)
+        else:
+            node_a, node_b = pair_arrays(positions, self._radius)
         self.scan_pairs(time, node_a, node_b)
 
     def scan_pairs(
@@ -278,6 +325,7 @@ def detect_contacts(
     radius: float,
     duration: float,
     scan_interval: float = 10.0,
+    radii: "np.ndarray | None" = None,
 ) -> ContactTrace:
     """Run ``model`` for ``duration`` seconds and return its contact trace.
 
@@ -288,6 +336,8 @@ def detect_contacts(
         scan_interval: Position sampling period in seconds.  Contacts
             shorter than this can be missed — the same discretisation the
             ONE simulator applies with its update interval.
+        radii: Optional per-node radii for heterogeneous populations
+            (see :class:`ContactDetector`).
 
     Returns:
         The detected :class:`ContactTrace`.
@@ -296,7 +346,7 @@ def detect_contacts(
         raise MobilityError(f"duration must be > 0, got {duration!r}")
     if scan_interval <= 0:
         raise MobilityError(f"scan_interval must be > 0, got {scan_interval!r}")
-    detector = ContactDetector(radius)
+    detector = ContactDetector(radius, radii=radii)
     time = 0.0
     detector.scan(time, model.positions)
     while time < duration:

@@ -37,6 +37,7 @@ from repro.mobility.contact import ContactDetector, pair_arrays
 from repro.mobility.manhattan import ManhattanGrid
 from repro.mobility.random_walk import RandomWalk
 from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.stationary import Stationary
 from repro.mobility.trace import ContactTrace
 
 __all__ = [
@@ -166,6 +167,8 @@ def make_model(
             block_size=manhattan_block,
             speed_min=speed_range[0], speed_max=speed_range[1],
         )
+    if kind == "static":
+        return Stationary(n_nodes, area, rng)
     raise MobilityError(f"unknown mobility model {kind!r}")
 
 

@@ -75,6 +75,13 @@ class World:
             router's ``bind``) the ledger and reputation layers.  The
             default no-op recorder keeps untraced runs bit-identical
             and nearly free.
+        population: Optional :class:`~repro.population.PopulationMap`
+            for heterogeneous node classes.  When heterogeneous, links
+            run at the *slower* endpoint's class link speed over the
+            *larger* endpoint's class radius (energy distance), and
+            per-class battery capacities/recharge amounts replace the
+            scalars.  ``None`` or a single-class map is bit-identical
+            to the scalar path.
     """
 
     def __init__(
@@ -94,6 +101,7 @@ class World:
         resume_partial_transfers: bool = False,
         faults: Optional[FaultConfig] = None,
         trace: Optional[TraceRecorder] = None,
+        population=None,
     ):
         if link_speed <= 0:
             raise ConfigurationError(f"link_speed must be > 0, got {link_speed!r}")
@@ -122,9 +130,30 @@ class World:
         self.ttl = ttl
         self.nominal_distance = float(nominal_distance)
         self.battery_capacity = battery_capacity
-        self._battery: Dict[int, float] = {
-            node_id: battery_capacity for node_id in self._nodes
-        } if battery_capacity is not None else {}
+        # Per-node class arrays (node ids are the runner's dense
+        # 0..n-1 range whenever a population is threaded through).
+        self.population = (
+            population
+            if population is not None and population.heterogeneous else None
+        )
+        self._pop_link_speed = (
+            self.population.link_speeds if self.population else None
+        )
+        self._pop_radius = self.population.radii if self.population else None
+        pop_caps = (
+            self.population.battery_capacities if self.population else None
+        )
+        if pop_caps is not None:
+            self._battery_caps: Dict[int, float] = {
+                node_id: float(pop_caps[node_id]) for node_id in self._nodes
+            }
+        elif battery_capacity is not None:
+            self._battery_caps = {
+                node_id: battery_capacity for node_id in self._nodes
+            }
+        else:
+            self._battery_caps = {}
+        self._battery: Dict[int, float] = dict(self._battery_caps)
 
         self.resume_partial_transfers = bool(resume_partial_transfers)
         # (receiver, uuid) -> bytes already moved in an aborted attempt.
@@ -142,7 +171,7 @@ class World:
         self.faults: Optional[FaultInjector] = None
         if faults is not None and faults.enabled:
             self.faults = FaultInjector(self, faults)
-            if faults.recharging and battery_capacity is not None:
+            if faults.recharging and self._battery_caps:
                 self._recharge_process = PeriodicProcess(
                     engine, faults.recharge_interval, self._recharge,
                     start_at=engine.now + faults.recharge_interval,
@@ -189,6 +218,13 @@ class World:
     def node_ids(self) -> List[int]:
         """All node ids, sorted."""
         return sorted(self._nodes)
+
+    def node_class(self, node_id: int) -> str:
+        """Population class name of ``node_id`` (``"default"`` when
+        the world runs a homogeneous population)."""
+        if self.population is None:
+            return "default"
+        return self.population.name_of(node_id)
 
     def nodes(self) -> List[Node]:
         """All nodes, sorted by id."""
@@ -279,10 +315,15 @@ class World:
         if first:
             self.metrics.on_delivered(message, receiver.node_id, self.now)
         if self.trace.enabled:
-            self.trace.emit({
+            record = {
                 "type": "delivery", "t": self.now, "uuid": message.uuid,
                 "node": receiver.node_id, "first": first,
-            })
+            }
+            if self.population is not None:
+                record["node_class"] = self.population.name_of(
+                    receiver.node_id
+                )
+            self.trace.emit(record)
         return first
 
     def accept_relay(self, receiver: Node, message: Message) -> bool:
@@ -336,17 +377,17 @@ class World:
 
     def battery_level(self, node_id: int) -> Optional[float]:
         """Remaining battery in joules (None when batteries are off)."""
-        if self.battery_capacity is None:
+        if not self._battery:
             return None
         return self._battery.get(node_id, 0.0)
 
     def _battery_dead(self, node_id: int) -> bool:
-        if self.battery_capacity is None:
+        if not self._battery:
             return False
         return self._battery.get(node_id, 0.0) <= 0.0
 
     def _drain_battery(self, node_id: int, joules: float) -> None:
-        if self.battery_capacity is None:
+        if not self._battery:
             return
         before = self._battery.get(node_id, 0.0)
         self._battery[node_id] = max(0.0, before - joules)
@@ -429,9 +470,19 @@ class World:
         fault_hook = None
         if self.faults is not None and self.faults.config.lossy:
             fault_hook = self.faults.transfer_verdict
+        speed = self.link_speed
+        distance = self.nominal_distance
+        if self._pop_link_speed is not None:
+            # Heterogeneous endpoints: the slower radio bottlenecks the
+            # transfer; energy is billed at the larger class radius (the
+            # same conservative stand-in as the scalar nominal distance).
+            speed = float(
+                min(self._pop_link_speed[a], self._pop_link_speed[b])
+            )
+            distance = float(max(self._pop_radius[a], self._pop_radius[b]))
         link = Link(
             self.engine, a, b,
-            speed=self.link_speed, distance=self.nominal_distance,
+            speed=speed, distance=distance,
             fault_hook=fault_hook, trace=self.trace,
         )
         self._links[pair] = link
@@ -525,12 +576,20 @@ class World:
         self.metrics.on_node_restart()
 
     def _recharge(self, now: float) -> None:
-        if self.battery_capacity is None or self.faults is None:
+        if not self._battery or self.faults is None:
             return
-        amount = self.faults.config.recharge_amount
+        default_amount = self.faults.config.recharge_amount
+        amounts = (
+            self.population.recharge_amounts(default_amount)
+            if self.population is not None else None
+        )
         for node_id in self._battery:
+            amount = (
+                default_amount if amounts is None
+                else float(amounts[node_id])
+            )
             self._battery[node_id] = min(
-                self.battery_capacity, self._battery[node_id] + amount
+                self._battery_caps[node_id], self._battery[node_id] + amount
             )
 
     # ------------------------------------------------------------------

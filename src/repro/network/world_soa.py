@@ -93,14 +93,28 @@ class SoAWorld(World):
         resume_partial_transfers: bool = False,
         faults: Optional[FaultConfig] = None,
         trace: Optional[TraceRecorder] = None,
+        population=None,
     ):
         node_list = list(nodes)
         # The array core must exist before the parent constructor runs:
         # ``router.bind(self)`` fires inside it, and a router is allowed
-        # to inspect per-node state at bind time.
+        # to inspect per-node state at bind time.  A heterogeneous
+        # population threads its per-node arrays straight into the
+        # state; node ids are the runner's dense 0..n-1 range there, so
+        # slot order == node-id order and the arrays line up.
+        hetero = population is not None and population.heterogeneous
+        state_battery = battery_capacity
+        if hetero:
+            pop_caps = population.battery_capacities
+            if pop_caps is not None:
+                state_battery = pop_caps
         self.state = WorldState(
             [node.node_id for node in node_list],
-            battery_capacity=battery_capacity,
+            battery_capacity=state_battery,
+            class_id=population.class_id if hetero else None,
+            radius=population.radii if hetero else None,
+            link_speed=population.link_speeds if hetero else None,
+            buffer_capacity=population.buffer_capacities if hetero else None,
         )
         for node in node_list:
             node.bind_state(self.state.view(node.node_id))
@@ -112,7 +126,7 @@ class SoAWorld(World):
             nominal_distance=nominal_distance,
             battery_capacity=battery_capacity,
             resume_partial_transfers=resume_partial_transfers,
-            faults=faults, trace=trace,
+            faults=faults, trace=trace, population=population,
         )
         # The parent built a battery dict; the array is the store here.
         self._battery = {}
@@ -284,8 +298,13 @@ class SoAWorld(World):
         if self.state.battery is None or self.faults is None:
             return
         # Element-wise min(capacity, battery + amount): identical floats
-        # to the object core's per-node loop.
-        self.state.recharge(self.faults.config.recharge_amount)
+        # to the object core's per-node loop.  Heterogeneous populations
+        # recharge with a per-node amount array (slot order == node-id
+        # order); np.minimum broadcasts both forms the same way.
+        amount = self.faults.config.recharge_amount
+        if self.population is not None:
+            amount = self.population.recharge_amounts(amount)
+        self.state.recharge(amount)
 
     # ------------------------------------------------------------------
     # Vectorised interest fan-out

@@ -56,7 +56,15 @@ class WorldState:
             ``node_ids[k]``.
         battery_capacity: Optional battery endowment in joules; when
             ``None`` the battery array is absent (mains-refreshed
-            devices, the paper's evaluation setting).
+            devices, the paper's evaluation setting).  Heterogeneous
+            populations may pass an ``(n,)`` per-node array instead
+            (``inf`` entries model mains power).
+        class_id: Optional ``(n,)`` int64 population class index per
+            slot (see :mod:`repro.population`); ``None`` for the
+            homogeneous legacy case.
+        radius: Optional ``(n,)`` per-node transmission radius.
+        link_speed: Optional ``(n,)`` per-node link speed in B/s.
+        buffer_capacity: Optional ``(n,)`` per-node buffer bytes.
 
     Attributes:
         positions: ``(n, 2)`` float64 positions in metres.
@@ -68,24 +76,42 @@ class WorldState:
         reputation: ``(n,)`` float64 reputation-summary mirror.
         region: ``(n,)`` int64 spatial shard id (0 when unsharded).
         alive: ``(n,)`` bool liveness flags (churn marks nodes down).
+        class_id: ``(n,)`` int64 class index, or ``None``.
+        radius: ``(n,)`` float64 per-node radio radius, or ``None``.
+        link_speed: ``(n,)`` float64 per-node link speed, or ``None``.
+        buffer_capacity: ``(n,)`` int64 per-node buffer, or ``None``.
     """
 
     def __init__(
         self,
         node_ids: Sequence[int],
         *,
-        battery_capacity: Optional[float] = None,
+        battery_capacity=None,
+        class_id: Optional[np.ndarray] = None,
+        radius: Optional[np.ndarray] = None,
+        link_speed: Optional[np.ndarray] = None,
+        buffer_capacity: Optional[np.ndarray] = None,
     ):
         ids = [int(i) for i in node_ids]
         if any(i < 0 for i in ids):
             raise ConfigurationError("node ids must be >= 0")
         if len(set(ids)) != len(ids):
             raise ConfigurationError("node ids must be unique")
-        if battery_capacity is not None and battery_capacity <= 0:
+        n = len(ids)
+        if isinstance(battery_capacity, np.ndarray):
+            if battery_capacity.shape != (n,):
+                raise ConfigurationError(
+                    f"battery_capacity array must have shape ({n},), "
+                    f"got {battery_capacity.shape}"
+                )
+            if not (battery_capacity > 0).all():
+                raise ConfigurationError(
+                    "per-node battery_capacity entries must be > 0"
+                )
+        elif battery_capacity is not None and battery_capacity <= 0:
             raise ConfigurationError(
                 f"battery_capacity must be > 0, got {battery_capacity!r}"
             )
-        n = len(ids)
         self._node_ids = np.asarray(ids, dtype=np.int64)
         #: node id -> slot.  Dense identity populations (the runner's)
         #: hit the fast path in :meth:`slot_of`.
@@ -96,14 +122,41 @@ class WorldState:
         self.velocities = np.zeros((n, 2), dtype=np.float64)
         self.energy = np.zeros(n, dtype=np.float64)
         self.battery_capacity = battery_capacity
-        self.battery: Optional[np.ndarray] = (
-            np.full(n, float(battery_capacity), dtype=np.float64)
-            if battery_capacity is not None else None
-        )
+        if isinstance(battery_capacity, np.ndarray):
+            self.battery: Optional[np.ndarray] = np.array(
+                battery_capacity, dtype=np.float64
+            )
+        else:
+            self.battery = (
+                np.full(n, float(battery_capacity), dtype=np.float64)
+                if battery_capacity is not None else None
+            )
         self.balance = np.zeros(n, dtype=np.float64)
         self.reputation = np.zeros(n, dtype=np.float64)
         self.region = np.zeros(n, dtype=np.int64)
         self.alive = np.ones(n, dtype=bool)
+        self.class_id = (
+            np.asarray(class_id, dtype=np.int64)
+            if class_id is not None else None
+        )
+        self.radius = (
+            np.asarray(radius, dtype=np.float64)
+            if radius is not None else None
+        )
+        self.link_speed = (
+            np.asarray(link_speed, dtype=np.float64)
+            if link_speed is not None else None
+        )
+        self.buffer_capacity = (
+            np.asarray(buffer_capacity, dtype=np.int64)
+            if buffer_capacity is not None else None
+        )
+        for name in ("class_id", "radius", "link_speed", "buffer_capacity"):
+            array = getattr(self, name)
+            if array is not None and array.shape != (n,):
+                raise ConfigurationError(
+                    f"{name} array must have shape ({n},), got {array.shape}"
+                )
         #: Fused [node-row × keyword] interest-weight store (see
         #: :class:`repro.routing.chitchat.InterestStore`), attached by
         #: a batching router at bind time; ``None`` until then.  Lives

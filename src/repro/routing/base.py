@@ -110,6 +110,20 @@ class Router(abc.ABC):
         """Attach the router to its world.  Called once by the world."""
         self._world = world
 
+    def node_class(self, node_id: int) -> str:
+        """Population class name of ``node_id``.
+
+        ``"default"`` on homogeneous worlds, on worlds without
+        population support, and before binding — so class-aware
+        schemes degrade gracefully everywhere.
+        """
+        if self._world is None:
+            return "default"
+        lookup = getattr(self._world, "node_class", None)
+        if lookup is None:
+            return "default"
+        return lookup(node_id)
+
     # ------------------------------------------------------------------
     # Hooks (all optional except message selection semantics)
     # ------------------------------------------------------------------

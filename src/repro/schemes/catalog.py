@@ -30,6 +30,7 @@ from repro.routing.epidemic_variants import (
     ImmuneEpidemicRouter,
     PriorityEpidemicRouter,
 )
+from repro.routing.minority_game import MinorityGameChitChat
 from repro.routing.nectar import NectarRouter
 from repro.routing.prophet import ProphetRouter
 from repro.routing.relics import RelicsRouter
@@ -251,6 +252,61 @@ register(
     _layer_over(lambda config, universe: SprayAndWaitRouter()),
     doc="The full incentive mechanism composed over binary "
         "Spray-and-Wait.",
+    tags=("token", "reputation", "incentive-layer"),
+    drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
+)
+
+# ----------------------------------------------------------------------
+# Heterogeneous-population schemes
+# ----------------------------------------------------------------------
+
+#: Default per-class award factors for the class-tuned scheme, in the
+#: spirit of El-Azouzi et al.'s heterogeneous-reward analysis: classes
+#: whose relaying is cheap (mains-powered infrastructure, vehicles)
+#: are paid less per delivery than battery-constrained pedestrians.
+_HETERO_MULTIPLIERS = (
+    ("pedestrian", 1.0),
+    ("vehicular", 0.75),
+    ("infrastructure", 0.5),
+)
+
+
+def _hetero_multipliers(config) -> dict:
+    """Spec defaults overlaid by the run's configured classes.
+
+    A class appearing in ``config.population`` always wins — its
+    ``reward_multiplier`` (default 1.0) is the experimenter's explicit
+    choice for that class, preset-derived classes included.
+    """
+    merged = dict(_HETERO_MULTIPLIERS)
+    for cls in config.resolved_population():
+        merged[cls.name] = cls.reward_multiplier
+    return merged
+
+
+register(
+    "incentive-chitchat-hetero",
+    lambda config, universe: _incentive_chitchat(
+        config, universe,
+        class_multipliers=_hetero_multipliers(config),
+    ),
+    doc="The paper's scheme with per-class delivery awards: "
+        "battery-constrained classes are paid more than mains/vehicular "
+        "relays.",
+    tags=("token", "reputation", "incentive-layer"),
+    drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
+    class_multipliers=_HETERO_MULTIPLIERS,
+)
+register(
+    "minority-game",
+    _layer_over(
+        lambda config, universe: MinorityGameChitChat(
+            **_chitchat_kwargs(config)
+        )
+    ),
+    doc="The incentive mechanism over ChitChat with minority-game "
+        "participation: nodes redraw participate/defect every epoch and "
+        "reinforce the minority side.",
     tags=("token", "reputation", "incentive-layer"),
     drop_policy=DropPolicy.DROP_LOWEST_PRIORITY,
 )

@@ -1,4 +1,4 @@
-"""The documentation scheme table, generated from the registry.
+"""The documentation tables, generated from the code's registries.
 
 The scheme tables in ``EXPERIMENTS.md`` and ``README.md`` live between
 ``<!-- scheme-table-begin -->`` / ``<!-- scheme-table-end -->`` markers
@@ -6,6 +6,11 @@ and are *generated* from the registry by ``scripts/sync_scheme_docs.py``
 (``--check`` in CI, bare to rewrite).  Registering a scheme and
 re-running the script is the entire documentation step; a drifted table
 fails both the CI check and ``tests/test_schemes.py``.
+
+The population-preset table works the same way between
+``<!-- population-table-begin/end -->`` markers, generated from
+:data:`repro.population.PRESET_CLASSES` — that block is optional per
+file (only the docs that discuss heterogeneity carry it).
 """
 
 from __future__ import annotations
@@ -13,15 +18,32 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
+from repro.population import preset_rows
 from repro.schemes.registry import all_specs
 
-__all__ = ["BEGIN_MARKER", "END_MARKER", "markdown_table", "sync_file"]
+__all__ = [
+    "BEGIN_MARKER",
+    "END_MARKER",
+    "POPULATION_BEGIN_MARKER",
+    "POPULATION_END_MARKER",
+    "markdown_table",
+    "population_markdown_table",
+    "sync_file",
+]
 
 BEGIN_MARKER = "<!-- scheme-table-begin -->"
 END_MARKER = "<!-- scheme-table-end -->"
+POPULATION_BEGIN_MARKER = "<!-- population-table-begin -->"
+POPULATION_END_MARKER = "<!-- population-table-end -->"
 
 _BLOCK_RE = re.compile(
     re.escape(BEGIN_MARKER) + r".*?" + re.escape(END_MARKER), re.S
+)
+_POPULATION_BLOCK_RE = re.compile(
+    re.escape(POPULATION_BEGIN_MARKER)
+    + r".*?"
+    + re.escape(POPULATION_END_MARKER),
+    re.S,
 )
 
 
@@ -37,20 +59,47 @@ def markdown_table() -> str:
     return "\n".join(lines)
 
 
+def population_markdown_table() -> str:
+    """One row per population preset class."""
+    header = (
+        "Class", "Mobility", "Speed", "Radio radius", "Buffer",
+        "Award multiplier",
+    )
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    for row in preset_rows():
+        cells = [f"`{row[0]}`"] + [str(cell) for cell in row[1:]]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
 def render_block() -> str:
-    """The full marker-delimited block as it should appear in the docs."""
+    """The scheme block as it should appear in the docs."""
     return f"{BEGIN_MARKER}\n{markdown_table()}\n{END_MARKER}"
 
 
+def render_population_block() -> str:
+    """The population-preset block as it should appear in the docs."""
+    return (
+        f"{POPULATION_BEGIN_MARKER}\n"
+        f"{population_markdown_table()}\n"
+        f"{POPULATION_END_MARKER}"
+    )
+
+
 def sync_file(path: Path, *, check: bool = False) -> bool:
-    """Regenerate the marker block in ``path``; return True if in sync.
+    """Regenerate the marker blocks in ``path``; return True if in sync.
 
     With ``check=True`` the file is never written — a stale table just
-    returns False so the caller can fail CI.
+    returns False so the caller can fail CI.  The scheme block is
+    mandatory; the population block is synced only where the markers
+    exist.
 
     Raises:
-        ValueError: If the file lacks the marker pair (a silently
-            missing table must not pass as "in sync").
+        ValueError: If the file lacks the scheme marker pair (a
+            silently missing table must not pass as "in sync").
     """
     text = path.read_text(encoding="utf-8")
     if not _BLOCK_RE.search(text):
@@ -59,6 +108,9 @@ def sync_file(path: Path, *, check: bool = False) -> bool:
             f"({BEGIN_MARKER} … {END_MARKER})"
         )
     updated = _BLOCK_RE.sub(lambda _match: render_block(), text)
+    updated = _POPULATION_BLOCK_RE.sub(
+        lambda _match: render_population_block(), updated
+    )
     if updated == text:
         return True
     if not check:

@@ -81,6 +81,12 @@ class SchemeSpec:
     tags: FrozenSet[str] = field(default_factory=frozenset)
     #: Buffer eviction policy for nodes running this scheme.
     drop_policy: DropPolicy = DropPolicy.DROP_OLDEST
+    #: Per-population-class award factors as ``(class_name, factor)``
+    #: pairs; empty for class-blind schemes.  Class-aware builders merge
+    #: these defaults with the run's configured class
+    #: ``reward_multiplier`` overrides before handing the mapping to the
+    #: :class:`~repro.core.incentive_layer.IncentiveLayer`.
+    class_multipliers: Tuple[Tuple[str, float], ...] = ()
 
 
 # Insertion-ordered: scheme_names() preserves registration order, which
@@ -95,11 +101,13 @@ def register(
     doc: str,
     tags: Tuple[str, ...] = (),
     drop_policy: DropPolicy = DropPolicy.DROP_OLDEST,
+    class_multipliers: Tuple[Tuple[str, float], ...] = (),
 ) -> SchemeSpec:
     """Register a scheme; returns the spec for convenience.
 
     Raises:
-        ConfigurationError: On duplicate names or unknown tags.
+        ConfigurationError: On duplicate names, unknown tags, or
+            non-positive class multipliers.
     """
     if name in _REGISTRY:
         raise ConfigurationError(f"scheme {name!r} is already registered")
@@ -109,12 +117,21 @@ def register(
             f"unknown scheme tags {sorted(unknown)}; "
             f"known tags: {sorted(KNOWN_TAGS)}"
         )
+    for cls_name, factor in class_multipliers:
+        if not factor > 0:
+            raise ConfigurationError(
+                f"scheme {name!r}: class multiplier for {cls_name!r} "
+                f"must be > 0, got {factor!r}"
+            )
     spec = SchemeSpec(
         name=name,
         builder=builder,
         doc=doc,
         tags=frozenset(tags),
         drop_policy=drop_policy,
+        class_multipliers=tuple(
+            (str(c), float(f)) for c, f in class_multipliers
+        ),
     )
     _REGISTRY[name] = spec
     return spec

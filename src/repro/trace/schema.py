@@ -22,10 +22,24 @@ from typing import Dict, Iterator, Tuple, Union
 
 from repro.errors import TraceError
 
-__all__ = ["SCHEMA_VERSION", "RECORD_TYPES", "validate_record", "iter_trace"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
+    "RECORD_TYPES",
+    "validate_record",
+    "iter_trace",
+]
 
-#: Bumped whenever a record type changes incompatibly.
-SCHEMA_VERSION = 1
+#: Bumped whenever a record type changes incompatibly.  Version 2
+#: added the optional heterogeneous-population fields
+#: (``delivery.node_class``, ``run-end.node_classes``); version-1 files
+#: carry neither and stay readable.
+SCHEMA_VERSION = 2
+
+#: Header versions :func:`iter_trace` accepts.  Older versions here are
+#: strict subsets of the current registry, so validation of their
+#: records needs no special-casing.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 _NUM = (int, float)
 _INT = (int,)
@@ -51,6 +65,9 @@ RECORD_TYPES: Dict[str, Tuple[Dict[str, tuple], Dict[str, tuple]]] = {
             "token_payments": _INT,
             "tokens_moved": _NUM,
             "balances": _DICT,
+            # node id (as a string key) -> population class name;
+            # emitted only by heterogeneous runs (schema v2).
+            "node_classes": _DICT,
         },
     ),
     # Simulation core
@@ -72,7 +89,12 @@ RECORD_TYPES: Dict[str, Tuple[Dict[str, tuple], Dict[str, tuple]]] = {
         {"uuid": _STR, "sender": _INT, "receiver": _INT},
         {"reason": _STR},
     ),
-    "delivery": ({"uuid": _STR, "node": _INT}, {"first": _BOOL}),
+    "delivery": (
+        {"uuid": _STR, "node": _INT},
+        # node_class: the receiver's population class, emitted only
+        # by heterogeneous runs (schema v2).
+        {"first": _BOOL, "node_class": _STR},
+    ),
     "message-drop": ({"uuid": _STR, "node": _INT}, {}),
     "message-expiry": ({"uuid": _STR, "node": _INT}, {}),
     # Incentive protocol
@@ -215,10 +237,11 @@ def iter_trace(
                     f"{source}:{lineno}: first record must be a trace-header"
                 )
             version = record.get("schema")
-            if version != SCHEMA_VERSION:
+            if version not in SUPPORTED_VERSIONS:
                 raise TraceError(
                     f"{source}: schema version {version!r} is not supported "
-                    f"(this build reads version {SCHEMA_VERSION})"
+                    f"(this build reads versions "
+                    f"{sorted(SUPPORTED_VERSIONS)})"
                 )
         yield record
     if first:

@@ -246,3 +246,66 @@ class TestBench:
         ])
         assert code == 1
         assert "REGRESSION" in capsys.readouterr().err
+
+
+class TestSchemesCommand:
+    def test_lists_every_scheme(self, capsys):
+        from repro.schemes.registry import scheme_names
+
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in scheme_names():
+            assert name in out
+
+    def test_tag_filter_lists_tagged_schemes(self, capsys):
+        assert main(["schemes", "--tag", "token"]) == 0
+        out = capsys.readouterr().out
+        assert "incentive" in out
+        assert "minority-game" in out
+
+    def test_unknown_tag_exits_2_with_the_vocabulary(self, capsys):
+        from repro.schemes.registry import KNOWN_TAGS
+
+        assert main(["schemes", "--tag", "tokn"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scheme tag 'tokn'" in err
+        # The full tag vocabulary, so the user can self-correct.
+        for tag in KNOWN_TAGS:
+            assert tag in err
+
+
+class TestHetero:
+    def test_hetero_command_defaults(self):
+        args = build_parser().parse_args(["hetero"])
+        assert args.nodes == 120
+        assert args.duration == 3600.0
+        assert args.seeds == 1
+        assert args.schemes == [
+            "incentive", "incentive-chitchat-hetero", "minority-game",
+        ]
+        assert (args.pedestrian, args.vehicular, args.infrastructure) == (
+            0.6, 0.3, 0.1
+        )
+
+    def test_hetero_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hetero", "--schemes", "nope"])
+
+    def test_bad_fractions_exit_2(self, capsys):
+        assert main([
+            "hetero", "--pedestrian", "0.9", "--vehicular", "0.9",
+            "--infrastructure", "0.0",
+        ]) == 2
+        assert "sum to 1" in capsys.readouterr().err
+
+    def test_hetero_sweep_runs_clean(self, capsys):
+        code = main([
+            "hetero", "--nodes", "24", "--duration", "600",
+            "--seeds", "1", "--schemes", "incentive-chitchat-hetero",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pedestrian" in out
+        assert "vehicular" in out
+        assert "infrastructure" in out
+        assert "conservation audit clean" in out

@@ -69,6 +69,8 @@ COMPOSED_SCHEMES = (
     "incentive-epidemic",
     "incentive-prophet",
     "incentive-spray-and-wait",
+    "incentive-chitchat-hetero",
+    "minority-game",
 )
 
 
